@@ -1,0 +1,240 @@
+//! Ablation studies covering the paper's stated future work:
+//!
+//! 1. the influence of the **overflow-buffer size** (and of the adaptation
+//!    step) on the adaptable spatial buffer,
+//! 2. random vs sequential I/O accounting (printed with every table),
+//! 3. the influence of the strategies on **updates and spatial joins**.
+//!
+//! Each ablation prints its result table once, then Criterion measures one
+//! representative configuration.
+
+use asb_bench::{BENCH_SCALE, BENCH_SEED};
+use asb_core::{AsbParams, BufferManager, PolicyKind, SpatialCriterion};
+use asb_exp::Lab;
+use asb_rtree::{spatial_join, RTree};
+use asb_storage::DiskManager;
+use asb_workload::{Dataset, DatasetKind, QueryKind, QuerySetSpec, Scale};
+use criterion::{criterion_group, criterion_main, Criterion};
+
+/// Future work 1: sweep the ASB overflow-buffer fraction.
+fn ablation_overflow(c: &mut Criterion) {
+    let mut lab = Lab::new(BENCH_SCALE, BENCH_SEED);
+    let sets = [
+        QuerySetSpec::uniform_windows(33),
+        QuerySetSpec::intensified(QueryKind::Point),
+        QuerySetSpec::similar(QueryKind::Window { ex: 33 }),
+    ];
+    println!("## ablation — ASB overflow-buffer fraction (gain vs LRU [%], db1, 4.7% buffer)");
+    println!("{:<12} {:>10} {:>10} {:>10}", "overflow", sets[0].name(), sets[1].name(), sets[2].name());
+    for overflow in [0.05, 0.1, 0.2, 0.3, 0.4] {
+        let policy = PolicyKind::AsbWith(AsbParams {
+            overflow_fraction: overflow,
+            ..AsbParams::default()
+        });
+        let gains: Vec<f64> =
+            sets.iter().map(|&s| lab.gain(DatasetKind::Mainland, policy, 0.047, s)).collect();
+        println!(
+            "{:<12} {:>10.1} {:>10.1} {:>10.1}",
+            format!("{:.0}%", overflow * 100.0),
+            gains[0],
+            gains[1],
+            gains[2]
+        );
+    }
+
+    let mut group = c.benchmark_group("ablations");
+    group.sample_size(10);
+    group.bench_function("asb_overflow_sweep_cell", |b| {
+        b.iter(|| {
+            let mut lab = Lab::new(Scale::Tiny, BENCH_SEED);
+            std::hint::black_box(lab.gain(
+                DatasetKind::Mainland,
+                PolicyKind::Asb,
+                0.047,
+                QuerySetSpec::uniform_windows(33),
+            ))
+        })
+    });
+    group.finish();
+}
+
+/// Future work 1 (continued): sweep the ASB adaptation step.
+fn ablation_step(c: &mut Criterion) {
+    let mut lab = Lab::new(BENCH_SCALE, BENCH_SEED);
+    let sets = [
+        QuerySetSpec::uniform_windows(33),
+        QuerySetSpec::intensified(QueryKind::Point),
+    ];
+    println!("## ablation — ASB adaptation step (gain vs LRU [%], db1, 4.7% buffer)");
+    println!("{:<12} {:>10} {:>10}", "step", sets[0].name(), sets[1].name());
+    for step in [0.005, 0.01, 0.02, 0.05, 0.1] {
+        let policy = PolicyKind::AsbWith(AsbParams {
+            step_fraction: step,
+            ..AsbParams::default()
+        });
+        let gains: Vec<f64> =
+            sets.iter().map(|&s| lab.gain(DatasetKind::Mainland, policy, 0.047, s)).collect();
+        println!(
+            "{:<12} {:>10.1} {:>10.1}",
+            format!("{:.1}%", step * 100.0),
+            gains[0],
+            gains[1]
+        );
+    }
+
+    let mut group = c.benchmark_group("ablations");
+    group.sample_size(10);
+    group.bench_function("asb_step_sweep_cell", |b| {
+        b.iter(|| {
+            let mut lab = Lab::new(Scale::Tiny, BENCH_SEED);
+            std::hint::black_box(lab.gain(
+                DatasetKind::Mainland,
+                PolicyKind::AsbWith(AsbParams { step_fraction: 0.05, ..AsbParams::default() }),
+                0.047,
+                QuerySetSpec::uniform_windows(33),
+            ))
+        })
+    });
+    group.finish();
+}
+
+/// Future work 1b: random vs sequential I/O per policy on one workload.
+fn ablation_io_mix(c: &mut Criterion) {
+    let mut lab = Lab::new(BENCH_SCALE, BENCH_SEED);
+    let spec = QuerySetSpec::uniform_windows(33);
+    println!("## ablation — random vs sequential I/O (db1, U-W-33, 4.7% buffer)");
+    println!(
+        "{:<10} {:>10} {:>10} {:>10} {:>12}",
+        "policy", "random", "sequential", "seq share", "sim I/O [ms]"
+    );
+    for policy in [
+        PolicyKind::Lru,
+        PolicyKind::LruK { k: 2 },
+        PolicyKind::Spatial(SpatialCriterion::Area),
+        PolicyKind::Asb,
+    ] {
+        let r = lab.run(DatasetKind::Mainland, policy, 0.047, spec);
+        println!(
+            "{:<10} {:>10} {:>10} {:>9.1}% {:>12.0}",
+            policy.label(),
+            r.io.random_reads,
+            r.io.sequential_reads,
+            100.0 * r.io.sequential_reads as f64 / r.io.reads.max(1) as f64,
+            r.io.simulated_ms
+        );
+    }
+
+    let mut group = c.benchmark_group("ablations");
+    group.sample_size(10);
+    group.bench_function("io_mix_cell", |b| {
+        b.iter(|| {
+            let mut lab = Lab::new(Scale::Tiny, BENCH_SEED);
+            std::hint::black_box(lab.run(DatasetKind::Mainland, PolicyKind::Lru, 0.047, spec))
+        })
+    });
+    group.finish();
+}
+
+/// Future work 2a: spatial join I/O per policy.
+fn ablation_join(c: &mut Criterion) {
+    let layer_a = Dataset::generate(DatasetKind::Mainland, BENCH_SCALE, 3);
+    let layer_b = Dataset::generate(DatasetKind::World, BENCH_SCALE, 4);
+    println!("## ablation — spatial join disk accesses per policy (2% buffers)");
+    println!("{:<10} {:>10} {:>10} {:>12}", "policy", "reads A", "reads B", "pairs");
+    for policy in [
+        PolicyKind::Lru,
+        PolicyKind::LruK { k: 2 },
+        PolicyKind::Spatial(SpatialCriterion::Area),
+        PolicyKind::Asb,
+    ] {
+        let mut a = RTree::bulk_load(DiskManager::new(), layer_a.items()).expect("layer A");
+        let mut b = RTree::bulk_load(DiskManager::new(), layer_b.items()).expect("layer B");
+        a.set_buffer(BufferManager::with_policy(policy, (a.page_count() / 50).max(8)));
+        b.set_buffer(BufferManager::with_policy(policy, (b.page_count() / 50).max(8)));
+        a.store_mut().reset_stats();
+        b.store_mut().reset_stats();
+        let pairs = spatial_join(&mut a, &mut b).expect("join");
+        println!(
+            "{:<10} {:>10} {:>10} {:>12}",
+            policy.label(),
+            a.store().stats().reads,
+            b.store().stats().reads,
+            pairs.len()
+        );
+    }
+
+    let mut group = c.benchmark_group("ablations");
+    group.sample_size(10);
+    let small_a = Dataset::generate(DatasetKind::Mainland, Scale::Tiny, 3);
+    let small_b = Dataset::generate(DatasetKind::World, Scale::Tiny, 4);
+    group.bench_function("spatial_join_tiny", |b| {
+        b.iter(|| {
+            let mut a = RTree::bulk_load(DiskManager::new(), small_a.items()).expect("A");
+            let mut t = RTree::bulk_load(DiskManager::new(), small_b.items()).expect("B");
+            std::hint::black_box(spatial_join(&mut a, &mut t).expect("join"))
+        })
+    });
+    group.finish();
+}
+
+/// Future work 2b: update-heavy workload (insert/delete churn interleaved
+/// with queries) per policy.
+fn ablation_updates(c: &mut Criterion) {
+    let dataset = Dataset::generate(DatasetKind::Mainland, BENCH_SCALE, 7);
+    let items = dataset.items();
+    let half = items.len() / 2;
+    let queries = QuerySetSpec::uniform_windows(100).generate(&dataset, 400, 9);
+
+    println!("## ablation — update churn + queries, disk accesses per policy (2% buffer)");
+    println!("{:<10} {:>12} {:>12}", "policy", "disk reads", "disk writes");
+    for policy in [
+        PolicyKind::Lru,
+        PolicyKind::LruK { k: 2 },
+        PolicyKind::Spatial(SpatialCriterion::Area),
+        PolicyKind::Asb,
+    ] {
+        let mut tree = RTree::bulk_load(DiskManager::new(), &items[..half]).expect("bulk");
+        tree.set_buffer(BufferManager::with_policy(policy, (tree.page_count() / 50).max(8)));
+        tree.store_mut().reset_stats();
+        for i in 0..400usize {
+            let victim = items[i * 3 % half];
+            tree.delete(victim.id, &victim.mbr).expect("delete");
+            tree.insert(items[half + i]).expect("insert");
+            tree.execute(&queries[i % queries.len()]).expect("query");
+            let back = items[i * 3 % half];
+            tree.insert(back).expect("reinsert");
+            let gone = items[half + i];
+            tree.delete(gone.id, &gone.mbr).expect("delete fresh");
+        }
+        let io = tree.store().stats();
+        println!("{:<10} {:>12} {:>12}", policy.label(), io.reads, io.writes);
+    }
+
+    let mut group = c.benchmark_group("ablations");
+    group.sample_size(10);
+    let tiny = Dataset::generate(DatasetKind::Mainland, Scale::Tiny, 7);
+    group.bench_function("update_churn_tiny", |b| {
+        b.iter(|| {
+            let mut tree =
+                RTree::bulk_load(DiskManager::new(), &tiny.items()[..1000]).expect("bulk");
+            tree.set_buffer(BufferManager::with_policy(PolicyKind::Asb, 16));
+            for i in 0..100usize {
+                let victim = tiny.items()[i * 7 % 1000];
+                tree.delete(victim.id, &victim.mbr).expect("delete");
+                tree.insert(tiny.items()[1000 + i]).expect("insert");
+            }
+            std::hint::black_box(tree.len())
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(
+    ablations,
+    ablation_overflow,
+    ablation_step,
+    ablation_io_mix,
+    ablation_join,
+    ablation_updates
+);
+criterion_main!(ablations);

@@ -1,0 +1,41 @@
+//! Benchmarks of the extension experiments (object pages, cross-SAM,
+//! moving objects) — each prints its regenerated table once, then Criterion
+//! measures a cold run at tiny scale.
+
+use asb_bench::{print_tables, BENCH_SCALE, BENCH_SEED};
+use asb_exp::{ext_cross_sam, ext_moving_objects, ext_object_pages};
+use asb_workload::Scale;
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn object_pages(c: &mut Criterion) {
+    print_tables(&[ext_object_pages(BENCH_SCALE, BENCH_SEED)]);
+    let mut group = c.benchmark_group("extensions");
+    group.sample_size(10);
+    group.bench_function("ext_object_pages_tiny", |b| {
+        b.iter(|| std::hint::black_box(ext_object_pages(Scale::Tiny, BENCH_SEED)))
+    });
+    group.finish();
+}
+
+fn cross_sam(c: &mut Criterion) {
+    print_tables(&[ext_cross_sam(BENCH_SCALE, BENCH_SEED)]);
+    let mut group = c.benchmark_group("extensions");
+    group.sample_size(10);
+    group.bench_function("ext_cross_sam_tiny", |b| {
+        b.iter(|| std::hint::black_box(ext_cross_sam(Scale::Tiny, BENCH_SEED)))
+    });
+    group.finish();
+}
+
+fn moving_objects(c: &mut Criterion) {
+    print_tables(&[ext_moving_objects(BENCH_SCALE, BENCH_SEED)]);
+    let mut group = c.benchmark_group("extensions");
+    group.sample_size(10);
+    group.bench_function("ext_moving_tiny", |b| {
+        b.iter(|| std::hint::black_box(ext_moving_objects(Scale::Tiny, BENCH_SEED)))
+    });
+    group.finish();
+}
+
+criterion_group!(extensions, object_pages, cross_sam, moving_objects);
+criterion_main!(extensions);

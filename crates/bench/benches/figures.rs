@@ -1,0 +1,57 @@
+//! One benchmark per data figure of the paper (Figures 4–9, 12–14).
+//!
+//! Each bench regenerates the figure's tables once and prints them (the
+//! reproduction output), then lets Criterion measure the cost of the
+//! figure's full experiment sweep from a cold lab.
+
+use asb_bench::{print_tables, BENCH_SCALE, BENCH_SEED};
+use asb_exp::{figure, Lab};
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench_figure(c: &mut Criterion, id: u8) {
+    // Print the regenerated tables once.
+    let mut lab = Lab::new(BENCH_SCALE, BENCH_SEED);
+    print_tables(&figure(id, &mut lab));
+
+    // Measure a cold regeneration (tree build + all runs of the figure).
+    let mut group = c.benchmark_group("figures");
+    group.sample_size(10);
+    group.bench_function(format!("fig{id:02}"), |b| {
+        b.iter(|| {
+            let mut lab = Lab::new(BENCH_SCALE, BENCH_SEED);
+            std::hint::black_box(figure(id, &mut lab))
+        })
+    });
+    group.finish();
+}
+
+fn fig04(c: &mut Criterion) {
+    bench_figure(c, 4);
+}
+fn fig05(c: &mut Criterion) {
+    bench_figure(c, 5);
+}
+fn fig06(c: &mut Criterion) {
+    bench_figure(c, 6);
+}
+fn fig07(c: &mut Criterion) {
+    bench_figure(c, 7);
+}
+fn fig08(c: &mut Criterion) {
+    bench_figure(c, 8);
+}
+fn fig09(c: &mut Criterion) {
+    bench_figure(c, 9);
+}
+fn fig12(c: &mut Criterion) {
+    bench_figure(c, 12);
+}
+fn fig13(c: &mut Criterion) {
+    bench_figure(c, 13);
+}
+fn fig14(c: &mut Criterion) {
+    bench_figure(c, 14);
+}
+
+criterion_group!(figures, fig04, fig05, fig06, fig07, fig08, fig09, fig12, fig13, fig14);
+criterion_main!(figures);

@@ -1,0 +1,43 @@
+//! Shared helpers for the asb Criterion benchmarks.
+//!
+//! The benches have a dual job: Criterion measures the *runtime* of the
+//! reproduction machinery, and — because the paper's deliverables are
+//! tables, not wall-clock times — every figure bench first **prints the
+//! regenerated table** (once, outside the measurement loop). Run
+//! `cargo bench` and read the tables from stdout; the Criterion numbers
+//! tell you what a full reproduction pass costs.
+
+use asb_core::{BufferManager, PolicyKind};
+use asb_exp::FigureTable;
+use asb_rtree::RTree;
+use asb_storage::DiskManager;
+use asb_workload::{Dataset, DatasetKind, Scale};
+
+/// The scale benches run at. Small keeps a full `cargo bench` in minutes
+/// while preserving every qualitative effect; bump to `Medium` to match
+/// `repro`'s default output.
+pub const BENCH_SCALE: Scale = Scale::Small;
+
+/// The seed benches run with (same default as `repro`).
+pub const BENCH_SEED: u64 = 42;
+
+/// Prints regenerated figure tables to stdout (once per bench).
+pub fn print_tables(tables: &[FigureTable]) {
+    for t in tables {
+        println!("{}", t.render_text());
+    }
+}
+
+/// Builds a bulk-loaded mainland tree with an attached buffer — the common
+/// fixture of the micro and ablation benches.
+pub fn buffered_tree(
+    scale: Scale,
+    policy: PolicyKind,
+    buffer_frac: f64,
+) -> (RTree<DiskManager>, Dataset) {
+    let dataset = Dataset::generate(DatasetKind::Mainland, scale, BENCH_SEED);
+    let mut tree = RTree::bulk_load(DiskManager::new(), dataset.items()).expect("bulk load");
+    let pages = ((tree.page_count() as f64 * buffer_frac).round() as usize).max(8);
+    tree.set_buffer(BufferManager::with_policy(policy, pages));
+    (tree, dataset)
+}

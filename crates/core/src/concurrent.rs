@@ -1,0 +1,142 @@
+//! Thread-safe wrapper around a buffered page store.
+//!
+//! The single-threaded [`BufferManager`] is the
+//! measurement vehicle for the paper's experiments; `SharedBuffer` packages
+//! a buffer and its backing store behind a [`parking_lot::Mutex`] so
+//! multi-threaded applications (e.g. a query server answering window
+//! queries from several sessions) can share one buffer pool.
+
+use crate::manager::{BufferManager, BufferStats};
+use asb_storage::{AccessContext, Page, PageId, PageMeta, PageStore, Result};
+use bytes::Bytes;
+use parking_lot::Mutex;
+use std::sync::Arc;
+
+struct Inner<S: PageStore> {
+    store: S,
+    buffer: BufferManager,
+}
+
+/// A cloneable, thread-safe handle to a buffered page store.
+///
+/// All operations take `&self`; cloning the handle shares the same buffer
+/// pool. The coarse single-mutex design favours simplicity and exactly
+/// reproducible statistics over parallel scalability, which is appropriate
+/// for a reproduction study (and still safe and correct for applications).
+pub struct SharedBuffer<S: PageStore> {
+    inner: Arc<Mutex<Inner<S>>>,
+}
+
+impl<S: PageStore> Clone for SharedBuffer<S> {
+    fn clone(&self) -> Self {
+        SharedBuffer { inner: Arc::clone(&self.inner) }
+    }
+}
+
+impl<S: PageStore> SharedBuffer<S> {
+    /// Wraps `store` with `buffer` behind a shared handle.
+    pub fn new(store: S, buffer: BufferManager) -> Self {
+        SharedBuffer { inner: Arc::new(Mutex::new(Inner { store, buffer })) }
+    }
+
+    /// Reads a page through the shared buffer.
+    pub fn read(&self, id: PageId, ctx: AccessContext) -> Result<Page> {
+        let mut g = self.inner.lock();
+        let Inner { store, buffer } = &mut *g;
+        buffer.read_through(store, id, ctx)
+    }
+
+    /// Writes a page through the shared buffer.
+    pub fn write(&self, page: Page) -> Result<()> {
+        let mut g = self.inner.lock();
+        let Inner { store, buffer } = &mut *g;
+        buffer.write_through(store, page)
+    }
+
+    /// Allocates a page in the backing store and admits it to the buffer.
+    pub fn allocate(&self, meta: PageMeta, payload: Bytes) -> Result<PageId> {
+        let mut g = self.inner.lock();
+        let Inner { store, buffer } = &mut *g;
+        buffer.allocate_through(store, meta, payload)
+    }
+
+    /// Frees a page and drops any buffered copy.
+    pub fn free(&self, id: PageId) -> Result<()> {
+        let mut g = self.inner.lock();
+        let Inner { store, buffer } = &mut *g;
+        buffer.free_through(store, id)
+    }
+
+    /// Buffer statistics snapshot.
+    pub fn stats(&self) -> BufferStats {
+        self.inner.lock().buffer.stats()
+    }
+
+    /// Clears the buffer (resident pages and statistics).
+    pub fn clear(&self) {
+        self.inner.lock().buffer.clear()
+    }
+
+    /// Runs `f` with exclusive access to the underlying store and buffer —
+    /// an escape hatch for bulk operations.
+    pub fn with_parts<R>(&self, f: impl FnOnce(&mut S, &mut BufferManager) -> R) -> R {
+        let mut g = self.inner.lock();
+        let Inner { store, buffer } = &mut *g;
+        f(store, buffer)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::policy::PolicyKind;
+    use asb_geom::SpatialStats;
+    use asb_storage::DiskManager;
+    use std::thread;
+
+    fn meta() -> PageMeta {
+        PageMeta::data(SpatialStats::EMPTY)
+    }
+
+    #[test]
+    fn shared_reads_across_threads() {
+        let mut disk = DiskManager::new();
+        let ids: Vec<PageId> = (0..32)
+            .map(|i| disk.allocate(meta(), Bytes::from(vec![i as u8])).unwrap())
+            .collect();
+        let shared = SharedBuffer::new(disk, BufferManager::with_policy(PolicyKind::Lru, 16));
+
+        let handles: Vec<_> = (0..4)
+            .map(|t| {
+                let shared = shared.clone();
+                let ids = ids.clone();
+                thread::spawn(move || {
+                    for round in 0..50u64 {
+                        let id = ids[(t * 7 + round as usize * 3) % ids.len()];
+                        let page = shared
+                            .read(id, AccessContext::query(asb_storage::QueryId::new(round)))
+                            .unwrap();
+                        assert_eq!(page.id, id);
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        let stats = shared.stats();
+        assert_eq!(stats.logical_reads, 200);
+        assert_eq!(stats.hits + stats.misses, stats.logical_reads);
+    }
+
+    #[test]
+    fn writes_are_visible_to_other_handles() {
+        let mut disk = DiskManager::new();
+        let id = disk.allocate(meta(), Bytes::from_static(b"old")).unwrap();
+        let a = SharedBuffer::new(disk, BufferManager::with_policy(PolicyKind::Lru, 4));
+        let b = a.clone();
+        a.write(Page::new(id, meta(), Bytes::from_static(b"new")).unwrap()).unwrap();
+        let got = b.read(id, AccessContext::default()).unwrap();
+        assert_eq!(got.payload.as_ref(), b"new");
+    }
+}

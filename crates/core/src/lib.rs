@@ -1,0 +1,50 @@
+//! # asb-core — buffer manager and page-replacement policies
+//!
+//! This crate is the reproduction of the *contribution* of Brinkhoff's
+//! EDBT 2002 paper: a buffer manager with pluggable page-replacement
+//! policies, including the paper's new **spatial** policies and the
+//! self-tuning **adaptable spatial buffer (ASB)**.
+//!
+//! ## Policies
+//!
+//! | [`PolicyKind`] | Paper section | Idea |
+//! |---|---|---|
+//! | [`Lru`](PolicyKind::Lru) | baseline | evict the least-recently-used page |
+//! | [`Fifo`](PolicyKind::Fifo), [`Clock`](PolicyKind::Clock), [`Random`](PolicyKind::Random) | — | classic baselines for sanity checks |
+//! | [`LruT`](PolicyKind::LruT) | §2.1 | evict object pages first, then data, then directory pages; LRU within a category |
+//! | [`LruP`](PolicyKind::LruP) | §2.1 | generalization: evict the lowest-priority page (priority = level in the tree); LRU within a priority |
+//! | [`LruK`](PolicyKind::LruK) | §2.2 | evict the page with the oldest K-th most recent *uncorrelated* reference (O'Neil et al.); history is retained for evicted pages |
+//! | [`Spatial`](PolicyKind::Spatial) | §2.3 | evict the page with the smallest spatial criterion (A, EA, M, EM or EO); LRU breaks ties |
+//! | [`Slru`](PolicyKind::Slru) | §4.1 | LRU proposes a candidate set (a fixed fraction of the buffer), the spatial criterion picks the victim from it |
+//! | [`Asb`](PolicyKind::Asb) | §4.2 | SLRU plus a FIFO *overflow buffer* (20 % of the buffer) whose hits self-tune the candidate-set size |
+//!
+//! ## Architecture
+//!
+//! [`BufferManager`] owns the page table and statistics and delegates every
+//! ordering decision to a [`ReplacementPolicy`]. It does not talk to a disk
+//! itself; [`BufferManager::read_through`] composes it with any
+//! [`PageStore`](asb_storage::PageStore), and [`BufferedStore`] packages the
+//! pair back up as a `PageStore`, so index structures are oblivious to
+//! buffering. Writes are write-through, so evictions never perform I/O and
+//! the paper's "number of disk accesses" is exactly the number of buffer
+//! misses.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod concurrent;
+mod manager;
+mod order;
+mod policies;
+mod policy;
+
+pub use manager::{BufferManager, BufferStats, BufferedStore};
+pub use policies::{
+    AsbParams, AsbPolicy, ClockPolicy, FifoPolicy, LruKPolicy, LruPolicy, LruPriorityPolicy,
+    LruTypePolicy, RandomPolicy, SlruPolicy, SpatialPolicy, TwoQPolicy,
+};
+pub use policy::{PolicyKind, ReplacementPolicy};
+
+// Re-exported for convenience: the criterion enum lives in asb-geom because
+// pages carry precomputed criterion inputs.
+pub use asb_geom::SpatialCriterion;

@@ -1,0 +1,507 @@
+use crate::policy::{PolicyKind, ReplacementPolicy};
+use asb_storage::{
+    AccessContext, Page, PageId, PageMeta, PageStore, Result, StorageError,
+};
+use bytes::Bytes;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// Logical access statistics of a [`BufferManager`].
+///
+/// With the write-through design, `misses` equals the number of physical
+/// disk reads caused through this buffer — the paper's "number of disk
+/// accesses".
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BufferStats {
+    /// Total page requests served.
+    pub logical_reads: u64,
+    /// Requests satisfied from the buffer.
+    pub hits: u64,
+    /// Requests that had to read the underlying store.
+    pub misses: u64,
+    /// Pages dropped to make room.
+    pub evictions: u64,
+}
+
+impl BufferStats {
+    /// Hit ratio in `[0, 1]`; zero when nothing was read yet.
+    pub fn hit_ratio(&self) -> f64 {
+        if self.logical_reads == 0 {
+            0.0
+        } else {
+            self.hits as f64 / self.logical_reads as f64
+        }
+    }
+}
+
+struct Frame {
+    page: Page,
+    pins: u32,
+}
+
+/// A buffer (page cache) of fixed capacity with a pluggable replacement
+/// policy.
+///
+/// The manager does not own a disk; compose it with any
+/// [`PageStore`] via [`read_through`](BufferManager::read_through) /
+/// [`write_through`](BufferManager::write_through), or wrap the pair in a
+/// [`BufferedStore`]. All writes are write-through: the underlying store is
+/// always current and evictions never perform I/O.
+///
+/// ```
+/// use asb_core::{BufferManager, PolicyKind};
+/// use asb_geom::SpatialStats;
+/// use asb_storage::{AccessContext, DiskManager, PageMeta, PageStore};
+///
+/// let mut disk = DiskManager::new();
+/// let id = disk
+///     .allocate(PageMeta::data(SpatialStats::EMPTY), bytes::Bytes::from_static(b"hello"))
+///     .unwrap();
+/// disk.reset_stats();
+///
+/// let mut buf = BufferManager::with_policy(PolicyKind::Asb, 8);
+/// for _ in 0..10 {
+///     let page = buf.read_through(&mut disk, id, AccessContext::default()).unwrap();
+///     assert_eq!(page.payload.as_ref(), b"hello");
+/// }
+/// // One physical read; nine buffer hits.
+/// assert_eq!(disk.stats().reads, 1);
+/// assert_eq!(buf.stats().hits, 9);
+/// ```
+pub struct BufferManager {
+    policy: Box<dyn ReplacementPolicy + Send>,
+    kind: PolicyKind,
+    capacity: usize,
+    frames: HashMap<PageId, Frame>,
+    stats: BufferStats,
+    tick: u64,
+}
+
+impl std::fmt::Debug for BufferManager {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("BufferManager")
+            .field("policy", &self.policy.name())
+            .field("capacity", &self.capacity)
+            .field("resident", &self.frames.len())
+            .field("stats", &self.stats)
+            .finish()
+    }
+}
+
+impl BufferManager {
+    /// Creates a buffer of `capacity` pages using the given policy.
+    ///
+    /// # Panics
+    /// Panics if `capacity == 0`; a zero-page buffer cannot hold the page it
+    /// is currently serving.
+    pub fn with_policy(kind: PolicyKind, capacity: usize) -> Self {
+        assert!(capacity > 0, "buffer capacity must be at least one page");
+        BufferManager {
+            policy: kind.build(capacity),
+            kind,
+            capacity,
+            frames: HashMap::with_capacity(capacity),
+            stats: BufferStats::default(),
+            tick: 0,
+        }
+    }
+
+    /// The policy this buffer was built with.
+    pub fn kind(&self) -> PolicyKind {
+        self.kind
+    }
+
+    /// The policy's display name (e.g. `"ASB"`).
+    pub fn policy_name(&self) -> String {
+        self.policy.name()
+    }
+
+    /// Buffer capacity in pages.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Number of currently resident pages.
+    pub fn resident(&self) -> usize {
+        self.frames.len()
+    }
+
+    /// Whether `id` is currently buffered (no access is recorded).
+    pub fn contains(&self, id: PageId) -> bool {
+        self.frames.contains_key(&id)
+    }
+
+    /// Access statistics so far.
+    pub fn stats(&self) -> BufferStats {
+        self.stats
+    }
+
+    /// Resets the access statistics (pages stay resident).
+    pub fn reset_stats(&mut self) {
+        self.stats = BufferStats::default();
+    }
+
+    /// For the adaptable spatial buffer: current candidate-set size.
+    pub fn candidate_size(&self) -> Option<usize> {
+        self.policy.candidate_size()
+    }
+
+    /// History records the policy retains for non-resident pages (LRU-K).
+    pub fn retained_history(&self) -> usize {
+        self.policy.retained_history()
+    }
+
+    /// Reads a page through the buffer, fetching from `inner` on a miss.
+    pub fn read_through<S: PageStore>(
+        &mut self,
+        inner: &mut S,
+        id: PageId,
+        ctx: AccessContext,
+    ) -> Result<Page> {
+        self.stats.logical_reads += 1;
+        self.tick += 1;
+        if let Some(frame) = self.frames.get(&id) {
+            self.stats.hits += 1;
+            let page = frame.page.clone();
+            self.policy.on_hit(&page, ctx, self.tick);
+            return Ok(page);
+        }
+        self.stats.misses += 1;
+        let page = inner.read(id, ctx)?;
+        self.admit(page.clone(), ctx)?;
+        Ok(page)
+    }
+
+    /// Writes a page through the buffer: the underlying store is updated,
+    /// and a resident copy (if any) is refreshed along with the policy's
+    /// view of the page's metadata.
+    pub fn write_through<S: PageStore>(&mut self, inner: &mut S, page: Page) -> Result<()> {
+        inner.write(page.clone())?;
+        if let Some(frame) = self.frames.get_mut(&page.id) {
+            frame.page = page.clone();
+            self.policy.on_update(&page);
+        }
+        Ok(())
+    }
+
+    /// Allocates a page in `inner` and admits it to the buffer (a freshly
+    /// created page is about to be used, so caching it is the common case).
+    pub fn allocate_through<S: PageStore>(
+        &mut self,
+        inner: &mut S,
+        meta: PageMeta,
+        payload: Bytes,
+    ) -> Result<PageId> {
+        let id = inner.allocate(meta, payload.clone())?;
+        let page = Page::new(id, meta, payload)?;
+        self.tick += 1;
+        self.admit(page, AccessContext::default())?;
+        Ok(id)
+    }
+
+    /// Frees a page in `inner` and drops any buffered copy.
+    pub fn free_through<S: PageStore>(&mut self, inner: &mut S, id: PageId) -> Result<()> {
+        inner.free(id)?;
+        self.invalidate(id);
+        Ok(())
+    }
+
+    /// Drops a buffered copy without touching the underlying store.
+    /// No-op if the page is not resident.
+    pub fn invalidate(&mut self, id: PageId) {
+        if self.frames.remove(&id).is_some() {
+            self.policy.on_remove(id);
+        }
+    }
+
+    /// Drops every buffered page and resets statistics — the paper clears
+    /// the buffer before each query set.
+    pub fn clear(&mut self) {
+        let ids: Vec<PageId> = self.frames.keys().copied().collect();
+        for id in ids {
+            self.frames.remove(&id);
+            self.policy.on_remove(id);
+        }
+        self.reset_stats();
+    }
+
+    /// Pins a resident page, excluding it from eviction until unpinned.
+    /// Pins nest.
+    pub fn pin(&mut self, id: PageId) -> Result<()> {
+        let frame = self.frames.get_mut(&id).ok_or(StorageError::PageNotFound(id))?;
+        frame.pins += 1;
+        Ok(())
+    }
+
+    /// Releases one pin of a resident page.
+    pub fn unpin(&mut self, id: PageId) -> Result<()> {
+        let frame = self.frames.get_mut(&id).ok_or(StorageError::PageNotFound(id))?;
+        if frame.pins == 0 {
+            return Err(StorageError::NotPinned(id));
+        }
+        frame.pins -= 1;
+        Ok(())
+    }
+
+    fn admit(&mut self, page: Page, ctx: AccessContext) -> Result<()> {
+        if self.frames.len() >= self.capacity {
+            self.evict_one(ctx)?;
+        }
+        self.policy.on_insert(&page, ctx, self.tick);
+        self.frames.insert(page.id, Frame { page, pins: 0 });
+        Ok(())
+    }
+
+    fn evict_one(&mut self, ctx: AccessContext) -> Result<()> {
+        if !self.frames.values().any(|f| f.pins == 0) {
+            return Err(StorageError::AllPagesPinned);
+        }
+        let frames = &self.frames;
+        let victim = self
+            .policy
+            .select_victim(ctx, &|id| frames.get(&id).is_some_and(|f| f.pins == 0))
+            .ok_or(StorageError::AllPagesPinned)?;
+        debug_assert!(
+            self.frames.get(&victim).is_some_and(|f| f.pins == 0),
+            "policy returned a non-evictable victim"
+        );
+        self.frames.remove(&victim);
+        self.policy.on_remove(victim);
+        self.stats.evictions += 1;
+        Ok(())
+    }
+}
+
+/// A [`PageStore`] that transparently routes reads and writes of an inner
+/// store through a [`BufferManager`].
+///
+/// This is what index structures hold: swapping buffering on or off (or
+/// swapping policies) never changes index code.
+#[derive(Debug)]
+pub struct BufferedStore<S: PageStore> {
+    inner: S,
+    buffer: BufferManager,
+}
+
+impl<S: PageStore> BufferedStore<S> {
+    /// Wraps `inner` with the given buffer.
+    pub fn new(inner: S, buffer: BufferManager) -> Self {
+        BufferedStore { inner, buffer }
+    }
+
+    /// The buffer manager.
+    pub fn buffer(&self) -> &BufferManager {
+        &self.buffer
+    }
+
+    /// Mutable access to the buffer manager.
+    pub fn buffer_mut(&mut self) -> &mut BufferManager {
+        &mut self.buffer
+    }
+
+    /// The wrapped store.
+    pub fn inner(&self) -> &S {
+        &self.inner
+    }
+
+    /// Mutable access to the wrapped store (bypasses the buffer — callers
+    /// must [`BufferManager::invalidate`] any page they mutate this way).
+    pub fn inner_mut(&mut self) -> &mut S {
+        &mut self.inner
+    }
+
+    /// Unwraps into the inner store and buffer.
+    pub fn into_parts(self) -> (S, BufferManager) {
+        (self.inner, self.buffer)
+    }
+}
+
+impl<S: PageStore> PageStore for BufferedStore<S> {
+    fn read(&mut self, id: PageId, ctx: AccessContext) -> Result<Page> {
+        self.buffer.read_through(&mut self.inner, id, ctx)
+    }
+
+    fn write(&mut self, page: Page) -> Result<()> {
+        self.buffer.write_through(&mut self.inner, page)
+    }
+
+    fn allocate(&mut self, meta: PageMeta, payload: Bytes) -> Result<PageId> {
+        self.buffer.allocate_through(&mut self.inner, meta, payload)
+    }
+
+    fn free(&mut self, id: PageId) -> Result<()> {
+        self.buffer.free_through(&mut self.inner, id)
+    }
+
+    fn page_count(&self) -> usize {
+        self.inner.page_count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use asb_geom::SpatialStats;
+    use asb_storage::DiskManager;
+
+    fn meta() -> PageMeta {
+        PageMeta::data(SpatialStats::EMPTY)
+    }
+
+    fn setup(capacity: usize, pages: usize) -> (DiskManager, BufferManager, Vec<PageId>) {
+        let mut disk = DiskManager::new();
+        let ids: Vec<PageId> = (0..pages)
+            .map(|i| disk.allocate(meta(), Bytes::from(vec![i as u8])).unwrap())
+            .collect();
+        disk.reset_stats();
+        (disk, BufferManager::with_policy(PolicyKind::Lru, capacity), ids)
+    }
+
+    fn ctx() -> AccessContext {
+        AccessContext::default()
+    }
+
+    #[test]
+    fn hit_avoids_disk_access() {
+        let (mut disk, mut buf, ids) = setup(4, 2);
+        buf.read_through(&mut disk, ids[0], ctx()).unwrap();
+        buf.read_through(&mut disk, ids[0], ctx()).unwrap();
+        assert_eq!(disk.stats().reads, 1);
+        let s = buf.stats();
+        assert_eq!((s.logical_reads, s.hits, s.misses), (2, 1, 1));
+    }
+
+    #[test]
+    fn capacity_is_never_exceeded() {
+        let (mut disk, mut buf, ids) = setup(3, 10);
+        for &id in &ids {
+            buf.read_through(&mut disk, id, ctx()).unwrap();
+            assert!(buf.resident() <= 3);
+        }
+        assert_eq!(buf.stats().evictions, 7);
+    }
+
+    #[test]
+    fn lru_evicts_least_recent() {
+        let (mut disk, mut buf, ids) = setup(2, 3);
+        buf.read_through(&mut disk, ids[0], ctx()).unwrap();
+        buf.read_through(&mut disk, ids[1], ctx()).unwrap();
+        buf.read_through(&mut disk, ids[0], ctx()).unwrap(); // touch 0
+        buf.read_through(&mut disk, ids[2], ctx()).unwrap(); // evicts 1
+        assert!(buf.contains(ids[0]));
+        assert!(!buf.contains(ids[1]));
+        assert!(buf.contains(ids[2]));
+    }
+
+    #[test]
+    fn pinned_pages_survive_eviction() {
+        let (mut disk, mut buf, ids) = setup(2, 4);
+        buf.read_through(&mut disk, ids[0], ctx()).unwrap();
+        buf.pin(ids[0]).unwrap();
+        for &id in &ids[1..] {
+            buf.read_through(&mut disk, id, ctx()).unwrap();
+        }
+        assert!(buf.contains(ids[0]), "pinned page must not be evicted");
+        buf.unpin(ids[0]).unwrap();
+    }
+
+    #[test]
+    fn all_pinned_errors() {
+        let (mut disk, mut buf, ids) = setup(2, 3);
+        buf.read_through(&mut disk, ids[0], ctx()).unwrap();
+        buf.read_through(&mut disk, ids[1], ctx()).unwrap();
+        buf.pin(ids[0]).unwrap();
+        buf.pin(ids[1]).unwrap();
+        let err = buf.read_through(&mut disk, ids[2], ctx()).unwrap_err();
+        assert_eq!(err, StorageError::AllPagesPinned);
+    }
+
+    #[test]
+    fn pins_nest() {
+        let (mut disk, mut buf, ids) = setup(2, 2);
+        buf.read_through(&mut disk, ids[0], ctx()).unwrap();
+        buf.pin(ids[0]).unwrap();
+        buf.pin(ids[0]).unwrap();
+        buf.unpin(ids[0]).unwrap();
+        buf.unpin(ids[0]).unwrap();
+        assert_eq!(buf.unpin(ids[0]).unwrap_err(), StorageError::NotPinned(ids[0]));
+    }
+
+    #[test]
+    fn write_through_updates_resident_copy() {
+        let (mut disk, mut buf, ids) = setup(2, 1);
+        buf.read_through(&mut disk, ids[0], ctx()).unwrap();
+        let updated = Page::new(ids[0], meta(), Bytes::from_static(b"xyz")).unwrap();
+        buf.write_through(&mut disk, updated).unwrap();
+        let got = buf.read_through(&mut disk, ids[0], ctx()).unwrap();
+        assert_eq!(got.payload.as_ref(), b"xyz");
+        // Still a hit: only the original miss touched the disk for reads.
+        assert_eq!(disk.stats().reads, 1);
+        assert_eq!(disk.peek(ids[0]).unwrap().payload.as_ref(), b"xyz");
+    }
+
+    #[test]
+    fn clear_empties_buffer_and_stats() {
+        let (mut disk, mut buf, ids) = setup(4, 3);
+        for &id in &ids {
+            buf.read_through(&mut disk, id, ctx()).unwrap();
+        }
+        buf.clear();
+        assert_eq!(buf.resident(), 0);
+        assert_eq!(buf.stats(), BufferStats::default());
+        // Pages must be re-fetched afterwards.
+        buf.read_through(&mut disk, ids[0], ctx()).unwrap();
+        assert_eq!(buf.stats().misses, 1);
+    }
+
+    #[test]
+    fn free_through_invalidates() {
+        let (mut disk, mut buf, ids) = setup(4, 2);
+        buf.read_through(&mut disk, ids[0], ctx()).unwrap();
+        buf.free_through(&mut disk, ids[0]).unwrap();
+        assert!(!buf.contains(ids[0]));
+        assert!(buf.read_through(&mut disk, ids[0], ctx()).is_err());
+    }
+
+    #[test]
+    fn allocate_through_admits_page() {
+        let (mut disk, mut buf, _) = setup(4, 0);
+        let id = buf
+            .allocate_through(&mut disk, meta(), Bytes::from_static(b"new"))
+            .unwrap();
+        assert!(buf.contains(id));
+        // Reading it back is a hit.
+        buf.read_through(&mut disk, id, ctx()).unwrap();
+        assert_eq!(buf.stats().hits, 1);
+        assert_eq!(disk.stats().reads, 0);
+    }
+
+    #[test]
+    fn buffered_store_is_transparent() {
+        let (mut disk, _, ids) = setup(1, 3);
+        let raw: Vec<Page> = ids
+            .iter()
+            .map(|&id| disk.read(id, ctx()).unwrap())
+            .collect();
+        let mut store =
+            BufferedStore::new(disk, BufferManager::with_policy(PolicyKind::Lru, 2));
+        for (i, &id) in ids.iter().enumerate() {
+            let got = store.read(id, ctx()).unwrap();
+            assert_eq!(got, raw[i]);
+        }
+        assert_eq!(store.page_count(), 3);
+    }
+
+    #[test]
+    fn hit_ratio_math() {
+        let s = BufferStats { logical_reads: 10, hits: 7, misses: 3, evictions: 0 };
+        assert!((s.hit_ratio() - 0.7).abs() < 1e-12);
+        assert_eq!(BufferStats::default().hit_ratio(), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity")]
+    fn zero_capacity_panics() {
+        let _ = BufferManager::with_policy(PolicyKind::Lru, 0);
+    }
+}

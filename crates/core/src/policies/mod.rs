@@ -1,0 +1,17 @@
+//! Concrete page-replacement policies.
+
+mod asb;
+mod basic;
+mod lru_k;
+mod priority;
+mod slru;
+mod spatial;
+mod two_q;
+
+pub use asb::{AsbParams, AsbPolicy};
+pub use basic::{ClockPolicy, FifoPolicy, LruPolicy, RandomPolicy};
+pub use lru_k::LruKPolicy;
+pub use priority::{LruPriorityPolicy, LruTypePolicy};
+pub use slru::SlruPolicy;
+pub use spatial::SpatialPolicy;
+pub use two_q::TwoQPolicy;

@@ -1,0 +1,123 @@
+//! `probe` — inspect one experiment cell in detail.
+//!
+//! ```text
+//! probe [--scale S] [--seed N] [--db 1|2] [--frac F] [--set NAME]
+//! ```
+//!
+//! Prints, for every policy, the disk accesses, hit ratio and I/O split of
+//! the chosen query set — the raw numbers behind the figures, useful when
+//! calibrating the synthetic workloads against the paper's described
+//! behaviour.
+
+use asb_core::{PolicyKind, SpatialCriterion};
+use asb_exp::Lab;
+use asb_workload::{DatasetKind, Distribution, QueryKind, QuerySetSpec, Scale};
+use std::process::ExitCode;
+
+fn spec_by_name(name: &str) -> Option<QuerySetSpec> {
+    let (dist, rest) = if let Some(r) = name.strip_prefix("IND-") {
+        (Distribution::Independent, r)
+    } else if let Some(r) = name.strip_prefix("INT-") {
+        (Distribution::Intensified, r)
+    } else if let Some(r) = name.strip_prefix("ID-") {
+        (Distribution::Identical, r)
+    } else if let Some(r) = name.strip_prefix("U-") {
+        (Distribution::Uniform, r)
+    } else if let Some(r) = name.strip_prefix("S-") {
+        (Distribution::Similar, r)
+    } else {
+        return None;
+    };
+    let kind = match rest {
+        "P" => QueryKind::Point,
+        "W" => QueryKind::ObjectWindow,
+        w => QueryKind::Window { ex: w.strip_prefix("W-")?.parse().ok()? },
+    };
+    Some(QuerySetSpec { dist, kind })
+}
+
+fn main() -> ExitCode {
+    let mut scale = Scale::Medium;
+    let mut seed = 42u64;
+    let mut db = DatasetKind::Mainland;
+    let mut frac = 0.047f64;
+    let mut set = "INT-P".to_string();
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        let mut next = || it.next().ok_or_else(|| format!("{arg} needs a value"));
+        let r: Result<(), String> = (|| {
+            match arg.as_str() {
+                "--scale" => {
+                    scale = match next()?.as_str() {
+                        "tiny" => Scale::Tiny,
+                        "small" => Scale::Small,
+                        "medium" => Scale::Medium,
+                        "large" => Scale::Large,
+                        "paper" => Scale::Paper,
+                        o => return Err(format!("unknown scale {o}")),
+                    }
+                }
+                "--seed" => seed = next()?.parse().map_err(|e| format!("{e}"))?,
+                "--db" => {
+                    db = match next()?.as_str() {
+                        "1" => DatasetKind::Mainland,
+                        "2" => DatasetKind::World,
+                        o => return Err(format!("unknown db {o}")),
+                    }
+                }
+                "--frac" => frac = next()?.parse().map_err(|e| format!("{e}"))?,
+                "--set" => {
+                    let v = next()?;
+                    set = v.clone();
+                    spec_by_name(&v).ok_or(format!("unknown query set {v}"))?;
+                }
+                o => return Err(format!("unknown argument {o}")),
+            }
+            Ok(())
+        })();
+        if let Err(e) = r {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    }
+    let spec = spec_by_name(&set).expect("validated above");
+
+    let mut lab = Lab::new(scale, seed);
+    let pages = lab.tree_pages(db);
+    println!(
+        "# db={db:?} scale={scale:?} pages={pages} buffer={frac} (= {} pages) set={set}",
+        ((pages as f64 * frac).round() as usize).max(4)
+    );
+    let policies = [
+        PolicyKind::Lru,
+        PolicyKind::Fifo,
+        PolicyKind::Clock,
+        PolicyKind::LruT,
+        PolicyKind::LruP,
+        PolicyKind::TwoQ,
+        PolicyKind::LruK { k: 2 },
+        PolicyKind::Spatial(SpatialCriterion::Area),
+        PolicyKind::Slru { candidate_fraction: 0.25, criterion: SpatialCriterion::Area },
+        PolicyKind::Asb,
+    ];
+    println!(
+        "{:<10} {:>9} {:>9} {:>7} {:>9} {:>9} {:>9} {:>8}",
+        "policy", "accesses", "logical", "hit%", "random", "seq", "sim[ms]", "gain%"
+    );
+    let base = lab.run(db, PolicyKind::Lru, frac, spec);
+    for p in policies {
+        let r = lab.run(db, p, frac, spec);
+        println!(
+            "{:<10} {:>9} {:>9} {:>7.1} {:>9} {:>9} {:>9.0} {:>8.1}",
+            p.label(),
+            r.disk_accesses,
+            r.logical_reads,
+            100.0 * r.hits as f64 / r.logical_reads as f64,
+            r.io.random_reads,
+            r.io.sequential_reads,
+            r.io.simulated_ms,
+            r.gain_over(&base),
+        );
+    }
+    ExitCode::SUCCESS
+}

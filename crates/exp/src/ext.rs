@@ -1,0 +1,347 @@
+//! Extension experiments beyond the paper's figures.
+//!
+//! The paper grounds its page-entry notion in three access methods (R-tree,
+//! quadtree, z-value B-tree) and a three-tier page taxonomy (directory /
+//! data / object pages), but evaluates only the R\*-tree's tree pages.
+//! These experiments close that gap:
+//!
+//! * [`ext_object_pages`] — the full access path including object pages,
+//!   which is where the *type-based* LRU's third category finally matters;
+//! * [`ext_cross_sam`] — the same replacement policies on the quadtree and
+//!   the z-order B⁺-tree, testing the paper's implicit claim that spatial
+//!   replacement criteria generalize across spatial access methods.
+
+use crate::report::{FigureTable, Series};
+use asb_core::{BufferManager, PolicyKind, SpatialCriterion};
+use asb_geom::Point;
+use asb_quadtree::{QuadConfig, QuadTree};
+use asb_rtree::RTree;
+use asb_storage::{DiskManager, ObjectRecord, ObjectStore};
+use asb_workload::{Dataset, DatasetKind, QueryKind, QuerySetSpec, Scale};
+use asb_zbtree::ZBTree;
+use bytes::Bytes;
+
+fn policies() -> Vec<(PolicyKind, &'static str)> {
+    vec![
+        (PolicyKind::Lru, "LRU"),
+        (PolicyKind::LruT, "LRU-T"),
+        (PolicyKind::LruP, "LRU-P"),
+        (PolicyKind::LruK { k: 2 }, "LRU-2"),
+        (PolicyKind::Spatial(SpatialCriterion::Area), "A"),
+        (PolicyKind::Asb, "ASB"),
+    ]
+}
+
+fn query_sets() -> Vec<QuerySetSpec> {
+    vec![
+        QuerySetSpec::uniform_windows(33),
+        QuerySetSpec::identical_points(),
+        QuerySetSpec::similar(QueryKind::Window { ex: 100 }),
+        QuerySetSpec::intensified(QueryKind::Point),
+    ]
+}
+
+/// Gain vs LRU when every query also fetches the object pages of its
+/// results — the paper's full storage architecture (Fig. 1) in action.
+///
+/// With object pages in the access stream, LRU-T's "drop object pages
+/// first" rule becomes observable (in the tree-only figures LRU-T degrades
+/// to LRU-P).
+pub fn ext_object_pages(scale: Scale, seed: u64) -> FigureTable {
+    let dataset = Dataset::generate(DatasetKind::Mainland, scale, seed);
+    // Build object pages in item (≈ spatial) order, then the tree on top of
+    // the same simulated disk, then connect the leaf entries.
+    let mut disk = DiskManager::new();
+    let records: Vec<ObjectRecord> = dataset
+        .items()
+        .iter()
+        .map(|it| ObjectRecord {
+            id: it.id,
+            mbr: it.mbr,
+            payload: Bytes::from(vec![0u8; dataset.payload_len(it.id)]),
+        })
+        .collect();
+    let objects = ObjectStore::build(&mut disk, &records).expect("object store");
+    let mut tree = RTree::bulk_load(disk, dataset.items()).expect("bulk load");
+    tree.assign_object_pages(|id| objects.page_of(id)).expect("assign object pages");
+
+    let pages = tree.page_count();
+    let buffer_pages = ((pages as f64) * 0.047).round() as usize;
+    let sets = query_sets();
+    let mut queries_per_set = Vec::new();
+    for spec in &sets {
+        queries_per_set.push(spec.generate(&dataset, 1200, seed ^ 0xB0B0));
+    }
+
+    let mut base: Vec<u64> = Vec::new();
+    let mut series = Vec::new();
+    for (policy, name) in policies() {
+        let mut points = Vec::new();
+        for (spec, queries) in sets.iter().zip(&queries_per_set) {
+            tree.set_buffer(BufferManager::with_policy(policy, buffer_pages));
+            tree.store_mut().reset_stats();
+            for q in queries {
+                tree.execute_fetching_objects(q).expect("query");
+            }
+            let reads = tree.store().stats().reads;
+            tree.take_buffer();
+            if policy == PolicyKind::Lru {
+                base.push(reads);
+                points.push((spec.name(), 0.0));
+            } else {
+                let lru = base[points.len()];
+                points.push((spec.name(), (lru as f64 / reads as f64 - 1.0) * 100.0));
+            }
+        }
+        series.push(Series { name: name.into(), points });
+    }
+    FigureTable {
+        id: "ext-object-pages".into(),
+        title: format!(
+            "Full access path incl. object pages, database 1, 4.7% buffer, scale {scale:?}"
+        ),
+        x_label: "query set".into(),
+        y_label: "gain vs LRU [%]".into(),
+        series,
+    }
+}
+
+/// Gain vs LRU of the spatial policy A, LRU-2 and ASB on three different
+/// spatial access methods over the same dataset and uniform window queries.
+pub fn ext_cross_sam(scale: Scale, seed: u64) -> FigureTable {
+    let dataset = Dataset::generate(DatasetKind::Mainland, scale, seed);
+    let queries = QuerySetSpec::uniform_windows(33).generate(&dataset, 1500, seed ^ 0x5A11);
+    let centers: Vec<(u64, Point)> =
+        dataset.items().iter().map(|it| (it.id, it.mbr.center())).collect();
+
+    let contenders = [
+        (PolicyKind::LruK { k: 2 }, "LRU-2"),
+        (PolicyKind::Spatial(SpatialCriterion::Area), "A"),
+        (PolicyKind::Asb, "ASB"),
+    ];
+
+    // One closure per SAM: build, then return per-policy disk accesses.
+    let run_all = |label: &str,
+                       mut run: Box<dyn FnMut(PolicyKind) -> u64>|
+     -> (String, Vec<(String, f64)>) {
+        let lru = run(PolicyKind::Lru);
+        let mut points = vec![];
+        for (p, name) in contenders {
+            let reads = run(p);
+            points.push((format!("{label}/{name}"), (lru as f64 / reads as f64 - 1.0) * 100.0));
+        }
+        (label.to_string(), points)
+    };
+
+    // R*-tree.
+    let mut rtree = RTree::bulk_load(DiskManager::new(), dataset.items()).expect("rtree");
+    let rtree_buffer = ((rtree.page_count() as f64) * 0.047).round().max(8.0) as usize;
+    let queries_r = queries.clone();
+    let (_, rtree_points) = run_all(
+        "R*-tree",
+        Box::new(move |policy| {
+            rtree.set_buffer(BufferManager::with_policy(policy, rtree_buffer));
+            rtree.store_mut().reset_stats();
+            for q in &queries_r {
+                rtree.execute(q).expect("query");
+            }
+            let reads = rtree.store().stats().reads;
+            rtree.take_buffer();
+            reads
+        }),
+    );
+
+    // Quadtree (same MBR data).
+    let mut quad = QuadTree::with_config(
+        DiskManager::new(),
+        dataset.bounds(),
+        QuadConfig::default(),
+    )
+    .expect("quadtree");
+    for it in dataset.items() {
+        quad.insert(*it).expect("insert");
+    }
+    let quad_buffer = ((quad.page_count() as f64) * 0.047).round().max(8.0) as usize;
+    let queries_q = queries.clone();
+    let (_, quad_points) = run_all(
+        "Quadtree",
+        Box::new(move |policy| {
+            quad.set_buffer(BufferManager::with_policy(policy, quad_buffer));
+            quad.store_mut().reset_stats();
+            for q in &queries_q {
+                quad.execute(q).expect("query");
+            }
+            let reads = quad.store().stats().reads;
+            quad.take_buffer();
+            reads
+        }),
+    );
+
+    // Z-order B+-tree (indexes object centers; same windows,
+    // point-in-window semantics).
+    let mut zb = ZBTree::bulk_load(DiskManager::new(), dataset.bounds(), &centers)
+        .expect("zbtree");
+    let zb_buffer = ((zb.page_count() as f64) * 0.047).round().max(8.0) as usize;
+    let queries_z = queries;
+    let (_, zb_points) = run_all(
+        "Z-B+tree",
+        Box::new(move |policy| {
+            zb.set_buffer(BufferManager::with_policy(policy, zb_buffer));
+            zb.store_mut().reset_stats();
+            for q in &queries_z {
+                zb.execute(q).expect("query");
+            }
+            let reads = zb.store().stats().reads;
+            zb.take_buffer();
+            reads
+        }),
+    );
+
+    // One series per contender, one x-position per SAM.
+    let mut series = Vec::new();
+    for (i, (_, name)) in contenders.iter().enumerate() {
+        let points = vec![
+            ("R*-tree".to_string(), rtree_points[i].1),
+            ("Quadtree".to_string(), quad_points[i].1),
+            ("Z-B+tree".to_string(), zb_points[i].1),
+        ];
+        series.push(Series { name: (*name).into(), points });
+    }
+    FigureTable {
+        id: "ext-cross-sam".into(),
+        title: format!(
+            "Replacement policies across spatial access methods, U-W-33, 4.7% buffers, scale {scale:?}"
+        ),
+        x_label: "spatial access method".into(),
+        y_label: "gain vs LRU [%]".into(),
+        series,
+    }
+}
+
+/// Future work 3: continuously moving objects. A fraction of the objects
+/// moves every round (delete + re-insert at the new location) while window
+/// queries keep arriving; policies are compared on total disk reads.
+pub fn ext_moving_objects(scale: Scale, seed: u64) -> FigureTable {
+    let dataset = Dataset::generate(DatasetKind::Mainland, scale, seed);
+    let items = dataset.items();
+    let queries = QuerySetSpec::uniform_windows(100).generate(&dataset, 400, seed ^ 0x30B1);
+
+    let mut series = Vec::new();
+    let mut base = 0u64;
+    for (policy, name) in [
+        (PolicyKind::Lru, "LRU"),
+        (PolicyKind::LruK { k: 2 }, "LRU-2"),
+        (PolicyKind::Spatial(SpatialCriterion::Area), "A"),
+        (PolicyKind::Asb, "ASB"),
+    ] {
+        let mut tree = RTree::bulk_load(DiskManager::new(), items).expect("bulk load");
+        let buffer_pages = ((tree.page_count() as f64) * 0.047).round().max(8.0) as usize;
+        tree.set_buffer(BufferManager::with_policy(policy, buffer_pages));
+        tree.store_mut().reset_stats();
+
+        // Deterministic movement: object i drifts by a seed-derived delta,
+        // wrapping inside the unit square.
+        let mut mover = 0usize;
+        for (round, q) in queries.iter().enumerate() {
+            // Move a handful of objects per query round.
+            for k in 0..8usize {
+                let idx = (mover + k * 131) % items.len();
+                let it = items[idx];
+                let step = 0.002 + 0.004 * ((round + k) % 7) as f64;
+                let moved = it.mbr.flip_x(0.0, 1.0); // deterministic "jump"
+                let moved = asb_geom::Rect::new(
+                    (moved.min.x + step).min(0.999),
+                    moved.min.y,
+                    (moved.max.x + step).min(1.0),
+                    moved.max.y,
+                );
+                // Delete wherever the object currently is; tolerate the
+                // object having been moved before (delete by both shapes).
+                let deleted = tree.delete(it.id, &it.mbr).expect("delete")
+                    || tree.delete(it.id, &moved).expect("delete moved");
+                if deleted {
+                    tree.insert(asb_geom::SpatialItem::new(it.id, moved)).expect("insert");
+                }
+            }
+            mover = (mover + 1009) % items.len();
+            tree.execute(q).expect("query");
+        }
+        let reads = tree.store().stats().reads;
+        let gain = if policy == PolicyKind::Lru {
+            base = reads;
+            0.0
+        } else {
+            (base as f64 / reads as f64 - 1.0) * 100.0
+        };
+        series.push(Series {
+            name: name.into(),
+            points: vec![("moving".into(), gain), ("reads".into(), reads as f64)],
+        });
+    }
+    FigureTable {
+        id: "ext-moving".into(),
+        title: format!(
+            "Moving-object workload (updates + queries), database 1, 4.7% buffer, scale {scale:?}"
+        ),
+        x_label: "metric".into(),
+        y_label: "gain vs LRU [%] / raw reads".into(),
+        series,
+    }
+}
+
+/// Runs an extension experiment by name.
+pub fn extension(name: &str, scale: Scale, seed: u64) -> Option<Vec<FigureTable>> {
+    match name {
+        "object-pages" => Some(vec![ext_object_pages(scale, seed)]),
+        "cross-sam" => Some(vec![ext_cross_sam(scale, seed)]),
+        "moving" => Some(vec![ext_moving_objects(scale, seed)]),
+        "all" => Some(vec![
+            ext_object_pages(scale, seed),
+            ext_cross_sam(scale, seed),
+            ext_moving_objects(scale, seed),
+        ]),
+        _ => None,
+    }
+}
+
+/// Names accepted by [`extension`].
+pub const EXTENSIONS: [&str; 3] = ["object-pages", "cross-sam", "moving"];
+
+#[allow(unused_imports)]
+use asb_geom::Rect;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn object_pages_experiment_runs() {
+        let table = ext_object_pages(Scale::Tiny, 5);
+        assert_eq!(table.series.len(), 6);
+        // LRU baseline is zero by construction.
+        for (_, v) in &table.series[0].points {
+            assert_eq!(*v, 0.0);
+        }
+    }
+
+    #[test]
+    fn cross_sam_experiment_runs() {
+        let table = ext_cross_sam(Scale::Tiny, 5);
+        assert_eq!(table.series.len(), 3);
+        for s in &table.series {
+            assert_eq!(s.points.len(), 3, "one point per SAM");
+        }
+    }
+
+    #[test]
+    fn moving_objects_experiment_runs() {
+        let table = ext_moving_objects(Scale::Tiny, 5);
+        assert_eq!(table.series.len(), 4);
+    }
+
+    #[test]
+    fn extension_dispatch() {
+        assert!(extension("cross-sam", Scale::Tiny, 1).is_some());
+        assert!(extension("nope", Scale::Tiny, 1).is_none());
+    }
+}

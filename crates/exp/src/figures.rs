@@ -1,0 +1,393 @@
+//! One function per data figure of the paper.
+
+use crate::lab::{Lab, BUFFER_FRACS};
+use crate::report::{FigureTable, Series};
+use asb_core::{PolicyKind, SpatialCriterion};
+use asb_workload::{DatasetKind, QueryKind, QuerySetSpec, Scale};
+
+/// The data figures of the paper (4–9 are the policy studies, 12–14 the
+/// combination studies; 1–3 and 10–11 are illustrations with no data).
+pub const FIGURE_IDS: [u8; 9] = [4, 5, 6, 7, 8, 9, 12, 13, 14];
+
+/// Configuration of a reproduction pass.
+#[derive(Debug, Clone, Copy)]
+pub struct FigureConfig {
+    /// Dataset scale (the paper's sizes are `Scale::Paper`; `Medium` is the
+    /// default and preserves all relative effects).
+    pub scale: Scale,
+    /// Master seed for data and query generation.
+    pub seed: u64,
+}
+
+impl Default for FigureConfig {
+    fn default() -> Self {
+        FigureConfig { scale: Scale::Medium, seed: 42 }
+    }
+}
+
+const DB_BOTH: [(DatasetKind, &str); 2] =
+    [(DatasetKind::Mainland, "database 1"), (DatasetKind::World, "database 2")];
+
+/// The two buffer sizes most figures contrast.
+const SMALL_LARGE: [(f64, &str); 2] = [(0.006, "0.6% buffer"), (0.047, "4.7% buffer")];
+
+fn w(ex: u32) -> QueryKind {
+    QueryKind::Window { ex }
+}
+
+/// `*-P, *-W-1000, *-W-333, *-W-100, *-W-33` for one distribution.
+fn family(make: fn(QueryKind) -> QuerySetSpec) -> Vec<QuerySetSpec> {
+    let mut sets = vec![make(QueryKind::Point)];
+    for ex in [1000, 333, 100, 33] {
+        sets.push(make(w(ex)));
+    }
+    sets
+}
+
+fn uniform_family() -> Vec<QuerySetSpec> {
+    family(|k| QuerySetSpec { dist: asb_workload::Distribution::Uniform, kind: k })
+}
+
+fn intensified_family() -> Vec<QuerySetSpec> {
+    family(QuerySetSpec::intensified)
+}
+
+/// The cross-family sample used when a figure spans all distributions.
+fn mixed_sets() -> Vec<QuerySetSpec> {
+    vec![
+        QuerySetSpec::uniform_points(),
+        QuerySetSpec::uniform_windows(333),
+        QuerySetSpec::uniform_windows(33),
+        QuerySetSpec::identical_points(),
+        QuerySetSpec::identical_windows(),
+        QuerySetSpec::similar(QueryKind::Point),
+        QuerySetSpec::similar(w(333)),
+        QuerySetSpec::similar(w(33)),
+        QuerySetSpec::intensified(QueryKind::Point),
+        QuerySetSpec::intensified(w(33)),
+        QuerySetSpec::independent(QueryKind::Point),
+        QuerySetSpec::independent(w(33)),
+    ]
+}
+
+fn gain_series(
+    lab: &mut Lab,
+    kind: DatasetKind,
+    policy: PolicyKind,
+    frac: f64,
+    sets: &[QuerySetSpec],
+    name: &str,
+) -> Series {
+    Series {
+        name: name.to_string(),
+        points: sets
+            .iter()
+            .map(|s| (s.name(), lab.gain(kind, policy, frac, *s)))
+            .collect(),
+    }
+}
+
+/// Figure 4: gain of LRU-P over LRU — both databases, uniform and
+/// intensified families, all five buffer sizes.
+pub fn fig4(lab: &mut Lab) -> Vec<FigureTable> {
+    let mut tables = Vec::new();
+    for (db, db_name) in DB_BOTH {
+        for (sets, dist_name) in
+            [(uniform_family(), "uniform"), (intensified_family(), "intensified")]
+        {
+            let series = BUFFER_FRACS
+                .iter()
+                .map(|&frac| {
+                    gain_series(
+                        lab,
+                        db,
+                        PolicyKind::LruP,
+                        frac,
+                        &sets,
+                        &format!("{:.1}%", frac * 100.0),
+                    )
+                })
+                .collect();
+            tables.push(FigureTable {
+                id: "fig4".into(),
+                title: format!("LRU-P gain vs LRU, {dist_name} distribution, {db_name}"),
+                x_label: "query set".into(),
+                y_label: "gain vs LRU [%]".into(),
+                series,
+            });
+        }
+    }
+    tables
+}
+
+/// Figure 5: gain of LRU-K (K = 2, 3, 5) over LRU on database 1.
+pub fn fig5(lab: &mut Lab) -> Vec<FigureTable> {
+    let sets = mixed_sets();
+    SMALL_LARGE
+        .iter()
+        .map(|&(frac, frac_name)| FigureTable {
+            id: "fig5".into(),
+            title: format!("LRU-K gain vs LRU, database 1, {frac_name}"),
+            x_label: "query set".into(),
+            y_label: "gain vs LRU [%]".into(),
+            series: [2usize, 3, 5]
+                .iter()
+                .map(|&k| {
+                    gain_series(
+                        lab,
+                        DatasetKind::Mainland,
+                        PolicyKind::LruK { k },
+                        frac,
+                        &sets,
+                        &format!("LRU-{k}"),
+                    )
+                })
+                .collect(),
+        })
+        .collect()
+}
+
+/// Figure 6: the five spatial criteria relative to criterion A (A = 100 %),
+/// database 1, 0.3 % and 4.7 % buffers.
+pub fn fig6(lab: &mut Lab) -> Vec<FigureTable> {
+    let sets = mixed_sets();
+    [(0.003, "0.3% buffer"), (0.047, "4.7% buffer")]
+        .iter()
+        .map(|&(frac, frac_name)| FigureTable {
+            id: "fig6".into(),
+            title: format!("Spatial criteria, accesses relative to A, database 1, {frac_name}"),
+            x_label: "query set".into(),
+            y_label: "disk accesses relative to A [%]".into(),
+            series: SpatialCriterion::ALL
+                .iter()
+                .map(|&c| Series {
+                    name: c.short_name().into(),
+                    points: sets
+                        .iter()
+                        .map(|s| {
+                            let v = lab.relative(
+                                DatasetKind::Mainland,
+                                PolicyKind::Spatial(SpatialCriterion::Area),
+                                PolicyKind::Spatial(c),
+                                frac,
+                                *s,
+                            );
+                            (s.name(), v)
+                        })
+                        .collect(),
+                })
+                .collect(),
+        })
+        .collect()
+}
+
+/// The three contenders of Figures 7–9.
+fn contenders() -> [(PolicyKind, &'static str); 3] {
+    [
+        (PolicyKind::LruP, "LRU-P"),
+        (PolicyKind::Spatial(SpatialCriterion::Area), "A"),
+        (PolicyKind::LruK { k: 2 }, "LRU-2"),
+    ]
+}
+
+fn comparison_figure(
+    lab: &mut Lab,
+    id: &str,
+    dist_name: &str,
+    sets: &[QuerySetSpec],
+) -> Vec<FigureTable> {
+    let mut tables = Vec::new();
+    for (db, db_name) in DB_BOTH {
+        for (frac, frac_name) in SMALL_LARGE {
+            tables.push(FigureTable {
+                id: id.into(),
+                title: format!("Gain vs LRU, {dist_name}, {db_name}, {frac_name}"),
+                x_label: "query set".into(),
+                y_label: "gain vs LRU [%]".into(),
+                series: contenders()
+                    .iter()
+                    .map(|&(p, name)| gain_series(lab, db, p, frac, sets, name))
+                    .collect(),
+            });
+        }
+    }
+    tables
+}
+
+/// Figure 7: LRU-P vs A vs LRU-2, uniform distribution.
+pub fn fig7(lab: &mut Lab) -> Vec<FigureTable> {
+    comparison_figure(lab, "fig7", "uniform distribution", &uniform_family())
+}
+
+/// Figure 8: identical and similar distributions.
+pub fn fig8(lab: &mut Lab) -> Vec<FigureTable> {
+    let mut sets = vec![QuerySetSpec::identical_points(), QuerySetSpec::identical_windows()];
+    sets.extend(family(QuerySetSpec::similar));
+    comparison_figure(lab, "fig8", "identical & similar distributions", &sets)
+}
+
+/// Figure 9: independent and intensified distributions.
+pub fn fig9(lab: &mut Lab) -> Vec<FigureTable> {
+    let mut sets = family(QuerySetSpec::independent);
+    sets.extend(intensified_family());
+    comparison_figure(lab, "fig9", "independent & intensified distributions", &sets)
+}
+
+/// Figure 12: pure A vs the static combinations SLRU 50 % and SLRU 25 %.
+pub fn fig12(lab: &mut Lab) -> Vec<FigureTable> {
+    let sets = mixed_sets();
+    let policies = [
+        (PolicyKind::Spatial(SpatialCriterion::Area), "A"),
+        (
+            PolicyKind::Slru { candidate_fraction: 0.5, criterion: SpatialCriterion::Area },
+            "SLRU 50%",
+        ),
+        (
+            PolicyKind::Slru { candidate_fraction: 0.25, criterion: SpatialCriterion::Area },
+            "SLRU 25%",
+        ),
+    ];
+    SMALL_LARGE
+        .iter()
+        .map(|&(frac, frac_name)| FigureTable {
+            id: "fig12".into(),
+            title: format!("Static candidate sets, database 1, {frac_name}"),
+            x_label: "query set".into(),
+            y_label: "gain vs LRU [%]".into(),
+            series: policies
+                .iter()
+                .map(|&(p, name)| {
+                    gain_series(lab, DatasetKind::Mainland, p, frac, &sets, name)
+                })
+                .collect(),
+        })
+        .collect()
+}
+
+/// Figure 13: A, SLRU 25 %, ASB and LRU-2 against LRU on both databases.
+pub fn fig13(lab: &mut Lab) -> Vec<FigureTable> {
+    let sets = mixed_sets();
+    let policies = [
+        (PolicyKind::Spatial(SpatialCriterion::Area), "A"),
+        (
+            PolicyKind::Slru { candidate_fraction: 0.25, criterion: SpatialCriterion::Area },
+            "SLRU",
+        ),
+        (PolicyKind::Asb, "ASB"),
+        (PolicyKind::LruK { k: 2 }, "LRU-2"),
+    ];
+    let mut tables = Vec::new();
+    for (db, db_name) in DB_BOTH {
+        for (frac, frac_name) in SMALL_LARGE {
+            tables.push(FigureTable {
+                id: "fig13".into(),
+                title: format!("A, SLRU, ASB, LRU-2 vs LRU, {db_name}, {frac_name}"),
+                x_label: "query set".into(),
+                y_label: "gain vs LRU [%]".into(),
+                series: policies
+                    .iter()
+                    .map(|&(p, name)| gain_series(lab, db, p, frac, &sets, name))
+                    .collect(),
+            });
+        }
+    }
+    tables
+}
+
+/// Figure 14: candidate-set size over a concatenated INT-W-33 ∥ U-W-33 ∥
+/// S-W-33 workload, sampled and bucket-averaged.
+pub fn fig14(lab: &mut Lab) -> Vec<FigureTable> {
+    let specs = [
+        QuerySetSpec::intensified(w(33)),
+        QuerySetSpec::uniform_windows(33),
+        QuerySetSpec::similar(w(33)),
+    ];
+    let frac = 0.047;
+    let trace = lab.candidate_trace(DatasetKind::Mainland, frac, &specs);
+    let bounds = lab.phase_boundaries(DatasetKind::Mainland, &specs);
+    // Average the trace into ~60 buckets to keep the table readable.
+    let buckets = 60usize.min(trace.len().max(1));
+    let per = trace.len().div_ceil(buckets).max(1);
+    let mut points = Vec::new();
+    for chunk in trace.chunks(per) {
+        let idx = chunk[0].0;
+        let avg = chunk.iter().map(|&(_, s)| s as f64).sum::<f64>() / chunk.len() as f64;
+        let phase = match bounds.iter().position(|&b| idx < b) {
+            Some(0) => "INT",
+            Some(1) => "U",
+            _ => "S",
+        };
+        points.push((format!("q{idx} [{phase}]"), avg));
+    }
+    vec![FigureTable {
+        id: "fig14".into(),
+        title: "ASB candidate-set size, mixed workload INT-W-33 | U-W-33 | S-W-33, database 1, 4.7% buffer"
+            .into(),
+        x_label: "query index [phase]".into(),
+        y_label: "candidate-set size [pages]".into(),
+        series: vec![Series { name: "candidate set".into(), points }],
+    }]
+}
+
+/// Runs one figure by id (one of [`FIGURE_IDS`]).
+pub fn figure(id: u8, lab: &mut Lab) -> Vec<FigureTable> {
+    match id {
+        4 => fig4(lab),
+        5 => fig5(lab),
+        6 => fig6(lab),
+        7 => fig7(lab),
+        8 => fig8(lab),
+        9 => fig9(lab),
+        12 => fig12(lab),
+        13 => fig13(lab),
+        14 => fig14(lab),
+        other => panic!("figure {other} has no data (illustrations: 1-3, 10, 11)"),
+    }
+}
+
+/// Runs every data figure.
+pub fn all_figures(config: FigureConfig) -> Vec<FigureTable> {
+    let mut lab = Lab::new(config.scale, config.seed);
+    FIGURE_IDS.iter().flat_map(|&id| figure(id, &mut lab)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn family_names_are_ordered() {
+        let names: Vec<String> = uniform_family().iter().map(|s| s.name()).collect();
+        assert_eq!(names, ["U-P", "U-W-1000", "U-W-333", "U-W-100", "U-W-33"]);
+    }
+
+    #[test]
+    fn fig14_trace_has_three_phases() {
+        let mut lab = Lab::new(Scale::Tiny, 7);
+        let tables = fig14(&mut lab);
+        assert_eq!(tables.len(), 1);
+        let points = &tables[0].series[0].points;
+        assert!(points.iter().any(|(l, _)| l.contains("[INT]")));
+        assert!(points.iter().any(|(l, _)| l.contains("[U]")));
+        assert!(points.iter().any(|(l, _)| l.contains("[S]")));
+    }
+
+    #[test]
+    fn fig6_baseline_is_100_percent() {
+        let mut lab = Lab::new(Scale::Tiny, 7);
+        let tables = fig6(&mut lab);
+        for t in &tables {
+            let a = t.series.iter().find(|s| s.name == "A").expect("A series present");
+            for (x, v) in &a.points {
+                assert!((v - 100.0).abs() < 1e-9, "{x}: A must be its own baseline");
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "no data")]
+    fn illustration_figures_panic() {
+        let mut lab = Lab::new(Scale::Tiny, 7);
+        let _ = figure(10, &mut lab);
+    }
+}

@@ -1,0 +1,352 @@
+//! The experiment laboratory: tree harnesses, run cache, measurement rules.
+
+use asb_core::{BufferManager, PolicyKind};
+use asb_geom::Query;
+use asb_rtree::RTree;
+use asb_storage::{DiskManager, IoStats};
+use asb_workload::{Dataset, DatasetKind, QuerySetSpec, Scale};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// The relative buffer sizes of the paper's experiments (0.3 %–4.7 %,
+/// roughly doubling).
+pub const BUFFER_FRACS: [f64; 5] = [0.003, 0.006, 0.012, 0.024, 0.047];
+
+/// The largest investigated buffer, which calibrates query-set sizes.
+pub const LARGEST_BUFFER_FRAC: f64 = 0.047;
+
+/// Result of running one query set against one buffered tree.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RunResult {
+    /// Physical page reads — the paper's "number of disk accesses".
+    pub disk_accesses: u64,
+    /// Logical page requests issued by the queries.
+    pub logical_reads: u64,
+    /// Buffer hits.
+    pub hits: u64,
+    /// Number of queries executed.
+    pub queries: usize,
+    /// Total result objects reported (sanity: identical across policies).
+    pub result_objects: u64,
+    /// Physical I/O classified by the simulated disk.
+    pub io: IoStats,
+    /// History records retained for evicted pages (nonzero only for LRU-K).
+    pub retained_history: usize,
+    /// Buffer capacity used, in pages.
+    pub buffer_pages: usize,
+}
+
+impl RunResult {
+    /// The paper's performance gain of this run over a baseline:
+    /// `|accesses(base)| / |accesses(self)| − 1`, in percent.
+    pub fn gain_over(&self, base: &RunResult) -> f64 {
+        (base.disk_accesses as f64 / self.disk_accesses as f64 - 1.0) * 100.0
+    }
+
+    /// Accesses relative to a baseline, in percent (`base` = 100 %).
+    pub fn relative_to(&self, base: &RunResult) -> f64 {
+        self.disk_accesses as f64 / base.disk_accesses as f64 * 100.0
+    }
+}
+
+struct TreeHarness {
+    tree: RTree<DiskManager>,
+    dataset: Dataset,
+    pages: usize,
+}
+
+impl TreeHarness {
+    fn build(kind: DatasetKind, scale: Scale, seed: u64) -> Self {
+        let dataset = Dataset::generate(kind, scale, seed);
+        let tree = RTree::bulk_load(DiskManager::new(), dataset.items())
+            .expect("bulk load of a generated dataset cannot fail");
+        let pages = tree.page_count();
+        TreeHarness { tree, dataset, pages }
+    }
+
+    fn buffer_pages(&self, frac: f64) -> usize {
+        ((self.pages as f64 * frac).round() as usize).max(4)
+    }
+}
+
+/// A laboratory bound to one `(scale, seed)`: builds trees lazily, caches
+/// query sets and run results, and implements the paper's measurement
+/// protocol.
+pub struct Lab {
+    scale: Scale,
+    seed: u64,
+    harnesses: HashMap<DatasetKind, TreeHarness>,
+    query_sets: HashMap<(DatasetKind, String), Vec<Query>>,
+    runs: HashMap<String, RunResult>,
+}
+
+impl Lab {
+    /// Creates a lab for the given scale and seed.
+    pub fn new(scale: Scale, seed: u64) -> Self {
+        Lab {
+            scale,
+            seed,
+            harnesses: HashMap::new(),
+            query_sets: HashMap::new(),
+            runs: HashMap::new(),
+        }
+    }
+
+    /// The configured scale.
+    pub fn scale(&self) -> Scale {
+        self.scale
+    }
+
+    /// Page count of the (lazily built) tree for `kind`.
+    pub fn tree_pages(&mut self, kind: DatasetKind) -> usize {
+        self.harness(kind).pages
+    }
+
+    fn harness(&mut self, kind: DatasetKind) -> &mut TreeHarness {
+        let (scale, seed) = (self.scale, self.seed);
+        self.harnesses
+            .entry(kind)
+            .or_insert_with(|| TreeHarness::build(kind, scale, seed))
+    }
+
+    /// The queries of a set (generated once, shared by every policy so all
+    /// runs see the identical sequence).
+    pub fn queries(&mut self, kind: DatasetKind, spec: QuerySetSpec) -> Vec<Query> {
+        let key = (kind, spec.name());
+        if let Some(q) = self.query_sets.get(&key) {
+            return q.clone();
+        }
+        let count = self.calibrate_count(kind, spec);
+        let seed = self.seed;
+        let h = self.harness(kind);
+        let queries = spec.generate(&h.dataset, count, seed ^ 0x0051_5e75);
+        self.query_sets.insert(key, queries.clone());
+        queries
+    }
+
+    /// Implements the paper's sizing rule: enough queries that the largest
+    /// buffer sees ~15× its size in disk accesses. Estimated from a probe
+    /// of 32 queries against the unbuffered tree.
+    fn calibrate_count(&mut self, kind: DatasetKind, spec: QuerySetSpec) -> usize {
+        let seed = self.seed;
+        let h = self.harness(kind);
+        let target = 15.0 * h.pages as f64 * LARGEST_BUFFER_FRAC;
+        let probe = spec.generate(&h.dataset, 32, seed ^ 0xCA11_B0B0);
+        h.tree.store_mut().reset_stats();
+        for q in &probe {
+            h.tree.execute(q).expect("probe query");
+        }
+        let per_query = h.tree.store().stats().reads as f64 / probe.len() as f64;
+        // A buffer absorbs roughly half the accesses of the unbuffered run;
+        // aim a bit high rather than low.
+        let count = (target / (per_query.max(1.0) * 0.4)).ceil() as usize;
+        count.clamp(300, 30_000)
+    }
+
+    /// Runs (or returns the cached result of) one experiment cell.
+    pub fn run(
+        &mut self,
+        kind: DatasetKind,
+        policy: PolicyKind,
+        frac: f64,
+        spec: QuerySetSpec,
+    ) -> RunResult {
+        let key = format!("{kind:?}|{policy:?}|{frac}|{}", spec.name());
+        if let Some(r) = self.runs.get(&key) {
+            return *r;
+        }
+        let queries = self.queries(kind, spec);
+        let h = self.harness(kind);
+        let buffer_pages = h.buffer_pages(frac);
+        h.tree.set_buffer(BufferManager::with_policy(policy, buffer_pages));
+        h.tree.store_mut().reset_stats();
+        let mut result_objects = 0u64;
+        for q in &queries {
+            result_objects += h.tree.execute(q).expect("query execution").len() as u64;
+        }
+        let io = h.tree.store().stats();
+        let buf = h.tree.take_buffer().expect("buffer was just attached");
+        let stats = buf.stats();
+        let result = RunResult {
+            disk_accesses: io.reads,
+            logical_reads: stats.logical_reads,
+            hits: stats.hits,
+            queries: queries.len(),
+            result_objects,
+            io,
+            retained_history: buf.retained_history(),
+            buffer_pages,
+        };
+        self.runs.insert(key, result);
+        result
+    }
+
+    /// Gain of `policy` over plain LRU in percent (positive = fewer disk
+    /// accesses than LRU), the paper's headline metric.
+    pub fn gain(
+        &mut self,
+        kind: DatasetKind,
+        policy: PolicyKind,
+        frac: f64,
+        spec: QuerySetSpec,
+    ) -> f64 {
+        let base = self.run(kind, PolicyKind::Lru, frac, spec);
+        let run = self.run(kind, policy, frac, spec);
+        debug_assert_eq!(
+            run.result_objects, base.result_objects,
+            "buffering must not change query answers"
+        );
+        run.gain_over(&base)
+    }
+
+    /// Disk accesses of `policy` relative to `base` in percent
+    /// (`base` = 100 %), the metric of the paper's Figure 6.
+    pub fn relative(
+        &mut self,
+        kind: DatasetKind,
+        base: PolicyKind,
+        policy: PolicyKind,
+        frac: f64,
+        spec: QuerySetSpec,
+    ) -> f64 {
+        let base_run = self.run(kind, base, frac, spec);
+        let run = self.run(kind, policy, frac, spec);
+        run.relative_to(&base_run)
+    }
+
+    /// Runs a concatenation of query sets through one ASB buffer and
+    /// samples the candidate-set size after every query — the paper's
+    /// Figure 14 trace.
+    pub fn candidate_trace(
+        &mut self,
+        kind: DatasetKind,
+        frac: f64,
+        specs: &[QuerySetSpec],
+    ) -> Vec<(usize, usize)> {
+        let all_queries: Vec<(usize, Query)> = {
+            let mut qs = Vec::new();
+            for (phase, spec) in specs.iter().enumerate() {
+                for q in self.queries(kind, *spec) {
+                    qs.push((phase, q));
+                }
+            }
+            qs
+        };
+        let h = self.harness(kind);
+        let buffer_pages = h.buffer_pages(frac);
+        h.tree.set_buffer(BufferManager::with_policy(PolicyKind::Asb, buffer_pages));
+        let mut trace = Vec::with_capacity(all_queries.len());
+        for (i, (_phase, q)) in all_queries.iter().enumerate() {
+            h.tree.execute(q).expect("query execution");
+            let size = h
+                .tree
+                .buffer()
+                .and_then(|b| b.candidate_size())
+                .expect("ASB exposes its candidate size");
+            trace.push((i, size));
+        }
+        h.tree.take_buffer();
+        trace
+    }
+
+    /// Phase boundaries (query indices) for a concatenated trace.
+    pub fn phase_boundaries(&mut self, kind: DatasetKind, specs: &[QuerySetSpec]) -> Vec<usize> {
+        let mut bounds = Vec::with_capacity(specs.len());
+        let mut acc = 0usize;
+        for spec in specs {
+            acc += self.queries(kind, *spec).len();
+            bounds.push(acc);
+        }
+        bounds
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use asb_geom::SpatialCriterion;
+
+    fn lab() -> Lab {
+        Lab::new(Scale::Tiny, 42)
+    }
+
+    #[test]
+    fn runs_are_cached() {
+        let mut lab = lab();
+        let spec = QuerySetSpec::uniform_windows(33);
+        let a = lab.run(DatasetKind::Mainland, PolicyKind::Lru, 0.02, spec);
+        let b = lab.run(DatasetKind::Mainland, PolicyKind::Lru, 0.02, spec);
+        assert_eq!(a, b);
+        assert_eq!(lab.runs.len(), 1);
+    }
+
+    #[test]
+    fn answers_are_policy_independent() {
+        let mut lab = lab();
+        let spec = QuerySetSpec::uniform_windows(100);
+        let base = lab.run(DatasetKind::Mainland, PolicyKind::Lru, 0.02, spec);
+        for policy in [
+            PolicyKind::Fifo,
+            PolicyKind::LruP,
+            PolicyKind::LruK { k: 2 },
+            PolicyKind::Spatial(SpatialCriterion::Area),
+            PolicyKind::Asb,
+        ] {
+            let r = lab.run(DatasetKind::Mainland, policy, 0.02, spec);
+            assert_eq!(r.result_objects, base.result_objects, "{policy:?}");
+            assert_eq!(r.logical_reads, base.logical_reads, "{policy:?}");
+        }
+    }
+
+    #[test]
+    fn bigger_buffers_mean_fewer_accesses() {
+        let mut lab = lab();
+        let spec = QuerySetSpec::uniform_windows(33);
+        // The tiny tree has ~70 pages; pick fractions that produce clearly
+        // different buffer sizes (the paper's 0.3%/4.7% both round to the
+        // 4-page floor at this scale).
+        let small = lab.run(DatasetKind::Mainland, PolicyKind::Lru, 0.05, spec);
+        let large = lab.run(DatasetKind::Mainland, PolicyKind::Lru, 0.5, spec);
+        assert!(large.buffer_pages > small.buffer_pages);
+        assert!(large.disk_accesses < small.disk_accesses);
+    }
+
+    #[test]
+    fn gain_of_lru_over_itself_is_zero() {
+        let mut lab = lab();
+        let spec = QuerySetSpec::uniform_points();
+        let g = lab.gain(DatasetKind::Mainland, PolicyKind::Lru, 0.02, spec);
+        assert_eq!(g, 0.0);
+    }
+
+    #[test]
+    fn query_volume_respects_the_papers_rule() {
+        let mut lab = lab();
+        let spec = QuerySetSpec::uniform_windows(33);
+        let r = lab.run(DatasetKind::Mainland, PolicyKind::Lru, LARGEST_BUFFER_FRAC, spec);
+        // "about 10 to 20 times higher than the buffer size" — allow slack
+        // for the calibration heuristic (clamping dominates at tiny scale).
+        assert!(
+            r.disk_accesses as f64 >= 5.0 * r.buffer_pages as f64,
+            "accesses {} vs buffer {}",
+            r.disk_accesses,
+            r.buffer_pages
+        );
+    }
+
+    #[test]
+    fn candidate_trace_is_dense_and_bounded() {
+        let mut lab = lab();
+        let specs = [QuerySetSpec::uniform_windows(33), QuerySetSpec::intensified(
+            asb_workload::QueryKind::Window { ex: 33 },
+        )];
+        let trace = lab.candidate_trace(DatasetKind::Mainland, 0.047, &specs);
+        let bounds = lab.phase_boundaries(DatasetKind::Mainland, &specs);
+        assert_eq!(trace.len(), *bounds.last().unwrap());
+        let pages = lab.tree_pages(DatasetKind::Mainland);
+        let main_cap = (pages as f64 * 0.047).round() as usize; // upper bound
+        for &(_, size) in &trace {
+            assert!(size >= 1 && size <= main_cap);
+        }
+    }
+}

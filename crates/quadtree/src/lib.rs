@@ -1,0 +1,32 @@
+//! # asb-quadtree — a disk-based bucket quadtree
+//!
+//! The EDBT 2002 paper grounds its notion of "page entries" in three
+//! structures: R-tree rectangles, **quadtree cells** ("in a quadtree, the
+//! quadtree cells match these entries") and z-values in a B-tree. This
+//! crate supplies the quadtree: a disk-based **bucket MX-CIF quadtree**
+//! over the same paged storage and buffer stack as the R\*-tree, so every
+//! replacement policy can be evaluated on a second, structurally different
+//! spatial access method.
+//!
+//! Structure:
+//!
+//! * every quadtree node is a page chain (a primary page plus overflow
+//!   continuation pages when a node's entry list outgrows one page — the
+//!   classic fix for MX-CIF straddler lists);
+//! * leaves hold objects; a leaf splits into four children when it
+//!   overflows its bucket capacity (and the maximum depth is not reached);
+//! * objects that do not fit entirely inside one child quadrant stay on the
+//!   internal node (MX-CIF semantics), so no object is ever duplicated;
+//! * pages carry [`PageMeta`](asb_storage::PageMeta) with
+//!   [`SpatialStats`](asb_geom::SpatialStats) over the node's entries and a
+//!   priority level that grows toward the root, exactly like the R\*-tree
+//!   pages — the spatial replacement criteria apply unchanged.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod node;
+mod tree;
+
+pub use node::{QuadEntry, QuadNode, CHILDREN};
+pub use tree::{QuadConfig, QuadTree, QuadTreeStats};

@@ -1,0 +1,273 @@
+//! Quadtree node pages and their codec.
+
+use asb_geom::{Point, Rect, SpatialStats};
+use asb_storage::{Page, PageId, PageMeta, PageType, StorageError, PAGE_HEADER_SIZE, PAGE_SIZE};
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+
+/// Children per node (quadrants).
+pub const CHILDREN: usize = 4;
+
+/// Serialized size of one entry: MBR (32) + object id (8).
+pub(crate) const ENTRY_SIZE: usize = 40;
+
+/// Sentinel for "no page" in child / continuation pointers (`PageId(0)` is
+/// a valid page).
+pub(crate) const NO_PAGE: u64 = u64::MAX;
+
+/// Bytes of the fixed part after the common page header: continuation
+/// pointer (8) + four child pointers (32).
+const LINKS_SIZE: usize = 8 + CHILDREN * 8;
+
+/// Maximum entries in one page of a node chain.
+pub(crate) const PAGE_CAPACITY: usize = (PAGE_SIZE - PAGE_HEADER_SIZE - LINKS_SIZE) / ENTRY_SIZE;
+
+/// One object entry of a quadtree node.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct QuadEntry {
+    /// The object's MBR.
+    pub mbr: Rect,
+    /// Application-level object id.
+    pub object_id: u64,
+}
+
+/// A quadtree node page (primary or continuation).
+///
+/// A *node* of the logical quadtree is a chain of pages: the primary page
+/// carries the child pointers; continuation pages only carry further
+/// entries. `children` of continuation pages are all unset.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QuadNode {
+    /// Depth of the node's cell (root = 0).
+    pub depth: u8,
+    /// Whether any child pointer is set (primary pages only).
+    pub children: [Option<PageId>; CHILDREN],
+    /// Continuation page holding further entries of this node, if any.
+    pub next: Option<PageId>,
+    /// Entries stored on *this page* of the chain.
+    pub entries: Vec<QuadEntry>,
+}
+
+impl QuadNode {
+    /// An empty leaf page at the given depth.
+    pub fn new_leaf(depth: u8) -> Self {
+        QuadNode { depth, children: [None; CHILDREN], next: None, entries: Vec::new() }
+    }
+
+    /// Whether this page has any child pointers (i.e. is the primary page
+    /// of an internal node).
+    pub fn is_internal(&self) -> bool {
+        self.children.iter().any(|c| c.is_some())
+    }
+
+    /// Page metadata: internal nodes are directory pages, leaves data
+    /// pages; the priority level decreases with depth (the root has the
+    /// highest priority, like the R\*-tree root).
+    pub fn page_meta(&self, max_depth: u8) -> PageMeta {
+        let stats = SpatialStats::from_rects(
+            &self.entries.iter().map(|e| e.mbr).collect::<Vec<_>>(),
+        );
+        let level = (max_depth.saturating_sub(self.depth)).saturating_add(1);
+        if self.is_internal() {
+            PageMeta { page_type: PageType::Directory, level: level.max(2), stats }
+        } else {
+            PageMeta { page_type: PageType::Data, level: 1, stats }
+        }
+    }
+
+    /// Serializes the page.
+    ///
+    /// Layout: `[tag u8][depth u8][count u16][reserved u32]`, continuation
+    /// pointer, 4 child pointers, then entries.
+    pub fn encode(&self) -> Bytes {
+        let mut buf =
+            BytesMut::with_capacity(PAGE_HEADER_SIZE + LINKS_SIZE + self.entries.len() * ENTRY_SIZE);
+        let tag =
+            if self.is_internal() { PageType::Directory } else { PageType::Data };
+        buf.put_u8(tag.tag());
+        buf.put_u8(self.depth);
+        buf.put_u16_le(self.entries.len() as u16);
+        buf.put_u32_le(0);
+        buf.put_u64_le(self.next.map_or(NO_PAGE, |p| p.raw()));
+        for child in &self.children {
+            buf.put_u64_le(child.map_or(NO_PAGE, |p| p.raw()));
+        }
+        for e in &self.entries {
+            buf.put_f64_le(e.mbr.min.x);
+            buf.put_f64_le(e.mbr.min.y);
+            buf.put_f64_le(e.mbr.max.x);
+            buf.put_f64_le(e.mbr.max.y);
+            buf.put_u64_le(e.object_id);
+        }
+        buf.freeze()
+    }
+
+    /// Decodes a page.
+    pub fn decode(page: &Page) -> Result<QuadNode, StorageError> {
+        let corrupt = |reason: &str| StorageError::Corrupt {
+            id: page.id,
+            reason: reason.to_string(),
+        };
+        let mut buf = page.payload.clone();
+        if buf.remaining() < PAGE_HEADER_SIZE + LINKS_SIZE {
+            return Err(corrupt("quadtree page shorter than its header"));
+        }
+        let tag = buf.get_u8();
+        if PageType::from_tag(tag).is_none() {
+            return Err(corrupt("not a quadtree page"));
+        }
+        let depth = buf.get_u8();
+        let count = buf.get_u16_le() as usize;
+        let _reserved = buf.get_u32_le();
+        let raw_next = buf.get_u64_le();
+        let next = (raw_next != NO_PAGE).then(|| PageId::new(raw_next));
+        let mut children = [None; CHILDREN];
+        for slot in &mut children {
+            let raw = buf.get_u64_le();
+            *slot = (raw != NO_PAGE).then(|| PageId::new(raw));
+        }
+        if buf.remaining() < count * ENTRY_SIZE {
+            return Err(corrupt("truncated quadtree entries"));
+        }
+        let mut entries = Vec::with_capacity(count);
+        for _ in 0..count {
+            let x0 = buf.get_f64_le();
+            let y0 = buf.get_f64_le();
+            let x1 = buf.get_f64_le();
+            let y1 = buf.get_f64_le();
+            let object_id = buf.get_u64_le();
+            entries.push(QuadEntry {
+                mbr: Rect { min: Point::new(x0, y0), max: Point::new(x1, y1) },
+                object_id,
+            });
+        }
+        Ok(QuadNode { depth, children, next, entries })
+    }
+}
+
+/// The four quadrants of a cell, indexed SW, SE, NW, NE.
+pub(crate) fn quadrants(cell: &Rect) -> [Rect; CHILDREN] {
+    let c = cell.center();
+    [
+        Rect::from_corners(cell.min, c),
+        Rect::new(c.x, cell.min.y, cell.max.x, c.y),
+        Rect::new(cell.min.x, c.y, c.x, cell.max.y),
+        Rect::from_corners(c, cell.max),
+    ]
+}
+
+/// The quadrant of `cell` that contains `mbr` entirely, if any.
+///
+/// Containment is tested with half-open semantics on the shared center
+/// lines (an MBR touching the center line from below belongs to the lower
+/// quadrant), so an MBR is assigned to at most one quadrant and objects on
+/// the boundary never oscillate.
+pub(crate) fn containing_quadrant(cell: &Rect, mbr: &Rect) -> Option<usize> {
+    let c = cell.center();
+    let right = mbr.min.x >= c.x;
+    let left = mbr.max.x < c.x;
+    let top = mbr.min.y >= c.y;
+    let bottom = mbr.max.y < c.y;
+    match (left, right, bottom, top) {
+        (true, _, true, _) => Some(0),  // SW
+        (_, true, true, _) => Some(1),  // SE
+        (true, _, _, true) => Some(2),  // NW
+        (_, true, _, true) => Some(3),  // NE
+        _ => None,                      // straddles a center line
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn page_capacity_is_sensible() {
+        // (2048 - 8 - 40) / 40 = 50 entries per page.
+        assert_eq!(PAGE_CAPACITY, 50);
+    }
+
+    fn sample_node() -> QuadNode {
+        QuadNode {
+            depth: 3,
+            children: [Some(PageId::new(7)), None, Some(PageId::new(9)), None],
+            next: Some(PageId::new(42)),
+            entries: vec![
+                QuadEntry { mbr: Rect::new(0.0, 0.0, 1.0, 1.0), object_id: 5 },
+                QuadEntry { mbr: Rect::new(2.0, 2.0, 3.0, 4.0), object_id: 6 },
+            ],
+        }
+    }
+
+    #[test]
+    fn codec_roundtrip() {
+        let node = sample_node();
+        let page = Page::new(PageId::new(1), node.page_meta(16), node.encode()).unwrap();
+        assert_eq!(QuadNode::decode(&page).unwrap(), node);
+    }
+
+    #[test]
+    fn empty_leaf_roundtrip() {
+        let node = QuadNode::new_leaf(0);
+        let page = Page::new(PageId::new(1), node.page_meta(16), node.encode()).unwrap();
+        let back = QuadNode::decode(&page).unwrap();
+        assert_eq!(back, node);
+        assert!(!back.is_internal());
+    }
+
+    #[test]
+    fn full_page_fits() {
+        let mut node = QuadNode::new_leaf(2);
+        for i in 0..PAGE_CAPACITY {
+            node.entries.push(QuadEntry {
+                mbr: Rect::new(i as f64, 0.0, i as f64 + 1.0, 1.0),
+                object_id: i as u64,
+            });
+        }
+        assert!(node.encode().len() <= PAGE_SIZE);
+        let page = Page::new(PageId::new(1), node.page_meta(16), node.encode()).unwrap();
+        assert_eq!(QuadNode::decode(&page).unwrap().entries.len(), PAGE_CAPACITY);
+    }
+
+    #[test]
+    fn meta_classifies_internal_vs_leaf() {
+        let internal = sample_node();
+        assert_eq!(internal.page_meta(16).page_type, PageType::Directory);
+        let leaf = QuadNode::new_leaf(16);
+        assert_eq!(leaf.page_meta(16).page_type, PageType::Data);
+        assert_eq!(leaf.page_meta(16).level, 1);
+        // Root (depth 0) gets the highest priority.
+        let root = QuadNode::new_leaf(0);
+        assert!(root.page_meta(16).level >= leaf.page_meta(16).level);
+    }
+
+    #[test]
+    fn quadrants_partition_the_cell() {
+        let cell = Rect::new(0.0, 0.0, 8.0, 8.0);
+        let qs = quadrants(&cell);
+        let total: f64 = qs.iter().map(|q| q.area()).sum();
+        assert!((total - cell.area()).abs() < 1e-9);
+        for q in &qs {
+            assert!(cell.contains(q));
+        }
+    }
+
+    #[test]
+    fn containing_quadrant_assignments() {
+        let cell = Rect::new(0.0, 0.0, 8.0, 8.0);
+        assert_eq!(containing_quadrant(&cell, &Rect::new(1.0, 1.0, 2.0, 2.0)), Some(0));
+        assert_eq!(containing_quadrant(&cell, &Rect::new(5.0, 1.0, 6.0, 2.0)), Some(1));
+        assert_eq!(containing_quadrant(&cell, &Rect::new(1.0, 5.0, 2.0, 6.0)), Some(2));
+        assert_eq!(containing_quadrant(&cell, &Rect::new(5.0, 5.0, 6.0, 6.0)), Some(3));
+        // Straddles the vertical center line.
+        assert_eq!(containing_quadrant(&cell, &Rect::new(3.0, 1.0, 5.0, 2.0)), None);
+        // Touching the center from the right belongs to the east side.
+        assert_eq!(containing_quadrant(&cell, &Rect::new(4.0, 0.0, 5.0, 1.0)), Some(1));
+    }
+
+    #[test]
+    fn decode_rejects_garbage() {
+        let meta = PageMeta::data(SpatialStats::EMPTY);
+        let page = Page::new(PageId::new(3), meta, Bytes::from_static(b"junk")).unwrap();
+        assert!(QuadNode::decode(&page).is_err());
+    }
+}

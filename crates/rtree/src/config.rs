@@ -1,0 +1,163 @@
+use asb_storage::{Page, PAGE_HEADER_SIZE, PAGE_SIZE};
+
+/// Serialized size of a directory entry: 4 × f64 MBR + u64 child page id.
+pub(crate) const DIR_ENTRY_SIZE: usize = 40;
+/// Serialized size of a leaf (data) entry: MBR + object id + object-page id.
+pub(crate) const LEAF_ENTRY_SIZE: usize = 48;
+
+/// Structural parameters of an [`RTree`](crate::RTree).
+///
+/// The defaults derive the paper's exact fan-outs from the page geometry
+/// (51 directory entries, 42 data entries per 2 KiB page) and use the
+/// R\*-tree paper's recommended tuning: minimum fill 40 % of the maximum,
+/// 30 % forced-reinsertion fraction, and ~70 % bulk-load fill (the paper's
+/// US-mainland tree averages 28.9 of 42 data entries per page ≈ 69 %).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RTreeConfig {
+    /// Maximum entries in a directory page (`M` for inner nodes).
+    pub dir_max: usize,
+    /// Minimum entries in a non-root directory page (`m`).
+    pub dir_min: usize,
+    /// Maximum entries in a data page (`M` for leaves).
+    pub leaf_max: usize,
+    /// Minimum entries in a non-root data page.
+    pub leaf_min: usize,
+    /// Number of entries removed on forced reinsertion (`p`; R\* uses 30 %
+    /// of `M`).
+    pub reinsert_count: usize,
+    /// Target entries per node during STR bulk loading.
+    pub bulk_leaf_fill: usize,
+    /// Target directory entries per node during STR bulk loading.
+    pub bulk_dir_fill: usize,
+}
+
+impl Default for RTreeConfig {
+    fn default() -> Self {
+        let dir_max = Page::capacity_for(DIR_ENTRY_SIZE); // 51
+        let leaf_max = Page::capacity_for(LEAF_ENTRY_SIZE); // 42
+        RTreeConfig {
+            dir_max,
+            dir_min: (dir_max as f64 * 0.4).floor() as usize, // 20
+            leaf_max,
+            leaf_min: (leaf_max as f64 * 0.4).floor() as usize, // 16
+            reinsert_count: (leaf_max as f64 * 0.3).floor() as usize, // 12
+            bulk_leaf_fill: (leaf_max as f64 * 0.69).round() as usize, // 29
+            bulk_dir_fill: (dir_max as f64 * 0.69).round() as usize, // 35
+        }
+    }
+}
+
+impl RTreeConfig {
+    /// A small-fan-out configuration (useful in tests: splits and multiple
+    /// levels appear after a handful of insertions while still satisfying
+    /// every R\*-tree precondition).
+    pub fn small() -> Self {
+        RTreeConfig {
+            dir_max: 8,
+            dir_min: 3,
+            leaf_max: 8,
+            leaf_min: 3,
+            reinsert_count: 2,
+            bulk_leaf_fill: 6,
+            bulk_dir_fill: 6,
+        }
+    }
+
+    /// Maximum entries for a node at `level` (1 = leaf).
+    #[inline]
+    pub fn max_for(&self, level: u8) -> usize {
+        if level == 1 {
+            self.leaf_max
+        } else {
+            self.dir_max
+        }
+    }
+
+    /// Minimum entries for a non-root node at `level`.
+    #[inline]
+    pub fn min_for(&self, level: u8) -> usize {
+        if level == 1 {
+            self.leaf_min
+        } else {
+            self.dir_min
+        }
+    }
+
+    /// Validates internal consistency; called by tree constructors.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.dir_max < 4 || self.leaf_max < 4 {
+            return Err("maximum fan-out must be at least 4".into());
+        }
+        if self.dir_min < 2 || self.dir_min > self.dir_max / 2 {
+            return Err(format!(
+                "dir_min {} must be in [2, {}]",
+                self.dir_min,
+                self.dir_max / 2
+            ));
+        }
+        if self.leaf_min < 2 || self.leaf_min > self.leaf_max / 2 {
+            return Err(format!(
+                "leaf_min {} must be in [2, {}]",
+                self.leaf_min,
+                self.leaf_max / 2
+            ));
+        }
+        if self.reinsert_count + 1 >= self.leaf_max.min(self.dir_max) {
+            return Err("reinsert_count must leave room in the node".into());
+        }
+        if self.bulk_leaf_fill < self.leaf_min
+            || self.bulk_leaf_fill > self.leaf_max
+            || self.bulk_dir_fill < self.dir_min
+            || self.bulk_dir_fill > self.dir_max
+        {
+            return Err("bulk fill must lie between min and max fan-out".into());
+        }
+        let dir_bytes = PAGE_HEADER_SIZE + self.dir_max * DIR_ENTRY_SIZE;
+        let leaf_bytes = PAGE_HEADER_SIZE + self.leaf_max * LEAF_ENTRY_SIZE;
+        if dir_bytes > PAGE_SIZE || leaf_bytes > PAGE_SIZE {
+            return Err("fan-out exceeds the page size".into());
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_the_paper() {
+        let c = RTreeConfig::default();
+        assert_eq!(c.dir_max, 51);
+        assert_eq!(c.leaf_max, 42);
+        assert!(c.validate().is_ok());
+    }
+
+    #[test]
+    fn small_config_is_valid() {
+        assert!(RTreeConfig::small().validate().is_ok());
+    }
+
+    #[test]
+    fn max_min_dispatch_on_level() {
+        let c = RTreeConfig::default();
+        assert_eq!(c.max_for(1), c.leaf_max);
+        assert_eq!(c.max_for(2), c.dir_max);
+        assert_eq!(c.min_for(1), c.leaf_min);
+        assert_eq!(c.min_for(3), c.dir_min);
+    }
+
+    #[test]
+    fn invalid_configs_are_rejected() {
+        let mut c = RTreeConfig::default();
+        c.dir_min = c.dir_max; // > max/2
+        assert!(c.validate().is_err());
+
+        let c = RTreeConfig { leaf_max: 3, ..RTreeConfig::default() };
+        assert!(c.validate().is_err());
+
+        let base = RTreeConfig::default();
+        let c = RTreeConfig { bulk_leaf_fill: base.leaf_max + 1, ..base };
+        assert!(c.validate().is_err());
+    }
+}

@@ -1,0 +1,72 @@
+use crate::PageId;
+
+/// Errors reported by the storage layer and everything stacked on it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StorageError {
+    /// A page id was requested that was never allocated or has been freed.
+    PageNotFound(PageId),
+    /// A page payload exceeded [`PAGE_SIZE`](crate::PAGE_SIZE) bytes.
+    PageOverflow {
+        /// The offending page.
+        id: PageId,
+        /// Payload length in bytes.
+        len: usize,
+    },
+    /// A page could not be decoded by an index layer (corrupt or wrong type).
+    Corrupt {
+        /// The offending page.
+        id: PageId,
+        /// Human-readable description of the decode failure.
+        reason: String,
+    },
+    /// An eviction was required but every buffered page is pinned.
+    AllPagesPinned,
+    /// An unpin was requested for a page that is not pinned.
+    NotPinned(PageId),
+    /// A buffer was configured with zero capacity.
+    ZeroCapacity,
+}
+
+impl std::fmt::Display for StorageError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            StorageError::PageNotFound(id) => write!(f, "page {id} not found"),
+            StorageError::PageOverflow { id, len } => {
+                write!(f, "page {id} payload of {len} bytes exceeds the page size")
+            }
+            StorageError::Corrupt { id, reason } => {
+                write!(f, "page {id} is corrupt: {reason}")
+            }
+            StorageError::AllPagesPinned => {
+                write!(f, "cannot evict: all buffered pages are pinned")
+            }
+            StorageError::NotPinned(id) => write!(f, "page {id} is not pinned"),
+            StorageError::ZeroCapacity => write!(f, "buffer capacity must be at least one page"),
+        }
+    }
+}
+
+impl std::error::Error for StorageError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_informative() {
+        let id = PageId::new(7);
+        assert_eq!(StorageError::PageNotFound(id).to_string(), "page P7 not found");
+        assert!(StorageError::PageOverflow { id, len: 4096 }
+            .to_string()
+            .contains("4096"));
+        assert!(StorageError::Corrupt { id, reason: "bad magic".into() }
+            .to_string()
+            .contains("bad magic"));
+    }
+
+    #[test]
+    fn error_is_std_error() {
+        fn assert_err<E: std::error::Error>() {}
+        assert_err::<StorageError>();
+    }
+}

@@ -1,0 +1,257 @@
+use asb_geom::SpatialStats;
+use bytes::Bytes;
+use serde::{Deserialize, Serialize};
+
+/// Size of a page in bytes.
+///
+/// 2048 bytes reproduce the paper's R\*-tree fan-outs exactly: with an
+/// [`PAGE_HEADER_SIZE`] = 8 byte header, 40-byte directory entries
+/// (4 × f64 MBR + u64 child id) give ⌊2040 / 40⌋ = **51** entries per
+/// directory page and 48-byte data entries (MBR + u64 object id + u64
+/// object-page pointer) give ⌊2040 / 48⌋ = **42** entries per data page —
+/// the paper's "maximum number of entries per directory page and per data
+/// page is 51 and 42".
+pub const PAGE_SIZE: usize = 2048;
+
+/// Bytes reserved for the on-page header (type tag, level, entry count).
+pub const PAGE_HEADER_SIZE: usize = 8;
+
+/// Identifier of a page on the simulated disk.
+///
+/// Ids are dense and allocated by the [`DiskManager`](crate::DiskManager);
+/// consecutive ids model physically adjacent pages, which is what the
+/// sequential-I/O detection in [`IoStats`](crate::IoStats) keys on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct PageId(u64);
+
+impl PageId {
+    /// Creates a page id from its raw index.
+    #[inline]
+    pub const fn new(raw: u64) -> Self {
+        PageId(raw)
+    }
+
+    /// The raw index.
+    #[inline]
+    pub const fn raw(&self) -> u64 {
+        self.0
+    }
+
+    /// Whether `other` is the page physically following `self`.
+    #[inline]
+    pub fn is_successor_of(&self, other: &PageId) -> bool {
+        self.0 == other.0.wrapping_add(1)
+    }
+}
+
+impl std::fmt::Display for PageId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "P{}", self.0)
+    }
+}
+
+/// The three page categories the paper distinguishes (Section 2.1, Fig. 1):
+/// directory pages and data pages of the spatial access method, plus object
+/// pages storing the exact object representations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum PageType {
+    /// Inner page of the spatial access method.
+    Directory,
+    /// Leaf page of the spatial access method.
+    Data,
+    /// Page holding exact spatial-object representations.
+    Object,
+}
+
+impl PageType {
+    /// Base ordering used by the type-based LRU (LRU-T): object pages are
+    /// dropped first, then data pages, directory pages last.
+    #[inline]
+    pub fn type_rank(&self) -> u8 {
+        match self {
+            PageType::Object => 0,
+            PageType::Data => 1,
+            PageType::Directory => 2,
+        }
+    }
+
+    /// Encodes the type as a byte tag (for on-page headers).
+    #[inline]
+    pub fn tag(&self) -> u8 {
+        match self {
+            PageType::Directory => 1,
+            PageType::Data => 2,
+            PageType::Object => 3,
+        }
+    }
+
+    /// Decodes a byte tag written by [`PageType::tag`].
+    #[inline]
+    pub fn from_tag(tag: u8) -> Option<PageType> {
+        match tag {
+            1 => Some(PageType::Directory),
+            2 => Some(PageType::Data),
+            3 => Some(PageType::Object),
+            _ => None,
+        }
+    }
+}
+
+/// Metadata travelling with every page.
+///
+/// The replacement policies in `asb-core` are driven exclusively by this
+/// struct — they never parse page payloads. The index layer fills it in
+/// whenever it (re)writes a page:
+///
+/// * `page_type` / `level` feed LRU-T and LRU-P (priority = level; object
+///   pages have priority 0, leaves 1, the root the highest),
+/// * `stats` feeds the five spatial criteria of Section 2.3.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PageMeta {
+    /// Category of the page.
+    pub page_type: PageType,
+    /// Level in the index: object pages 0, data (leaf) pages 1, directory
+    /// pages 2 and up; the root has the highest level.
+    pub level: u8,
+    /// Precomputed spatial criteria over the page's entries.
+    pub stats: SpatialStats,
+}
+
+impl PageMeta {
+    /// Metadata for an object page (level 0, no entry statistics required by
+    /// the experiments, but they may be supplied).
+    pub fn object(stats: SpatialStats) -> Self {
+        PageMeta { page_type: PageType::Object, level: 0, stats }
+    }
+
+    /// Metadata for a data (leaf) page of the index.
+    pub fn data(stats: SpatialStats) -> Self {
+        PageMeta { page_type: PageType::Data, level: 1, stats }
+    }
+
+    /// Metadata for a directory page at `level >= 2`.
+    pub fn directory(level: u8, stats: SpatialStats) -> Self {
+        debug_assert!(level >= 2, "directory pages live at level 2 and above");
+        PageMeta { page_type: PageType::Directory, level, stats }
+    }
+
+    /// The LRU-P priority of the page: "the object page may have the
+    /// priority 0 whereas the priority of a page in an index depends on its
+    /// height in the corresponding tree. The root has the highest priority."
+    #[inline]
+    pub fn priority(&self) -> u8 {
+        match self.page_type {
+            PageType::Object => 0,
+            _ => self.level,
+        }
+    }
+}
+
+/// A page: identifier, metadata and payload.
+///
+/// The payload is a [`Bytes`] value, so cloning a page (for handing copies
+/// out of the buffer) is O(1) and allocation-free.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Page {
+    /// The page's identity on disk.
+    pub id: PageId,
+    /// Metadata driving replacement decisions.
+    pub meta: PageMeta,
+    /// Serialized content, at most [`PAGE_SIZE`] bytes.
+    pub payload: Bytes,
+}
+
+impl Page {
+    /// Creates a page, validating the payload size.
+    pub fn new(id: PageId, meta: PageMeta, payload: Bytes) -> crate::Result<Self> {
+        if payload.len() > PAGE_SIZE {
+            return Err(crate::StorageError::PageOverflow { id, len: payload.len() });
+        }
+        Ok(Page { id, meta, payload })
+    }
+
+    /// Maximum number of fixed-size entries a page payload can hold after
+    /// the header.
+    #[inline]
+    pub const fn capacity_for(entry_size: usize) -> usize {
+        (PAGE_SIZE - PAGE_HEADER_SIZE) / entry_size
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use asb_geom::{Rect, SpatialCriterion};
+
+    #[test]
+    fn paper_fanouts_are_reproduced() {
+        // Directory entry: 4 f64 coordinates + u64 child id = 40 bytes.
+        assert_eq!(Page::capacity_for(40), 51);
+        // Data entry: MBR + object id + object-page pointer = 48 bytes.
+        assert_eq!(Page::capacity_for(48), 42);
+    }
+
+    #[test]
+    fn page_rejects_oversized_payload() {
+        let meta = PageMeta::data(SpatialStats::EMPTY);
+        let big = Bytes::from(vec![0u8; PAGE_SIZE + 1]);
+        let err = Page::new(PageId::new(0), meta, big).unwrap_err();
+        assert!(matches!(err, crate::StorageError::PageOverflow { len, .. } if len == PAGE_SIZE + 1));
+    }
+
+    #[test]
+    fn page_accepts_full_payload() {
+        let meta = PageMeta::data(SpatialStats::EMPTY);
+        let full = Bytes::from(vec![0u8; PAGE_SIZE]);
+        assert!(Page::new(PageId::new(0), meta, full).is_ok());
+    }
+
+    #[test]
+    fn type_rank_orders_object_data_directory() {
+        assert!(PageType::Object.type_rank() < PageType::Data.type_rank());
+        assert!(PageType::Data.type_rank() < PageType::Directory.type_rank());
+    }
+
+    #[test]
+    fn type_tag_roundtrip() {
+        for t in [PageType::Directory, PageType::Data, PageType::Object] {
+            assert_eq!(PageType::from_tag(t.tag()), Some(t));
+        }
+        assert_eq!(PageType::from_tag(0), None);
+        assert_eq!(PageType::from_tag(99), None);
+    }
+
+    #[test]
+    fn priority_follows_tree_level() {
+        let leaf = PageMeta::data(SpatialStats::EMPTY);
+        let dir = PageMeta::directory(3, SpatialStats::EMPTY);
+        let obj = PageMeta::object(SpatialStats::EMPTY);
+        assert_eq!(obj.priority(), 0);
+        assert_eq!(leaf.priority(), 1);
+        assert_eq!(dir.priority(), 3);
+    }
+
+    #[test]
+    fn meta_carries_spatial_stats() {
+        let stats = SpatialStats::from_rects(&[Rect::new(0.0, 0.0, 2.0, 2.0)]);
+        let meta = PageMeta::data(stats);
+        assert_eq!(meta.stats.criterion(SpatialCriterion::Area), 4.0);
+    }
+
+    #[test]
+    fn page_id_successor() {
+        let a = PageId::new(5);
+        let b = PageId::new(6);
+        assert!(b.is_successor_of(&a));
+        assert!(!a.is_successor_of(&b));
+        assert!(!a.is_successor_of(&a));
+    }
+
+    #[test]
+    fn page_clone_is_cheap_and_equal() {
+        let meta = PageMeta::data(SpatialStats::EMPTY);
+        let p = Page::new(PageId::new(1), meta, Bytes::from_static(b"abc")).unwrap();
+        let q = p.clone();
+        assert_eq!(p, q);
+    }
+}

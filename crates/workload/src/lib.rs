@@ -1,0 +1,34 @@
+//! # asb-workload — synthetic datasets and query sets
+//!
+//! The EDBT 2002 evaluation uses two geographic databases and five families
+//! of query distributions. The original data (USGS/GNIS features, a
+//! commercial world atlas, a US places file) is not redistributable, so this
+//! crate generates *synthetic equivalents that preserve the properties the
+//! paper's analysis leans on*:
+//!
+//! * [`DatasetKind::Mainland`] (database 1): clustered points and small
+//!   extended objects inside an irregular continent outline with empty
+//!   "ocean" all around — so queries hitting the margin terminate high in
+//!   the tree, and population clusters create the skew the intensified
+//!   distribution exploits.
+//! * [`DatasetKind::World`] (database 2): line and area features in several
+//!   continent-shaped clusters covering roughly a third of the data space —
+//!   so the x-flipped *independent* query set mostly hits water, the effect
+//!   the paper highlights for its Figure 9.
+//! * A places list ([`Dataset::places`]) with Zipf-distributed populations,
+//!   correlated with the object clusters, backing the *similar* and
+//!   *intensified* query sets.
+//!
+//! All generation is deterministic given a `u64` seed. The query-set
+//! families match Section 3.1 of the paper exactly; see [`QuerySetSpec`].
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod dataset;
+mod queryset;
+mod trajectory;
+
+pub use dataset::{Dataset, DatasetKind, Place, Scale};
+pub use queryset::{Distribution, QueryKind, QuerySetSpec};
+pub use trajectory::{session, SessionSpec};

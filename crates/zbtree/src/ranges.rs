@@ -1,0 +1,179 @@
+//! Decomposition of a query window into z-value intervals.
+
+use asb_geom::curve::{z_order, CurveGrid, CURVE_BITS};
+use asb_geom::Rect;
+
+/// Decomposes `window` into z-value intervals covering every grid cell the
+/// window touches.
+///
+/// Recursive quadrant decomposition: a quadrant fully inside the window (or
+/// the split-depth budget being exhausted) emits the quadrant's whole
+/// z-interval; a disjoint quadrant emits nothing; a partially overlapping
+/// quadrant splits. Coarse intervals over-approximate, which is safe — the
+/// scan filters candidates against the exact window. Adjacent intervals are
+/// merged before returning.
+///
+/// `max_split_depth` bounds the recursion (and thus the interval count to
+/// at most O(4^depth), in practice O(perimeter)); 8–12 is a good range.
+pub fn z_ranges(grid: &CurveGrid, window: &Rect, max_split_depth: u32) -> Vec<(u64, u64)> {
+    let Some(clipped) = window.clamp_to(&grid.bounds()) else {
+        return Vec::new();
+    };
+    let mut out = Vec::new();
+    // Work at full CURVE_BITS resolution (the resolution of the grid's
+    // z-keys): scale the quantized grid coordinates up, with the upper
+    // corner mapped to the top of its grid cell.
+    let shift = grid.shift();
+    let (gx0, gy0) = grid.quantize(&clipped.min);
+    let (gx1, gy1) = grid.quantize(&clipped.max);
+    let qx0 = gx0 << shift;
+    let qy0 = gy0 << shift;
+    let qx1 = (gx1 << shift) | side_mask(shift);
+    let qy1 = (gy1 << shift) | side_mask(shift);
+    descend(0, 0, 0, qx0, qy0, qx1, qy1, max_split_depth, &mut out);
+    merge(&mut out);
+    out
+}
+
+/// Recursion over the implicit quadtree of the z-curve. The current cell
+/// has top-left corner `(cx, cy)` and side `2^(CURVE_BITS - depth)` grid
+/// units; `(qx0..=qx1, qy0..=qy1)` is the quantized query box.
+#[allow(clippy::too_many_arguments)]
+fn descend(
+    depth: u32,
+    cx: u32,
+    cy: u32,
+    qx0: u32,
+    qy0: u32,
+    qx1: u32,
+    qy1: u32,
+    budget: u32,
+    out: &mut Vec<(u64, u64)>,
+) {
+    let side_shift = CURVE_BITS - depth;
+    // Cell extent [cx, cx + 2^side_shift - 1] in each dimension.
+    let hi_x = cx.wrapping_add(side_mask(side_shift));
+    let hi_y = cy.wrapping_add(side_mask(side_shift));
+    // Disjoint?
+    if hi_x < qx0 || cx > qx1 || hi_y < qy0 || cy > qy1 {
+        return;
+    }
+    let contained = cx >= qx0 && hi_x <= qx1 && cy >= qy0 && hi_y <= qy1;
+    if contained || depth >= budget || side_shift == 0 {
+        // Emit the cell's whole z-interval: all z-values sharing the
+        // cell's 2*depth-bit prefix.
+        let lo = z_order(cx, cy);
+        let span = if depth == 0 { u64::MAX } else { (1u64 << (2 * side_shift)) - 1 };
+        out.push((lo, lo.saturating_add(span)));
+        return;
+    }
+    let half = 1u32 << (side_shift - 1);
+    descend(depth + 1, cx, cy, qx0, qy0, qx1, qy1, budget, out);
+    descend(depth + 1, cx + half, cy, qx0, qy0, qx1, qy1, budget, out);
+    descend(depth + 1, cx, cy + half, qx0, qy0, qx1, qy1, budget, out);
+    descend(depth + 1, cx + half, cy + half, qx0, qy0, qx1, qy1, budget, out);
+}
+
+#[inline]
+fn side_mask(side_shift: u32) -> u32 {
+    if side_shift >= 32 {
+        u32::MAX
+    } else {
+        (1u32 << side_shift) - 1
+    }
+}
+
+/// Sorts intervals and merges adjacent/overlapping ones.
+fn merge(ranges: &mut Vec<(u64, u64)>) {
+    ranges.sort_unstable();
+    let mut write = 0usize;
+    for i in 1..ranges.len() {
+        let (lo, hi) = ranges[i];
+        let (_, cur_hi) = &mut ranges[write];
+        if lo <= cur_hi.saturating_add(1) {
+            *cur_hi = (*cur_hi).max(hi);
+        } else {
+            write += 1;
+            ranges[write] = (lo, hi);
+        }
+    }
+    ranges.truncate(if ranges.is_empty() { 0 } else { write + 1 });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use asb_geom::Point;
+
+    fn grid() -> CurveGrid {
+        CurveGrid::new(Rect::new(0.0, 0.0, 1.0, 1.0), 16)
+    }
+
+    fn covers(ranges: &[(u64, u64)], z: u64) -> bool {
+        ranges.iter().any(|&(lo, hi)| lo <= z && z <= hi)
+    }
+
+    #[test]
+    fn full_window_is_one_range() {
+        let g = grid();
+        let ranges = z_ranges(&g, &Rect::new(0.0, 0.0, 1.0, 1.0), 8);
+        assert_eq!(ranges, vec![(0, u64::MAX)]);
+    }
+
+    #[test]
+    fn disjoint_window_is_empty() {
+        let g = grid();
+        assert!(z_ranges(&g, &Rect::new(2.0, 2.0, 3.0, 3.0), 8).is_empty());
+    }
+
+    #[test]
+    fn ranges_cover_all_inside_points() {
+        let g = grid();
+        let window = Rect::new(0.2, 0.3, 0.45, 0.6);
+        let ranges = z_ranges(&g, &window, 10);
+        assert!(!ranges.is_empty());
+        // Every point inside the window must be covered.
+        for i in 0..40 {
+            for j in 0..40 {
+                let p = Point::new(
+                    0.2 + 0.25 * i as f64 / 39.0,
+                    0.3 + 0.3 * j as f64 / 39.0,
+                );
+                let z = g.z_key(&p);
+                assert!(covers(&ranges, z), "point {p:?} (z={z}) uncovered");
+            }
+        }
+    }
+
+    #[test]
+    fn deeper_budget_tightens_the_cover() {
+        let g = grid();
+        let window = Rect::new(0.1, 0.1, 0.2, 0.2);
+        let coarse = z_ranges(&g, &window, 4);
+        let fine = z_ranges(&g, &window, 12);
+        let total = |rs: &[(u64, u64)]| -> u128 {
+            rs.iter().map(|&(lo, hi)| (hi - lo) as u128 + 1).sum()
+        };
+        assert!(total(&fine) <= total(&coarse), "finer budget must not widen the cover");
+        // Both still cover the window's own corner.
+        let z = g.z_key(&Point::new(0.15, 0.15));
+        assert!(covers(&coarse, z) && covers(&fine, z));
+    }
+
+    #[test]
+    fn ranges_are_sorted_and_disjoint() {
+        let g = grid();
+        let ranges = z_ranges(&g, &Rect::new(0.33, 0.21, 0.77, 0.48), 10);
+        for w in ranges.windows(2) {
+            assert!(w[0].1 < w[1].0, "ranges must be disjoint and sorted: {w:?}");
+        }
+    }
+
+    #[test]
+    fn tiny_window_yields_few_ranges() {
+        let g = grid();
+        let ranges = z_ranges(&g, &Rect::new(0.5001, 0.5001, 0.5002, 0.5002), 12);
+        assert!(!ranges.is_empty());
+        assert!(ranges.len() <= 8, "tiny windows decompose compactly: {}", ranges.len());
+    }
+}

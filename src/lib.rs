@@ -1,0 +1,68 @@
+//! # asb — Adaptable Spatial Buffer
+//!
+//! A production-quality Rust reproduction of
+//! **Thomas Brinkhoff, "A Robust and Self-Tuning Page-Replacement Strategy
+//! for Spatial Database Systems", EDBT 2002** (LNCS 2287, pp. 533–552).
+//!
+//! This umbrella crate re-exports the public API of the workspace:
+//!
+//! * [`geom`] — 2D geometry (points, MBRs, spatial page criteria, curves),
+//! * [`storage`] — fixed-size pages and a simulated disk with I/O statistics,
+//! * [`buffer`] — the paper's contribution: a buffer manager with pluggable
+//!   page-replacement policies (LRU, FIFO, LRU-T, LRU-P, LRU-K, the five
+//!   spatial criteria A/EA/M/EM/EO, the static SLRU combination, and the
+//!   self-tuning **adaptable spatial buffer (ASB)**),
+//! * [`rtree`] — a disk-based R\*-tree (insert with forced reinsertion,
+//!   delete, point/window/nearest-neighbour queries, STR bulk loading,
+//!   spatial join) running on top of the buffer,
+//! * [`quadtree`] — a disk-based bucket MX-CIF quadtree and
+//! * [`zbtree`] — a B⁺-tree over z-order values: the paper's two other
+//!   examples of pages with spatial entries, for cross-SAM experiments,
+//! * [`workload`] — synthetic datasets and the paper's five query-set
+//!   families,
+//! * [`exp`] — the experiment harness that regenerates every data figure of
+//!   the paper's evaluation.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use asb::buffer::{BufferManager, PolicyKind};
+//! use asb::rtree::RTree;
+//! use asb::storage::DiskManager;
+//! use asb::workload::{Dataset, DatasetKind, QuerySetSpec, Scale};
+//!
+//! // 1. Generate a small clustered dataset and bulk-load an R*-tree.
+//! let dataset = Dataset::generate(DatasetKind::Mainland, Scale::Tiny, 42);
+//! let disk = DiskManager::new();
+//! let mut tree = RTree::bulk_load(disk, dataset.items()).unwrap();
+//!
+//! // 2. Wrap the tree's page store in an adaptable spatial buffer.
+//! let buffer_pages = tree.page_count() / 20; // a 5% buffer
+//! tree.set_buffer(BufferManager::with_policy(
+//!     PolicyKind::Asb,
+//!     buffer_pages.max(8),
+//! ));
+//!
+//! // 3. Run a window-query workload through the buffer.
+//! let queries = QuerySetSpec::uniform_windows(33).generate(&dataset, 200, 7);
+//! let mut results = 0usize;
+//! for q in &queries {
+//!     results += tree.execute(q).unwrap().len();
+//! }
+//!
+//! let stats = tree.buffer_stats().unwrap();
+//! assert!(stats.logical_reads > 0);
+//! assert!(stats.hits + stats.misses == stats.logical_reads);
+//! println!("answers: {results}, hit ratio: {:.1}%", stats.hit_ratio() * 100.0);
+//! ```
+
+#![forbid(unsafe_code)]
+
+pub use asb_core as buffer;
+pub use asb_exp as exp;
+pub use asb_geom as geom;
+pub use asb_quadtree as quadtree;
+pub use asb_rtree as rtree;
+pub use asb_storage as storage;
+pub use asb_workload as workload;
+pub use asb_zbtree as zbtree;

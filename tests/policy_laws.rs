@@ -1,0 +1,155 @@
+//! Cross-policy laws: classic results from the caching literature that the
+//! implementation must respect.
+
+use asb::buffer::{AsbParams, BufferManager, PolicyKind, SpatialCriterion};
+use asb::geom::{Rect, SpatialStats};
+use asb::storage::{AccessContext, DiskManager, PageId, PageMeta, PageStore, QueryId};
+use bytes::Bytes;
+use proptest::prelude::*;
+
+fn build_disk(pages: u64) -> (DiskManager, Vec<PageId>) {
+    let mut disk = DiskManager::new();
+    let ids = (0..pages)
+        .map(|i| {
+            let r = Rect::new(0.0, 0.0, (i % 19) as f64 + 0.5, (i % 5) as f64 + 0.5);
+            disk.allocate(PageMeta::data(SpatialStats::from_rects(&[r])), Bytes::new())
+                .expect("allocate")
+        })
+        .collect();
+    (disk, ids)
+}
+
+fn misses(policy: PolicyKind, capacity: usize, trace: &[(usize, u64)], ids: &[PageId]) -> u64 {
+    let (mut disk, _) = {
+        // Rebuild the same disk so physical state is identical per run.
+        build_disk(ids.len() as u64)
+    };
+    let mut buf = BufferManager::with_policy(policy, capacity);
+    for &(slot, q) in trace {
+        buf.read_through(&mut disk, ids[slot], AccessContext::query(QueryId::new(q)))
+            .expect("read");
+    }
+    buf.stats().misses
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// LRU is a stack algorithm: a larger buffer never misses more on the
+    /// same trace (the inclusion property). FIFO famously violates this
+    /// (Bélády's anomaly), which is why the law is asserted for LRU only.
+    #[test]
+    fn lru_inclusion_property(
+        trace in prop::collection::vec((0usize..40, 0u64..10), 1..500),
+        capacity in 1usize..30,
+        extra in 1usize..10,
+    ) {
+        let (_, ids) = build_disk(40);
+        let small = misses(PolicyKind::Lru, capacity, &trace, &ids);
+        let large = misses(PolicyKind::Lru, capacity + extra, &trace, &ids);
+        prop_assert!(
+            large <= small,
+            "inclusion violated: {large} misses at {capacity}+{extra} vs {small} at {capacity}"
+        );
+    }
+
+    /// Any policy's miss count is bounded below by cold misses (distinct
+    /// pages) and above by the trace length.
+    #[test]
+    fn miss_bounds_hold_for_every_policy(
+        trace in prop::collection::vec((0usize..40, 0u64..10), 1..300),
+        capacity in 1usize..30,
+    ) {
+        let (_, ids) = build_disk(40);
+        let distinct = {
+            let mut v: Vec<usize> = trace.iter().map(|&(s, _)| s).collect();
+            v.sort_unstable();
+            v.dedup();
+            v.len() as u64
+        };
+        for policy in [
+            PolicyKind::Lru,
+            PolicyKind::Fifo,
+            PolicyKind::Clock,
+            PolicyKind::TwoQ,
+            PolicyKind::LruK { k: 2 },
+            PolicyKind::Spatial(SpatialCriterion::Area),
+            PolicyKind::Asb,
+        ] {
+            let m = misses(policy, capacity, &trace, &ids);
+            prop_assert!(m >= distinct, "{policy:?}: fewer misses than cold misses");
+            prop_assert!(m <= trace.len() as u64, "{policy:?}: more misses than accesses");
+        }
+    }
+
+    /// With a buffer at least as large as the working set, every policy
+    /// converges to exactly the cold misses.
+    #[test]
+    fn all_policies_are_optimal_without_pressure(
+        trace in prop::collection::vec((0usize..20, 0u64..10), 1..300),
+    ) {
+        let (_, ids) = build_disk(20);
+        for policy in [
+            PolicyKind::Lru,
+            PolicyKind::Fifo,
+            PolicyKind::TwoQ,
+            PolicyKind::LruK { k: 3 },
+            PolicyKind::Spatial(SpatialCriterion::Margin),
+            PolicyKind::Asb,
+        ] {
+            let m = misses(policy, 20, &trace, &ids);
+            let distinct = {
+                let mut v: Vec<usize> = trace.iter().map(|&(s, _)| s).collect();
+                v.sort_unstable();
+                v.dedup();
+                v.len() as u64
+            };
+            prop_assert_eq!(m, distinct, "{:?} missed under no pressure", policy);
+        }
+    }
+}
+
+#[test]
+fn policy_kinds_serialize_roundtrip() {
+    let kinds = [
+        PolicyKind::Lru,
+        PolicyKind::Random { seed: 99 },
+        PolicyKind::TwoQ,
+        PolicyKind::LruK { k: 5 },
+        PolicyKind::Spatial(SpatialCriterion::EntryOverlap),
+        PolicyKind::Slru { candidate_fraction: 0.25, criterion: SpatialCriterion::Area },
+        PolicyKind::Asb,
+        PolicyKind::AsbWith(AsbParams {
+            overflow_fraction: 0.3,
+            initial_candidate_fraction: 0.5,
+            step_fraction: 0.02,
+            criterion: SpatialCriterion::Margin,
+        }),
+    ];
+    for kind in kinds {
+        let json = serde_json::to_string(&kind).expect("serialize");
+        let back: PolicyKind = serde_json::from_str(&json).expect("deserialize");
+        assert_eq!(back, kind);
+        // A deserialized kind builds the same-named policy.
+        assert_eq!(back.build(64).name(), kind.label());
+    }
+}
+
+/// The identical trace through the same policy gives identical statistics —
+/// determinism that the experiment harness relies on.
+#[test]
+fn runs_are_deterministic() {
+    let (_, ids) = build_disk(50);
+    let trace: Vec<(usize, u64)> =
+        (0..2000u64).map(|i| (((i * 31 + i * i % 7) % 50) as usize, i / 9)).collect();
+    for policy in [
+        PolicyKind::Random { seed: 5 },
+        PolicyKind::Asb,
+        PolicyKind::LruK { k: 2 },
+        PolicyKind::TwoQ,
+    ] {
+        let a = misses(policy, 12, &trace, &ids);
+        let b = misses(policy, 12, &trace, &ids);
+        assert_eq!(a, b, "{policy:?} must be deterministic");
+    }
+}

@@ -1,0 +1,268 @@
+//! Property-based tests over the core invariants.
+
+use asb::buffer::{BufferManager, PolicyKind, SpatialCriterion};
+use asb::geom::{Point, Query, Rect, SpatialItem, SpatialStats};
+use asb::rtree::{RTree, RTreeConfig};
+use asb::storage::{AccessContext, DiskManager, PageStore, QueryId};
+use proptest::prelude::*;
+
+fn rect_strategy() -> impl Strategy<Value = Rect> {
+    (0.0f64..1000.0, 0.0f64..1000.0, 0.0f64..50.0, 0.0f64..50.0)
+        .prop_map(|(x, y, w, h)| Rect::new(x, y, x + w, y + h))
+}
+
+fn point_strategy() -> impl Strategy<Value = Point> {
+    (-100.0f64..1100.0, -100.0f64..1100.0).prop_map(|(x, y)| Point::new(x, y))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Union covers both operands and is commutative & idempotent.
+    #[test]
+    fn union_laws(a in rect_strategy(), b in rect_strategy()) {
+        let u = a.union(&b);
+        prop_assert!(u.contains(&a) && u.contains(&b));
+        prop_assert_eq!(u, b.union(&a));
+        prop_assert_eq!(a.union(&a), a);
+        prop_assert!(u.area() + 1e-9 >= a.area().max(b.area()));
+    }
+
+    /// Intersection is symmetric, contained in both, and consistent with
+    /// `intersects` / `overlap_area`.
+    #[test]
+    fn intersection_laws(a in rect_strategy(), b in rect_strategy()) {
+        match a.intersection(&b) {
+            Some(i) => {
+                prop_assert!(a.intersects(&b));
+                prop_assert!(a.contains(&i) && b.contains(&i));
+                prop_assert!((i.area() - a.overlap_area(&b)).abs() < 1e-9);
+                prop_assert_eq!(Some(i), b.intersection(&a));
+            }
+            None => {
+                prop_assert!(!a.intersects(&b));
+                prop_assert_eq!(a.overlap_area(&b), 0.0);
+            }
+        }
+    }
+
+    /// Enlargement is non-negative and zero exactly under containment.
+    #[test]
+    fn enlargement_laws(a in rect_strategy(), b in rect_strategy()) {
+        let e = a.enlargement(&b);
+        prop_assert!(e >= -1e-9);
+        if a.contains(&b) {
+            prop_assert!(e.abs() < 1e-9);
+        }
+    }
+
+    /// min_dist is zero iff the point is inside (closed semantics).
+    #[test]
+    fn min_dist_laws(r in rect_strategy(), p in point_strategy()) {
+        let d = r.min_dist(&p);
+        prop_assert!(d >= 0.0);
+        prop_assert_eq!(d == 0.0, r.contains_point(&p));
+    }
+
+    /// Hilbert keys are a bijection on the grid.
+    #[test]
+    fn hilbert_bijection(x in 0u32..=u32::MAX, y in 0u32..=u32::MAX) {
+        use asb::geom::curve::{hilbert, hilbert_inverse};
+        prop_assert_eq!(hilbert_inverse(hilbert(x, y)), (x, y));
+    }
+
+    /// Z-order keys are a bijection on the grid.
+    #[test]
+    fn z_order_bijection(x in 0u32..=u32::MAX, y in 0u32..=u32::MAX) {
+        use asb::geom::curve::{z_order, z_order_inverse};
+        prop_assert_eq!(z_order_inverse(z_order(x, y)), (x, y));
+    }
+
+    /// Page spatial statistics: the page MBR covers all entries and the
+    /// criteria are monotone under adding an entry.
+    #[test]
+    fn spatial_stats_monotone(rects in prop::collection::vec(rect_strategy(), 1..20),
+                              extra in rect_strategy()) {
+        let base = SpatialStats::from_rects(&rects);
+        let mut grown = rects.clone();
+        grown.push(extra);
+        let bigger = SpatialStats::from_rects(&grown);
+        for c in SpatialCriterion::ALL {
+            prop_assert!(bigger.criterion(c) + 1e-9 >= base.criterion(c), "{c}");
+        }
+        let mbr = base.mbr.unwrap();
+        for r in &rects {
+            prop_assert!(mbr.contains(r));
+        }
+    }
+}
+
+/// Strategy for a mixed insert/delete/query op sequence.
+#[derive(Debug, Clone)]
+enum Op {
+    Insert(Rect),
+    DeleteNth(usize),
+    Window(Rect),
+    Point(Point),
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        3 => rect_strategy().prop_map(Op::Insert),
+        1 => (0usize..500).prop_map(Op::DeleteNth),
+        1 => rect_strategy().prop_map(Op::Window),
+        1 => point_strategy().prop_map(Op::Point),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// The R*-tree stays structurally valid and agrees with a brute-force
+    /// model under arbitrary interleavings of inserts, deletes and queries.
+    #[test]
+    fn rtree_matches_model(ops in prop::collection::vec(op_strategy(), 1..120)) {
+        let mut tree = RTree::with_config(DiskManager::new(), RTreeConfig::small()).unwrap();
+        let mut model: Vec<SpatialItem> = Vec::new();
+        let mut next_id = 0u64;
+        for op in ops {
+            match op {
+                Op::Insert(mbr) => {
+                    tree.insert(SpatialItem::new(next_id, mbr)).unwrap();
+                    model.push(SpatialItem::new(next_id, mbr));
+                    next_id += 1;
+                }
+                Op::DeleteNth(n) => {
+                    if !model.is_empty() {
+                        let victim = model.remove(n % model.len());
+                        prop_assert!(tree.delete(victim.id, &victim.mbr).unwrap());
+                    }
+                }
+                Op::Window(w) => {
+                    let mut got = tree.window_query(w).unwrap();
+                    got.sort_unstable();
+                    let mut want: Vec<u64> = model.iter()
+                        .filter(|it| it.mbr.intersects(&w)).map(|it| it.id).collect();
+                    want.sort_unstable();
+                    prop_assert_eq!(got, want);
+                }
+                Op::Point(p) => {
+                    let mut got = tree.point_query(p).unwrap();
+                    got.sort_unstable();
+                    let mut want: Vec<u64> = model.iter()
+                        .filter(|it| it.mbr.contains_point(&p)).map(|it| it.id).collect();
+                    want.sort_unstable();
+                    prop_assert_eq!(got, want);
+                }
+            }
+        }
+        tree.validate().map_err(|e| TestCaseError::fail(format!("{e}")))?;
+        prop_assert_eq!(tree.len(), model.len());
+    }
+}
+
+/// All policies to fuzz below.
+fn fuzz_policies() -> Vec<PolicyKind> {
+    vec![
+        PolicyKind::Lru,
+        PolicyKind::Fifo,
+        PolicyKind::Clock,
+        PolicyKind::Random { seed: 3 },
+        PolicyKind::LruT,
+        PolicyKind::LruP,
+        PolicyKind::LruK { k: 2 },
+        PolicyKind::Spatial(SpatialCriterion::Area),
+        PolicyKind::Spatial(SpatialCriterion::EntryOverlap),
+        PolicyKind::Slru { candidate_fraction: 0.3, criterion: SpatialCriterion::Margin },
+        PolicyKind::Asb,
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Buffer-of-any-policy transparency: an arbitrary read trace through a
+    /// buffer returns exactly the pages the raw disk returns, never exceeds
+    /// capacity, and keeps its counters consistent.
+    #[test]
+    fn buffers_are_transparent_caches(
+        accesses in prop::collection::vec((0usize..60, 0u64..20), 1..400),
+        capacity in 1usize..24,
+    ) {
+        // A little disk of 60 pages with varying spatial stats.
+        let mut disk = DiskManager::new();
+        let mut ids = Vec::new();
+        for i in 0..60u64 {
+            let r = Rect::new(0.0, 0.0, (i % 13) as f64 + 0.5, (i % 7) as f64 + 0.5);
+            let meta = asb::storage::PageMeta::data(SpatialStats::from_rects(&[r]));
+            ids.push(disk.allocate(meta, bytes::Bytes::from(vec![i as u8])).unwrap());
+        }
+        for policy in fuzz_policies() {
+            let mut buf = BufferManager::with_policy(policy, capacity);
+            for &(slot, query) in &accesses {
+                let id = ids[slot];
+                let ctx = AccessContext::query(QueryId::new(query));
+                let page = buf.read_through(&mut disk, id, ctx).unwrap();
+                prop_assert_eq!(page.id, id);
+                prop_assert_eq!(page.payload.as_ref(), &[slot as u8][..]);
+                prop_assert!(buf.resident() <= capacity);
+            }
+            let s = buf.stats();
+            prop_assert_eq!(s.hits + s.misses, s.logical_reads);
+            prop_assert_eq!(s.logical_reads, accesses.len() as u64);
+        }
+    }
+
+    /// ASB-specific invariants under arbitrary traces: candidate size stays
+    /// in [1, main capacity] and no ghost history accumulates.
+    #[test]
+    fn asb_invariants(
+        accesses in prop::collection::vec((0usize..80, 0u64..10), 1..500),
+        capacity in 2usize..30,
+    ) {
+        let mut disk = DiskManager::new();
+        let mut ids = Vec::new();
+        for i in 0..80u64 {
+            let r = Rect::new(0.0, 0.0, (i % 17) as f64 + 0.5, 1.0);
+            let meta = asb::storage::PageMeta::data(SpatialStats::from_rects(&[r]));
+            ids.push(disk.allocate(meta, bytes::Bytes::new()).unwrap());
+        }
+        let mut buf = BufferManager::with_policy(PolicyKind::Asb, capacity);
+        let main_cap = capacity - ((capacity as f64 * 0.2).round() as usize).min(capacity - 1);
+        for &(slot, query) in &accesses {
+            buf.read_through(&mut disk, ids[slot], AccessContext::query(QueryId::new(query)))
+                .unwrap();
+            let c = buf.candidate_size().unwrap();
+            prop_assert!(c >= 1 && c <= main_cap, "candidate {c} vs main {main_cap}");
+            prop_assert_eq!(buf.retained_history(), 0);
+        }
+    }
+
+    /// A window query through a buffered tree equals the query on the bare
+    /// tree for arbitrary windows (tree built once per case).
+    #[test]
+    fn buffered_queries_equal_unbuffered(
+        windows in prop::collection::vec(rect_strategy(), 1..30),
+        capacity in 4usize..40,
+    ) {
+        let items: Vec<SpatialItem> = (0..300u64)
+            .map(|i| {
+                let x = (i as f64 * 37.0) % 950.0;
+                let y = (i as f64 * 91.0) % 950.0;
+                SpatialItem::new(i, Rect::new(x, y, x + 10.0, y + 10.0))
+            })
+            .collect();
+        let mut plain =
+            RTree::bulk_load_with(DiskManager::new(), RTreeConfig::small(), &items).unwrap();
+        let mut buffered =
+            RTree::bulk_load_with(DiskManager::new(), RTreeConfig::small(), &items).unwrap();
+        buffered.set_buffer(BufferManager::with_policy(PolicyKind::Asb, capacity));
+        for w in windows {
+            let mut a = plain.execute(&Query::Window(w)).unwrap();
+            let mut b = buffered.execute(&Query::Window(w)).unwrap();
+            a.sort_unstable();
+            b.sort_unstable();
+            prop_assert_eq!(a, b);
+        }
+    }
+}

@@ -1,0 +1,160 @@
+//! Property-based tests for the quadtree and the z-order B⁺-tree: random
+//! operation sequences validated against a brute-force model, plus
+//! structural invariants after every burst.
+
+use asb::geom::{Point, Rect, SpatialItem};
+use asb::quadtree::{QuadConfig, QuadTree};
+use asb::storage::DiskManager;
+use asb::zbtree::ZBTree;
+use proptest::prelude::*;
+
+const WORLD: Rect = Rect {
+    min: Point { x: 0.0, y: 0.0 },
+    max: Point { x: 1024.0, y: 1024.0 },
+};
+
+fn small_rect() -> impl Strategy<Value = Rect> {
+    (0.0f64..1000.0, 0.0f64..1000.0, 0.0f64..20.0, 0.0f64..20.0)
+        .prop_map(|(x, y, w, h)| Rect::new(x, y, x + w, y + h))
+}
+
+fn inner_point() -> impl Strategy<Value = Point> {
+    (0.0f64..1024.0, 0.0f64..1024.0).prop_map(|(x, y)| Point::new(x, y))
+}
+
+#[derive(Debug, Clone)]
+enum Op {
+    Insert(Rect),
+    DeleteNth(usize),
+    Window(Rect),
+}
+
+fn ops() -> impl Strategy<Value = Vec<Op>> {
+    prop::collection::vec(
+        prop_oneof![
+            4 => small_rect().prop_map(Op::Insert),
+            1 => (0usize..1000).prop_map(Op::DeleteNth),
+            1 => small_rect().prop_map(Op::Window),
+        ],
+        1..150,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(20))]
+
+    /// The quadtree agrees with a Vec model under arbitrary interleavings
+    /// and stays structurally valid.
+    #[test]
+    fn quadtree_matches_model(ops in ops()) {
+        let config = QuadConfig { max_depth: 8, bucket_capacity: 6 };
+        let mut tree = QuadTree::with_config(DiskManager::new(), WORLD, config).unwrap();
+        let mut model: Vec<SpatialItem> = Vec::new();
+        let mut next_id = 0u64;
+        for op in ops {
+            match op {
+                Op::Insert(mbr) => {
+                    tree.insert(SpatialItem::new(next_id, mbr)).unwrap();
+                    model.push(SpatialItem::new(next_id, mbr));
+                    next_id += 1;
+                }
+                Op::DeleteNth(n) => {
+                    if !model.is_empty() {
+                        let victim = model.remove(n % model.len());
+                        prop_assert!(tree.delete(victim.id, &victim.mbr).unwrap());
+                    }
+                }
+                Op::Window(w) => {
+                    let mut got = tree.window_query(w).unwrap();
+                    got.sort_unstable();
+                    let mut want: Vec<u64> = model
+                        .iter()
+                        .filter(|it| it.mbr.intersects(&w))
+                        .map(|it| it.id)
+                        .collect();
+                    want.sort_unstable();
+                    prop_assert_eq!(got, want);
+                }
+            }
+        }
+        tree.validate().map_err(|e| TestCaseError::fail(format!("{e}")))?;
+        prop_assert_eq!(tree.len(), model.len());
+    }
+
+    /// The z-B⁺-tree agrees with a point model (point-in-window semantics)
+    /// and stays valid through splits, merges and borrows.
+    #[test]
+    fn zbtree_matches_model(
+        points in prop::collection::vec(inner_point(), 1..250),
+        deletions in prop::collection::vec(0usize..250, 0..120),
+        windows in prop::collection::vec(small_rect(), 1..12),
+    ) {
+        let mut tree = ZBTree::new(DiskManager::new(), WORLD).unwrap();
+        let mut model: Vec<(u64, Point)> = Vec::new();
+        for (i, p) in points.iter().enumerate() {
+            tree.insert(i as u64, *p).unwrap();
+            model.push((i as u64, *p));
+        }
+        for d in deletions {
+            if model.is_empty() {
+                break;
+            }
+            let (id, p) = model.remove(d % model.len());
+            prop_assert!(tree.delete(id, &p).unwrap());
+        }
+        tree.validate().map_err(|e| TestCaseError::fail(format!("{e}")))?;
+        prop_assert_eq!(tree.len(), model.len());
+        for w in windows {
+            let mut got = tree.window_query(w).unwrap();
+            got.sort_unstable();
+            let mut want: Vec<u64> = model
+                .iter()
+                .filter(|(_, p)| w.contains_point(p))
+                .map(|&(id, _)| id)
+                .collect();
+            want.sort_unstable();
+            prop_assert_eq!(got, want, "window {:?}", w);
+        }
+    }
+
+    /// All three access methods return the same object sets for window
+    /// queries over point data (where their semantics coincide).
+    #[test]
+    fn three_sams_agree_on_point_data(
+        points in prop::collection::vec(inner_point(), 1..200),
+        windows in prop::collection::vec(small_rect(), 1..8),
+    ) {
+        use asb::rtree::{RTree, RTreeConfig};
+        let items: Vec<SpatialItem> = points
+            .iter()
+            .enumerate()
+            .map(|(i, p)| SpatialItem::new(i as u64, Rect::from_point(*p)))
+            .collect();
+        let pairs: Vec<(u64, Point)> =
+            points.iter().enumerate().map(|(i, p)| (i as u64, *p)).collect();
+
+        let mut rtree =
+            RTree::bulk_load_with(DiskManager::new(), RTreeConfig::small(), &items).unwrap();
+        let mut quad = QuadTree::with_config(
+            DiskManager::new(),
+            WORLD,
+            QuadConfig { max_depth: 8, bucket_capacity: 6 },
+        )
+        .unwrap();
+        for it in &items {
+            quad.insert(*it).unwrap();
+        }
+        let mut zb = ZBTree::bulk_load(DiskManager::new(), WORLD, &pairs).unwrap();
+
+        for w in windows {
+            let mut a = rtree.window_query(w).unwrap();
+            let mut b = quad.window_query(w).unwrap();
+            let mut c = zb.window_query(w).unwrap();
+            a.sort_unstable();
+            b.sort_unstable();
+            c.sort_unstable();
+            prop_assert_eq!(&a, &b, "rtree vs quadtree on {:?}", w);
+            prop_assert_eq!(&a, &c, "rtree vs zbtree on {:?}", w);
+        }
+    }
+}
