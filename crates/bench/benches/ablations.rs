@@ -25,14 +25,22 @@ fn ablation_overflow(c: &mut Criterion) {
         QuerySetSpec::similar(QueryKind::Window { ex: 33 }),
     ];
     println!("## ablation — ASB overflow-buffer fraction (gain vs LRU [%], db1, 4.7% buffer)");
-    println!("{:<12} {:>10} {:>10} {:>10}", "overflow", sets[0].name(), sets[1].name(), sets[2].name());
+    println!(
+        "{:<12} {:>10} {:>10} {:>10}",
+        "overflow",
+        sets[0].name(),
+        sets[1].name(),
+        sets[2].name()
+    );
     for overflow in [0.05, 0.1, 0.2, 0.3, 0.4] {
         let policy = PolicyKind::AsbWith(AsbParams {
             overflow_fraction: overflow,
             ..AsbParams::default()
         });
-        let gains: Vec<f64> =
-            sets.iter().map(|&s| lab.gain(DatasetKind::Mainland, policy, 0.047, s)).collect();
+        let gains: Vec<f64> = sets
+            .iter()
+            .map(|&s| lab.gain(DatasetKind::Mainland, policy, 0.047, s))
+            .collect();
         println!(
             "{:<12} {:>10.1} {:>10.1} {:>10.1}",
             format!("{:.0}%", overflow * 100.0),
@@ -66,14 +74,21 @@ fn ablation_step(c: &mut Criterion) {
         QuerySetSpec::intensified(QueryKind::Point),
     ];
     println!("## ablation — ASB adaptation step (gain vs LRU [%], db1, 4.7% buffer)");
-    println!("{:<12} {:>10} {:>10}", "step", sets[0].name(), sets[1].name());
+    println!(
+        "{:<12} {:>10} {:>10}",
+        "step",
+        sets[0].name(),
+        sets[1].name()
+    );
     for step in [0.005, 0.01, 0.02, 0.05, 0.1] {
         let policy = PolicyKind::AsbWith(AsbParams {
             step_fraction: step,
             ..AsbParams::default()
         });
-        let gains: Vec<f64> =
-            sets.iter().map(|&s| lab.gain(DatasetKind::Mainland, policy, 0.047, s)).collect();
+        let gains: Vec<f64> = sets
+            .iter()
+            .map(|&s| lab.gain(DatasetKind::Mainland, policy, 0.047, s))
+            .collect();
         println!(
             "{:<12} {:>10.1} {:>10.1}",
             format!("{:.1}%", step * 100.0),
@@ -89,7 +104,10 @@ fn ablation_step(c: &mut Criterion) {
             let mut lab = Lab::new(Scale::Tiny, BENCH_SEED);
             std::hint::black_box(lab.gain(
                 DatasetKind::Mainland,
-                PolicyKind::AsbWith(AsbParams { step_fraction: 0.05, ..AsbParams::default() }),
+                PolicyKind::AsbWith(AsbParams {
+                    step_fraction: 0.05,
+                    ..AsbParams::default()
+                }),
                 0.047,
                 QuerySetSpec::uniform_windows(33),
             ))
@@ -140,7 +158,10 @@ fn ablation_join(c: &mut Criterion) {
     let layer_a = Dataset::generate(DatasetKind::Mainland, BENCH_SCALE, 3);
     let layer_b = Dataset::generate(DatasetKind::World, BENCH_SCALE, 4);
     println!("## ablation — spatial join disk accesses per policy (2% buffers)");
-    println!("{:<10} {:>10} {:>10} {:>12}", "policy", "reads A", "reads B", "pairs");
+    println!(
+        "{:<10} {:>10} {:>10} {:>12}",
+        "policy", "reads A", "reads B", "pairs"
+    );
     for policy in [
         PolicyKind::Lru,
         PolicyKind::LruK { k: 2 },
@@ -149,8 +170,14 @@ fn ablation_join(c: &mut Criterion) {
     ] {
         let mut a = RTree::bulk_load(DiskManager::new(), layer_a.items()).expect("layer A");
         let mut b = RTree::bulk_load(DiskManager::new(), layer_b.items()).expect("layer B");
-        a.set_buffer(BufferManager::with_policy(policy, (a.page_count() / 50).max(8)));
-        b.set_buffer(BufferManager::with_policy(policy, (b.page_count() / 50).max(8)));
+        a.set_buffer(BufferManager::with_policy(
+            policy,
+            (a.page_count() / 50).max(8),
+        ));
+        b.set_buffer(BufferManager::with_policy(
+            policy,
+            (b.page_count() / 50).max(8),
+        ));
         a.store_mut().reset_stats();
         b.store_mut().reset_stats();
         let pairs = spatial_join(&mut a, &mut b).expect("join");
@@ -186,7 +213,10 @@ fn ablation_updates(c: &mut Criterion) {
     let queries = QuerySetSpec::uniform_windows(100).generate(&dataset, 400, 9);
 
     println!("## ablation — update churn + queries, disk accesses per policy (2% buffer)");
-    println!("{:<10} {:>12} {:>12}", "policy", "disk reads", "disk writes");
+    println!(
+        "{:<10} {:>12} {:>12}",
+        "policy", "disk reads", "disk writes"
+    );
     for policy in [
         PolicyKind::Lru,
         PolicyKind::LruK { k: 2 },
@@ -194,7 +224,10 @@ fn ablation_updates(c: &mut Criterion) {
         PolicyKind::Asb,
     ] {
         let mut tree = RTree::bulk_load(DiskManager::new(), &items[..half]).expect("bulk");
-        tree.set_buffer(BufferManager::with_policy(policy, (tree.page_count() / 50).max(8)));
+        tree.set_buffer(BufferManager::with_policy(
+            policy,
+            (tree.page_count() / 50).max(8),
+        ));
         tree.store_mut().reset_stats();
         for i in 0..400usize {
             let victim = items[i * 3 % half];

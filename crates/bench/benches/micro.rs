@@ -4,7 +4,7 @@
 use asb_bench::{buffered_tree, BENCH_SCALE, BENCH_SEED};
 use asb_core::{BufferManager, PolicyKind, SpatialCriterion};
 use asb_geom::{curve, Point, Rect, SpatialStats};
-use asb_rtree::{Node, NodeKind, LeafEntry, RTree};
+use asb_rtree::{LeafEntry, Node, NodeKind, RTree};
 use asb_storage::{AccessContext, DiskManager, Page, PageId, PageMeta, PageStore, QueryId};
 use asb_workload::{Dataset, DatasetKind, QuerySetSpec, Scale};
 use bytes::Bytes;
@@ -21,9 +21,7 @@ fn bench_buffer_policies(c: &mut Criterion) {
     let mut ids = Vec::new();
     for i in 0..2_000u64 {
         let side = 0.5 + (i % 97) as f64;
-        let meta = PageMeta::data(SpatialStats::from_rects(&[Rect::new(
-            0.0, 0.0, side, side,
-        )]));
+        let meta = PageMeta::data(SpatialStats::from_rects(&[Rect::new(0.0, 0.0, side, side)]));
         ids.push(disk.allocate(meta, Bytes::new()).expect("allocate"));
     }
     let trace: Vec<(PageId, QueryId)> = {
@@ -53,7 +51,10 @@ fn bench_buffer_policies(c: &mut Criterion) {
         PolicyKind::LruP,
         PolicyKind::LruK { k: 2 },
         PolicyKind::Spatial(SpatialCriterion::Area),
-        PolicyKind::Slru { candidate_fraction: 0.25, criterion: SpatialCriterion::Area },
+        PolicyKind::Slru {
+            candidate_fraction: 0.25,
+            criterion: SpatialCriterion::Area,
+        },
         PolicyKind::Asb,
     ] {
         group.bench_function(policy.label(), |b| {
@@ -136,7 +137,10 @@ fn bench_node_codec(c: &mut Criterion) {
             object_page: 0,
         })
         .collect();
-    let node = Node { level: 1, kind: NodeKind::Leaf(entries) };
+    let node = Node {
+        level: 1,
+        kind: NodeKind::Leaf(entries),
+    };
     let page = Page::new(PageId::new(1), node.page_meta(), node.encode()).expect("page");
     let mut group = c.benchmark_group("codec");
     group.bench_function("encode_full_leaf", |b| {

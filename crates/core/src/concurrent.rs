@@ -5,9 +5,19 @@
 //! a buffer and its backing store behind a [`parking_lot::Mutex`] so
 //! multi-threaded applications (e.g. a query server answering window
 //! queries from several sessions) can share one buffer pool.
+//!
+//! `SharedBuffer` serializes *every* request — including hits — behind one
+//! mutex. For parallel serving, prefer
+//! [`ShardedBuffer`](crate::ShardedBuffer), which stripes the pool across
+//! independently locked shards; `SharedBuffer` remains the simplest choice
+//! when requests are rare or exactly serialized statistics matter more than
+//! throughput (it behaves like a `ShardedBuffer` with one shard whose
+//! requests never overlap).
 
 use crate::manager::{BufferManager, BufferStats};
-use asb_storage::{AccessContext, Page, PageId, PageMeta, PageStore, Result};
+use asb_storage::{
+    AccessContext, ConcurrentPageStore, IoStats, Page, PageId, PageMeta, PageStore, Result,
+};
 use bytes::Bytes;
 use parking_lot::Mutex;
 use std::sync::Arc;
@@ -29,14 +39,18 @@ pub struct SharedBuffer<S: PageStore> {
 
 impl<S: PageStore> Clone for SharedBuffer<S> {
     fn clone(&self) -> Self {
-        SharedBuffer { inner: Arc::clone(&self.inner) }
+        SharedBuffer {
+            inner: Arc::clone(&self.inner),
+        }
     }
 }
 
 impl<S: PageStore> SharedBuffer<S> {
     /// Wraps `store` with `buffer` behind a shared handle.
     pub fn new(store: S, buffer: BufferManager) -> Self {
-        SharedBuffer { inner: Arc::new(Mutex::new(Inner { store, buffer })) }
+        SharedBuffer {
+            inner: Arc::new(Mutex::new(Inner { store, buffer })),
+        }
     }
 
     /// Reads a page through the shared buffer.
@@ -83,6 +97,23 @@ impl<S: PageStore> SharedBuffer<S> {
         let mut g = self.inner.lock();
         let Inner { store, buffer } = &mut *g;
         f(store, buffer)
+    }
+}
+
+impl<S: ConcurrentPageStore> SharedBuffer<S> {
+    /// Physical I/O statistics of the backing store.
+    pub fn io_stats(&self) -> IoStats {
+        self.inner.lock().store.io_stats()
+    }
+
+    /// Resets the backing store's I/O statistics.
+    ///
+    /// [`clear`](SharedBuffer::clear) only resets *buffer* statistics; a
+    /// measurement window that also counts physical accesses must call this
+    /// as well, or the store's counters carry stale totals from before the
+    /// clear.
+    pub fn reset_io_stats(&self) {
+        self.inner.lock().store.reset_io_stats()
     }
 }
 
@@ -135,7 +166,8 @@ mod tests {
         let id = disk.allocate(meta(), Bytes::from_static(b"old")).unwrap();
         let a = SharedBuffer::new(disk, BufferManager::with_policy(PolicyKind::Lru, 4));
         let b = a.clone();
-        a.write(Page::new(id, meta(), Bytes::from_static(b"new")).unwrap()).unwrap();
+        a.write(Page::new(id, meta(), Bytes::from_static(b"new")).unwrap())
+            .unwrap();
         let got = b.read(id, AccessContext::default()).unwrap();
         assert_eq!(got.payload.as_ref(), b"new");
     }

@@ -28,6 +28,19 @@
 //! buffering. Writes are write-through, so evictions never perform I/O and
 //! the paper's "number of disk accesses" is exactly the number of buffer
 //! misses.
+//!
+//! ## Concurrency
+//!
+//! Two thread-safe pools wrap the same `BufferManager` machinery:
+//!
+//! * [`concurrent::SharedBuffer`] — one coarse mutex around store + buffer;
+//!   simplest, exactly serialized.
+//! * [`ShardedBuffer`] — the pool is striped over independently locked
+//!   shards (deterministic page-id hashing), the store sits behind a
+//!   reader-writer lock and is only read-locked on misses. With one shard
+//!   and one thread it reproduces the sequential buffer's counts exactly;
+//!   with many shards, hits and misses in different shards proceed in
+//!   parallel.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -37,13 +50,16 @@ mod manager;
 mod order;
 mod policies;
 mod policy;
+pub mod sharded;
 
+pub use concurrent::SharedBuffer;
 pub use manager::{BufferManager, BufferStats, BufferedStore};
 pub use policies::{
     AsbParams, AsbPolicy, ClockPolicy, FifoPolicy, LruKPolicy, LruPolicy, LruPriorityPolicy,
     LruTypePolicy, RandomPolicy, SlruPolicy, SpatialPolicy, TwoQPolicy,
 };
 pub use policy::{PolicyKind, ReplacementPolicy};
+pub use sharded::ShardedBuffer;
 
 // Re-exported for convenience: the criterion enum lives in asb-geom because
 // pages carry precomputed criterion inputs.

@@ -1,7 +1,5 @@
 use crate::policy::{PolicyKind, ReplacementPolicy};
-use asb_storage::{
-    AccessContext, Page, PageId, PageMeta, PageStore, Result, StorageError,
-};
+use asb_storage::{AccessContext, Page, PageId, PageMeta, PageStore, Result, StorageError};
 use bytes::Bytes;
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
@@ -31,6 +29,33 @@ impl BufferStats {
         } else {
             self.hits as f64 / self.logical_reads as f64
         }
+    }
+}
+
+impl std::ops::Add for BufferStats {
+    type Output = BufferStats;
+
+    fn add(self, rhs: BufferStats) -> BufferStats {
+        BufferStats {
+            logical_reads: self.logical_reads + rhs.logical_reads,
+            hits: self.hits + rhs.hits,
+            misses: self.misses + rhs.misses,
+            evictions: self.evictions + rhs.evictions,
+        }
+    }
+}
+
+impl std::ops::AddAssign for BufferStats {
+    fn add_assign(&mut self, rhs: BufferStats) {
+        *self = *self + rhs;
+    }
+}
+
+impl std::iter::Sum for BufferStats {
+    /// Sums per-shard snapshots into pool-wide statistics (used by the
+    /// sharded buffer pool).
+    fn sum<I: Iterator<Item = BufferStats>>(iter: I) -> BufferStats {
+        iter.fold(BufferStats::default(), |acc, s| acc + s)
     }
 }
 
@@ -158,6 +183,23 @@ impl BufferManager {
         id: PageId,
         ctx: AccessContext,
     ) -> Result<Page> {
+        self.read_through_with(id, ctx, |id, ctx| inner.read(id, ctx))
+    }
+
+    /// Reads a page through the buffer, calling `fetch` on a miss.
+    ///
+    /// This is the single read path of the buffer — [`read_through`]
+    /// delegates here, and the sharded pool passes a `fetch` that takes a
+    /// shared store lock — so hit/miss/eviction accounting is identical no
+    /// matter how the backing store is reached.
+    ///
+    /// [`read_through`]: BufferManager::read_through
+    pub fn read_through_with(
+        &mut self,
+        id: PageId,
+        ctx: AccessContext,
+        fetch: impl FnOnce(PageId, AccessContext) -> Result<Page>,
+    ) -> Result<Page> {
         self.stats.logical_reads += 1;
         self.tick += 1;
         if let Some(frame) = self.frames.get(&id) {
@@ -167,7 +209,7 @@ impl BufferManager {
             return Ok(page);
         }
         self.stats.misses += 1;
-        let page = inner.read(id, ctx)?;
+        let page = fetch(id, ctx)?;
         self.admit(page.clone(), ctx)?;
         Ok(page)
     }
@@ -194,9 +236,20 @@ impl BufferManager {
     ) -> Result<PageId> {
         let id = inner.allocate(meta, payload.clone())?;
         let page = Page::new(id, meta, payload)?;
-        self.tick += 1;
-        self.admit(page, AccessContext::default())?;
+        self.admit_allocated(page)?;
         Ok(id)
+    }
+
+    /// Admits a page that was just allocated in the backing store.
+    ///
+    /// The sharded pool allocates under the store lock, releases it, and
+    /// then admits under the owning shard's lock — this is the second phase,
+    /// with accounting identical to [`allocate_through`].
+    ///
+    /// [`allocate_through`]: BufferManager::allocate_through
+    pub fn admit_allocated(&mut self, page: Page) -> Result<()> {
+        self.tick += 1;
+        self.admit(page, AccessContext::default())
     }
 
     /// Frees a page in `inner` and drops any buffered copy.
@@ -228,14 +281,20 @@ impl BufferManager {
     /// Pins a resident page, excluding it from eviction until unpinned.
     /// Pins nest.
     pub fn pin(&mut self, id: PageId) -> Result<()> {
-        let frame = self.frames.get_mut(&id).ok_or(StorageError::PageNotFound(id))?;
+        let frame = self
+            .frames
+            .get_mut(&id)
+            .ok_or(StorageError::PageNotFound(id))?;
         frame.pins += 1;
         Ok(())
     }
 
     /// Releases one pin of a resident page.
     pub fn unpin(&mut self, id: PageId) -> Result<()> {
-        let frame = self.frames.get_mut(&id).ok_or(StorageError::PageNotFound(id))?;
+        let frame = self
+            .frames
+            .get_mut(&id)
+            .ok_or(StorageError::PageNotFound(id))?;
         if frame.pins == 0 {
             return Err(StorageError::NotPinned(id));
         }
@@ -354,7 +413,11 @@ mod tests {
             .map(|i| disk.allocate(meta(), Bytes::from(vec![i as u8])).unwrap())
             .collect();
         disk.reset_stats();
-        (disk, BufferManager::with_policy(PolicyKind::Lru, capacity), ids)
+        (
+            disk,
+            BufferManager::with_policy(PolicyKind::Lru, capacity),
+            ids,
+        )
     }
 
     fn ctx() -> AccessContext {
@@ -424,7 +487,10 @@ mod tests {
         buf.pin(ids[0]).unwrap();
         buf.unpin(ids[0]).unwrap();
         buf.unpin(ids[0]).unwrap();
-        assert_eq!(buf.unpin(ids[0]).unwrap_err(), StorageError::NotPinned(ids[0]));
+        assert_eq!(
+            buf.unpin(ids[0]).unwrap_err(),
+            StorageError::NotPinned(ids[0])
+        );
     }
 
     #[test]
@@ -483,8 +549,7 @@ mod tests {
             .iter()
             .map(|&id| disk.read(id, ctx()).unwrap())
             .collect();
-        let mut store =
-            BufferedStore::new(disk, BufferManager::with_policy(PolicyKind::Lru, 2));
+        let mut store = BufferedStore::new(disk, BufferManager::with_policy(PolicyKind::Lru, 2));
         for (i, &id) in ids.iter().enumerate() {
             let got = store.read(id, ctx()).unwrap();
             assert_eq!(got, raw[i]);
@@ -494,7 +559,12 @@ mod tests {
 
     #[test]
     fn hit_ratio_math() {
-        let s = BufferStats { logical_reads: 10, hits: 7, misses: 3, evictions: 0 };
+        let s = BufferStats {
+            logical_reads: 10,
+            hits: 7,
+            misses: 3,
+            evictions: 0,
+        };
         assert!((s.hit_ratio() - 0.7).abs() < 1e-12);
         assert_eq!(BufferStats::default().hit_ratio(), 0.0);
     }

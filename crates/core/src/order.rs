@@ -69,7 +69,11 @@ impl<K: Eq + Hash + Copy> LinkedOrder<K> {
         if self.index.contains_key(&key) {
             return false;
         }
-        let slot = self.alloc(Node { key, prev: self.tail, next: NIL });
+        let slot = self.alloc(Node {
+            key,
+            prev: self.tail,
+            next: NIL,
+        });
         if self.tail != NIL {
             self.nodes[self.tail].next = slot;
         } else {
@@ -132,7 +136,10 @@ impl<K: Eq + Hash + Copy> LinkedOrder<K> {
 
     /// Iterates keys from front (oldest) to back (newest).
     pub fn iter(&self) -> Iter<'_, K> {
-        Iter { order: self, cursor: self.head }
+        Iter {
+            order: self,
+            cursor: self.head,
+        }
     }
 
     fn alloc(&mut self, node: Node<K>) -> usize {

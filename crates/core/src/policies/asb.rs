@@ -104,9 +104,8 @@ impl AsbPolicy {
         let overflow_cap =
             ((capacity as f64 * params.overflow_fraction).round() as usize).min(capacity - 1);
         let main_cap = capacity - overflow_cap;
-        let candidate =
-            ((main_cap as f64 * params.initial_candidate_fraction).round() as usize)
-                .clamp(1, main_cap);
+        let candidate = ((main_cap as f64 * params.initial_candidate_fraction).round() as usize)
+            .clamp(1, main_cap);
         let step = ((main_cap as f64 * params.step_fraction).round() as usize).max(1);
         AsbPolicy {
             params,
@@ -195,7 +194,10 @@ impl ReplacementPolicy for AsbPolicy {
     fn on_insert(&mut self, page: &Page, _ctx: AccessContext, now: u64) {
         self.info.insert(
             page.id,
-            PageInfo { crit: page.meta.stats.criterion(self.params.criterion), last_access: now },
+            PageInfo {
+                crit: page.meta.stats.criterion(self.params.criterion),
+                last_access: now,
+            },
         );
         self.main.push_back(page.id);
         if self.main.len() > self.main_cap {
@@ -361,16 +363,17 @@ mod tests {
     /// Plants a page directly in the overflow buffer with the given
     /// criterion value and last-access tick.
     fn plant_overflow(p: &mut AsbPolicy, raw: u64, crit: f64, last_access: u64) {
-        p.info.insert(PageId::new(raw), PageInfo { crit, last_access });
+        p.info
+            .insert(PageId::new(raw), PageInfo { crit, last_access });
         p.overflow.push_back(PageId::new(raw));
     }
 
     #[test]
     fn adaptation_decreases_when_spatially_better_pages_linger() {
         let mut p = asb(20); // overflow 4, main 16, candidate 4, step 1
-        // Target: smallest criterion (everyone beats it spatially) but the
-        // most recent access (nobody beats it on LRU). The spatial strategy
-        // misjudged this page -> rule 1: shrink the candidate set.
+                             // Target: smallest criterion (everyone beats it spatially) but the
+                             // most recent access (nobody beats it on LRU). The spatial strategy
+                             // misjudged this page -> rule 1: shrink the candidate set.
         plant_overflow(&mut p, 1, 1.0, 10);
         plant_overflow(&mut p, 2, 5.0, 1);
         plant_overflow(&mut p, 3, 6.0, 2);
@@ -449,7 +452,7 @@ mod tests {
     #[test]
     fn candidate_size_stays_clamped() {
         let mut p = asb(10); // overflow 2, main 8, candidate 2, step 1
-        // Force many shrink adaptations.
+                             // Force many shrink adaptations.
         p.candidate = 1;
         p.adapt_n_shrinks(50);
         assert_eq!(p.candidate_size(), Some(1));
@@ -498,6 +501,12 @@ mod tests {
     #[test]
     #[should_panic(expected = "overflow fraction")]
     fn full_overflow_fraction_is_rejected() {
-        let _ = AsbPolicy::new(10, AsbParams { overflow_fraction: 1.0, ..AsbParams::default() });
+        let _ = AsbPolicy::new(
+            10,
+            AsbParams {
+                overflow_fraction: 1.0,
+                ..AsbParams::default()
+            },
+        );
     }
 }

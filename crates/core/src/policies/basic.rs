@@ -133,7 +133,10 @@ impl ReplacementPolicy for ClockPolicy {
                 self.order.move_to_back(&hand);
                 continue;
             }
-            let bit = self.referenced.get_mut(&hand).expect("tracked page has a ref bit");
+            let bit = self
+                .referenced
+                .get_mut(&hand)
+                .expect("tracked page has a ref bit");
             if *bit {
                 *bit = false;
                 self.order.move_to_back(&hand);
@@ -231,7 +234,12 @@ mod tests {
     use bytes::Bytes;
 
     fn page(raw: u64) -> Page {
-        Page::new(PageId::new(raw), PageMeta::data(SpatialStats::EMPTY), Bytes::new()).unwrap()
+        Page::new(
+            PageId::new(raw),
+            PageMeta::data(SpatialStats::EMPTY),
+            Bytes::new(),
+        )
+        .unwrap()
     }
 
     fn ctx() -> AccessContext {

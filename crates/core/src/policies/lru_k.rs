@@ -45,7 +45,11 @@ impl LruKPolicy {
     /// Panics if `k == 0`.
     pub fn new(k: usize) -> Self {
         assert!(k >= 1, "LRU-K requires K >= 1");
-        LruKPolicy { k, history: HashMap::new(), resident: HashSet::new() }
+        LruKPolicy {
+            k,
+            history: HashMap::new(),
+            resident: HashSet::new(),
+        }
     }
 
     /// The configured K.
@@ -79,7 +83,9 @@ impl LruKPolicy {
     /// (= infinitely old) if fewer than K uncorrelated references exist.
     #[cfg(test)]
     fn hist_k(&self, id: &PageId) -> Option<u64> {
-        self.history.get(id).and_then(|h| h.times.get(self.k - 1).copied())
+        self.history
+            .get(id)
+            .and_then(|h| h.times.get(self.k - 1).copied())
     }
 }
 
@@ -162,7 +168,12 @@ mod tests {
     use bytes::Bytes;
 
     fn page(raw: u64) -> Page {
-        Page::new(PageId::new(raw), PageMeta::data(SpatialStats::EMPTY), Bytes::new()).unwrap()
+        Page::new(
+            PageId::new(raw),
+            PageMeta::data(SpatialStats::EMPTY),
+            Bytes::new(),
+        )
+        .unwrap()
     }
 
     fn q(n: u64) -> AccessContext {
@@ -186,7 +197,11 @@ mod tests {
         // Same query: refreshes HIST(p,1), does not create a second entry.
         p.on_hit(&page(1), q(1), 2);
         p.on_hit(&page(1), q(1), 3);
-        assert_eq!(p.hist_k(&PageId::new(1)), None, "only one uncorrelated reference");
+        assert_eq!(
+            p.hist_k(&PageId::new(1)),
+            None,
+            "only one uncorrelated reference"
+        );
         // Different query: now there are two.
         p.on_hit(&page(1), q(2), 4);
         assert_eq!(p.hist_k(&PageId::new(1)), Some(3));
@@ -198,7 +213,7 @@ mod tests {
         p.on_insert(&page(1), q(1), 1);
         p.on_hit(&page(1), q(2), 2); // page 1 has 2 uncorrelated refs
         p.on_insert(&page(2), q(3), 3); // page 2 has 1
-        // Victim selection happens for an access of a later query (q4).
+                                        // Victim selection happens for an access of a later query (q4).
         assert_eq!(p.select_victim(q(4), &all), Some(PageId::new(2)));
     }
 

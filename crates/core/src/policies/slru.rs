@@ -57,7 +57,8 @@ impl ReplacementPolicy for SlruPolicy {
     }
 
     fn on_insert(&mut self, page: &Page, _ctx: AccessContext, _now: u64) {
-        self.crit.insert(page.id, page.meta.stats.criterion(self.criterion));
+        self.crit
+            .insert(page.id, page.meta.stats.criterion(self.criterion));
         self.order.push_back(page.id);
     }
 
@@ -67,7 +68,8 @@ impl ReplacementPolicy for SlruPolicy {
 
     fn on_update(&mut self, page: &Page) {
         if self.crit.contains_key(&page.id) {
-            self.crit.insert(page.id, page.meta.stats.criterion(self.criterion));
+            self.crit
+                .insert(page.id, page.meta.stats.criterion(self.criterion));
         }
     }
 
@@ -129,9 +131,18 @@ mod tests {
 
     #[test]
     fn candidate_count_is_rounded_and_clamped() {
-        assert_eq!(SlruPolicy::new(100, 0.25, SpatialCriterion::Area).candidate_count(), 25);
-        assert_eq!(SlruPolicy::new(100, 0.5, SpatialCriterion::Area).candidate_count(), 50);
-        assert_eq!(SlruPolicy::new(2, 0.25, SpatialCriterion::Area).candidate_count(), 1);
+        assert_eq!(
+            SlruPolicy::new(100, 0.25, SpatialCriterion::Area).candidate_count(),
+            25
+        );
+        assert_eq!(
+            SlruPolicy::new(100, 0.5, SpatialCriterion::Area).candidate_count(),
+            50
+        );
+        assert_eq!(
+            SlruPolicy::new(2, 0.25, SpatialCriterion::Area).candidate_count(),
+            1
+        );
     }
 
     #[test]

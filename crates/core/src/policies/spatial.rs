@@ -24,7 +24,11 @@ pub struct SpatialPolicy {
 impl SpatialPolicy {
     /// Creates a spatial policy with the given criterion.
     pub fn new(criterion: SpatialCriterion) -> Self {
-        SpatialPolicy { criterion, crit: HashMap::new(), order: LinkedOrder::new() }
+        SpatialPolicy {
+            criterion,
+            crit: HashMap::new(),
+            order: LinkedOrder::new(),
+        }
     }
 
     /// The configured criterion.
@@ -39,7 +43,8 @@ impl ReplacementPolicy for SpatialPolicy {
     }
 
     fn on_insert(&mut self, page: &Page, _ctx: AccessContext, _now: u64) {
-        self.crit.insert(page.id, page.meta.stats.criterion(self.criterion));
+        self.crit
+            .insert(page.id, page.meta.stats.criterion(self.criterion));
         self.order.push_back(page.id);
     }
 
@@ -49,7 +54,8 @@ impl ReplacementPolicy for SpatialPolicy {
 
     fn on_update(&mut self, page: &Page) {
         if self.crit.contains_key(&page.id) {
-            self.crit.insert(page.id, page.meta.stats.criterion(self.criterion));
+            self.crit
+                .insert(page.id, page.meta.stats.criterion(self.criterion));
         }
     }
 

@@ -118,7 +118,12 @@ mod tests {
     use bytes::Bytes;
 
     fn page(raw: u64) -> Page {
-        Page::new(PageId::new(raw), PageMeta::data(SpatialStats::EMPTY), Bytes::new()).unwrap()
+        Page::new(
+            PageId::new(raw),
+            PageMeta::data(SpatialStats::EMPTY),
+            Bytes::new(),
+        )
+        .unwrap()
     }
 
     fn ctx() -> AccessContext {
@@ -178,7 +183,7 @@ mod tests {
     #[test]
     fn protected_queue_evicts_lru() {
         let mut p = TwoQPolicy::new(8); // kin 2
-        // Promote three pages into Am via ghosts.
+                                        // Promote three pages into Am via ghosts.
         for i in 0..3u64 {
             p.on_insert(&page(i), ctx(), i);
             p.on_remove(PageId::new(i));

@@ -21,7 +21,10 @@ use serde::{Deserialize, Serialize};
 ///    while at least one resident page satisfies `evictable` (i.e. is not
 ///    pinned), and its return value is always a resident, evictable page;
 /// 4. `now` ticks are strictly increasing across calls.
-pub trait ReplacementPolicy {
+///
+/// Policies must be [`Send`]: the sharded buffer pool moves each shard's
+/// policy behind a mutex shared across serving threads.
+pub trait ReplacementPolicy: Send {
     /// Human-readable policy name, as used in the paper's figures
     /// (e.g. `"LRU"`, `"LRU-2"`, `"A"`, `"SLRU 25%"`, `"ASB"`).
     fn name(&self) -> String;
@@ -128,9 +131,10 @@ impl PolicyKind {
             PolicyKind::TwoQ => Box::new(TwoQPolicy::new(capacity)),
             PolicyKind::LruK { k } => Box::new(LruKPolicy::new(k)),
             PolicyKind::Spatial(criterion) => Box::new(SpatialPolicy::new(criterion)),
-            PolicyKind::Slru { candidate_fraction, criterion } => {
-                Box::new(SlruPolicy::new(capacity, candidate_fraction, criterion))
-            }
+            PolicyKind::Slru {
+                candidate_fraction,
+                criterion,
+            } => Box::new(SlruPolicy::new(capacity, candidate_fraction, criterion)),
             PolicyKind::Asb => Box::new(AsbPolicy::new(capacity, AsbParams::default())),
             PolicyKind::AsbWith(params) => Box::new(AsbPolicy::new(capacity, params)),
         }
@@ -148,7 +152,9 @@ impl PolicyKind {
             PolicyKind::TwoQ => "2Q".into(),
             PolicyKind::LruK { k } => format!("LRU-{k}"),
             PolicyKind::Spatial(c) => c.short_name().into(),
-            PolicyKind::Slru { candidate_fraction, .. } => {
+            PolicyKind::Slru {
+                candidate_fraction, ..
+            } => {
                 format!("SLRU {:.0}%", candidate_fraction * 100.0)
             }
             PolicyKind::Asb | PolicyKind::AsbWith(_) => "ASB".into(),
@@ -172,8 +178,11 @@ mod tests {
         assert_eq!(PolicyKind::LruK { k: 2 }.label(), "LRU-2");
         assert_eq!(PolicyKind::Spatial(SpatialCriterion::Area).label(), "A");
         assert_eq!(
-            PolicyKind::Slru { candidate_fraction: 0.25, criterion: SpatialCriterion::Area }
-                .label(),
+            PolicyKind::Slru {
+                candidate_fraction: 0.25,
+                criterion: SpatialCriterion::Area
+            }
+            .label(),
             "SLRU 25%"
         );
         assert_eq!(PolicyKind::Asb.label(), "ASB");
@@ -191,7 +200,10 @@ mod tests {
             PolicyKind::TwoQ,
             PolicyKind::LruK { k: 3 },
             PolicyKind::Spatial(SpatialCriterion::Margin),
-            PolicyKind::Slru { candidate_fraction: 0.5, criterion: SpatialCriterion::Area },
+            PolicyKind::Slru {
+                candidate_fraction: 0.5,
+                criterion: SpatialCriterion::Area,
+            },
             PolicyKind::Asb,
         ] {
             let policy = kind.build(100);

@@ -1,0 +1,484 @@
+//! Lock-striped, parallel-serving buffer pool.
+//!
+//! [`SharedBuffer`](crate::concurrent::SharedBuffer) serializes every page
+//! request behind one mutex — correct, but a single hot lock. This module
+//! stripes the buffer across `N` independent *shards*: each shard owns its
+//! own frame table, replacement policy and statistics, and a page id is
+//! deterministically routed to exactly one shard. Requests for pages in
+//! different shards proceed in parallel; the backing store sits behind a
+//! reader-writer lock and is only read-locked on a miss (via
+//! [`ConcurrentPageStore::read_shared`]), so misses from different shards
+//! also overlap.
+//!
+//! # Reproduction guarantee
+//!
+//! With `shards = 1` and a single-threaded access trace, the pool runs the
+//! exact same code path as a sequential [`BufferManager`]
+//! ([`BufferManager::read_through_with`]), so hit, miss and eviction counts
+//! are bit-identical to the paper's measurement vehicle. With more shards
+//! each shard is a smaller, independent buffer of the same policy; the
+//! paper's self-tuning applies per shard.
+//!
+//! # Lock order
+//!
+//! `shard mutex → store lock`, everywhere. A thread never holds two shard
+//! locks, and allocation is two-phase (store write lock to obtain the id,
+//! release, then shard lock to admit), so no cycle exists.
+
+use crate::manager::{BufferManager, BufferStats};
+use crate::policy::PolicyKind;
+use asb_storage::{
+    AccessContext, ConcurrentPageStore, IoStats, Page, PageId, PageMeta, PageStore, Result,
+};
+use bytes::Bytes;
+use parking_lot::{Mutex, RwLock};
+use std::sync::Arc;
+
+/// SplitMix64 finalizer: a fast, well-mixing hash of a page id.
+///
+/// Deterministic by construction (never a seeded `RandomState`), so shard
+/// assignment — and therefore every per-shard statistic — is reproducible
+/// across runs and platforms.
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+struct Inner<S> {
+    store: RwLock<S>,
+    shards: Vec<Mutex<BufferManager>>,
+}
+
+/// A cloneable, thread-safe, lock-striped buffer pool.
+///
+/// Cloning the handle shares the same pool. All operations take `&self`;
+/// page ids are routed to shards by a deterministic hash, so two threads
+/// touching different shards never contend.
+///
+/// ```
+/// use asb_core::{PolicyKind, ShardedBuffer};
+/// use asb_geom::SpatialStats;
+/// use asb_storage::{AccessContext, DiskManager, PageMeta, PageStore};
+///
+/// let mut disk = DiskManager::new();
+/// let id = disk
+///     .allocate(PageMeta::data(SpatialStats::EMPTY), bytes::Bytes::from_static(b"hi"))
+///     .unwrap();
+/// disk.reset_stats();
+///
+/// let pool = ShardedBuffer::new(disk, PolicyKind::Asb, 64, 4);
+/// let reader = pool.clone();
+/// std::thread::scope(|s| {
+///     s.spawn(move || {
+///         for _ in 0..10 {
+///             reader.read(id, AccessContext::default()).unwrap();
+///         }
+///     });
+/// });
+/// assert_eq!(pool.stats().logical_reads, 10);
+/// assert_eq!(pool.io_stats().reads, 1); // one miss, nine hits
+/// ```
+pub struct ShardedBuffer<S: ConcurrentPageStore> {
+    inner: Arc<Inner<S>>,
+}
+
+impl<S: ConcurrentPageStore> Clone for ShardedBuffer<S> {
+    fn clone(&self) -> Self {
+        ShardedBuffer {
+            inner: Arc::clone(&self.inner),
+        }
+    }
+}
+
+impl<S: ConcurrentPageStore> std::fmt::Debug for ShardedBuffer<S> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ShardedBuffer")
+            .field("shards", &self.shard_count())
+            .field("capacity", &self.capacity())
+            .field("stats", &self.stats())
+            .finish()
+    }
+}
+
+impl<S: ConcurrentPageStore> ShardedBuffer<S> {
+    /// Creates a pool of `capacity` total pages striped over `shards`
+    /// shards, each running its own instance of `kind`.
+    ///
+    /// The capacity is split as evenly as possible (the first
+    /// `capacity % shards` shards get one extra page).
+    ///
+    /// # Panics
+    /// Panics if `shards == 0` or `capacity < shards` (every shard needs at
+    /// least one page to serve the page it is currently loading).
+    pub fn new(store: S, kind: PolicyKind, capacity: usize, shards: usize) -> Self {
+        assert!(shards >= 1, "a sharded buffer needs at least one shard");
+        assert!(
+            capacity >= shards,
+            "capacity ({capacity}) must be at least one page per shard ({shards})"
+        );
+        let base = capacity / shards;
+        let extra = capacity % shards;
+        let shards = (0..shards)
+            .map(|i| {
+                Mutex::new(BufferManager::with_policy(
+                    kind,
+                    base + usize::from(i < extra),
+                ))
+            })
+            .collect();
+        ShardedBuffer {
+            inner: Arc::new(Inner {
+                store: RwLock::new(store),
+                shards,
+            }),
+        }
+    }
+
+    fn shard_of(&self, id: PageId) -> usize {
+        (splitmix64(id.raw()) % self.inner.shards.len() as u64) as usize
+    }
+
+    /// Number of shards.
+    pub fn shard_count(&self) -> usize {
+        self.inner.shards.len()
+    }
+
+    /// Total pool capacity in pages (sum over shards).
+    pub fn capacity(&self) -> usize {
+        self.inner.shards.iter().map(|s| s.lock().capacity()).sum()
+    }
+
+    /// Reads a page; a miss fetches from the store under a shared lock, so
+    /// misses in different shards proceed in parallel.
+    pub fn read(&self, id: PageId, ctx: AccessContext) -> Result<Page> {
+        let mut shard = self.inner.shards[self.shard_of(id)].lock();
+        shard.read_through_with(id, ctx, |id, ctx| {
+            self.inner.store.read().read_shared(id, ctx)
+        })
+    }
+
+    /// Writes a page through its shard (write-through: the store is updated
+    /// under the exclusive lock, any resident copy is refreshed).
+    pub fn write(&self, page: Page) -> Result<()> {
+        let mut shard = self.inner.shards[self.shard_of(page.id)].lock();
+        let mut store = self.inner.store.write();
+        shard.write_through(&mut *store, page)
+    }
+
+    /// Allocates a page in the store and admits it to its shard.
+    ///
+    /// Two-phase: the store write lock is released before the shard lock is
+    /// taken (the id decides the shard, and the id only exists after
+    /// allocation), preserving the pool's `shard → store` lock order.
+    pub fn allocate(&self, meta: PageMeta, payload: Bytes) -> Result<PageId> {
+        let id = self.inner.store.write().allocate(meta, payload.clone())?;
+        let page = Page::new(id, meta, payload)?;
+        let mut shard = self.inner.shards[self.shard_of(id)].lock();
+        shard.admit_allocated(page)?;
+        Ok(id)
+    }
+
+    /// Frees a page in the store and drops any buffered copy.
+    pub fn free(&self, id: PageId) -> Result<()> {
+        let mut shard = self.inner.shards[self.shard_of(id)].lock();
+        let mut store = self.inner.store.write();
+        shard.free_through(&mut *store, id)
+    }
+
+    /// Whether `id` is currently buffered (no access is recorded).
+    pub fn contains(&self, id: PageId) -> bool {
+        self.inner.shards[self.shard_of(id)].lock().contains(id)
+    }
+
+    /// Number of currently resident pages across all shards.
+    pub fn resident(&self) -> usize {
+        self.inner.shards.iter().map(|s| s.lock().resident()).sum()
+    }
+
+    /// Pool-wide statistics: the sum of every shard's snapshot.
+    ///
+    /// Shards are snapshotted one at a time, so under concurrent load the
+    /// sum is a consistent total only once the pool is quiescent.
+    pub fn stats(&self) -> BufferStats {
+        self.shard_stats().into_iter().sum()
+    }
+
+    /// Per-shard statistics snapshots, in shard order.
+    pub fn shard_stats(&self) -> Vec<BufferStats> {
+        self.inner.shards.iter().map(|s| s.lock().stats()).collect()
+    }
+
+    /// Current ASB candidate-set size per shard (`None` entries for
+    /// policies without that notion).
+    pub fn shard_candidate_sizes(&self) -> Vec<Option<usize>> {
+        self.inner
+            .shards
+            .iter()
+            .map(|s| s.lock().candidate_size())
+            .collect()
+    }
+
+    /// Drops every buffered page and resets buffer statistics in all
+    /// shards. Store I/O statistics are separate — call
+    /// [`reset_io_stats`](ShardedBuffer::reset_io_stats) to clear those too.
+    pub fn clear(&self) {
+        for shard in &self.inner.shards {
+            shard.lock().clear();
+        }
+    }
+
+    /// Physical I/O statistics of the backing store.
+    pub fn io_stats(&self) -> IoStats {
+        self.inner.store.read().io_stats()
+    }
+
+    /// Resets the backing store's I/O statistics.
+    pub fn reset_io_stats(&self) {
+        self.inner.store.read().reset_io_stats()
+    }
+
+    /// Number of live pages in the backing store.
+    pub fn page_count(&self) -> usize {
+        self.inner.store.read().page_count()
+    }
+
+    /// Runs `f` with exclusive access to the backing store — an escape
+    /// hatch for bulk operations (never call pool methods from inside `f`;
+    /// that would take the store lock ahead of a shard lock).
+    pub fn with_store<R>(&self, f: impl FnOnce(&mut S) -> R) -> R {
+        f(&mut self.inner.store.write())
+    }
+
+    /// Unwraps the pool into its backing store, if this is the last handle.
+    pub fn try_into_store(self) -> std::result::Result<S, Self> {
+        match Arc::try_unwrap(self.inner) {
+            Ok(inner) => Ok(inner.store.into_inner()),
+            Err(inner) => Err(ShardedBuffer { inner }),
+        }
+    }
+}
+
+/// The pool is itself a [`PageStore`], so index structures (e.g.
+/// `RTree<ShardedBuffer<DiskManager>>`) can run on a shared pool: give each
+/// thread its own clone of the handle and its own index view.
+impl<S: ConcurrentPageStore> PageStore for ShardedBuffer<S> {
+    fn read(&mut self, id: PageId, ctx: AccessContext) -> Result<Page> {
+        ShardedBuffer::read(self, id, ctx)
+    }
+
+    fn write(&mut self, page: Page) -> Result<()> {
+        ShardedBuffer::write(self, page)
+    }
+
+    fn allocate(&mut self, meta: PageMeta, payload: Bytes) -> Result<PageId> {
+        ShardedBuffer::allocate(self, meta, payload)
+    }
+
+    fn free(&mut self, id: PageId) -> Result<()> {
+        ShardedBuffer::free(self, id)
+    }
+
+    fn page_count(&self) -> usize {
+        ShardedBuffer::page_count(self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use asb_geom::SpatialStats;
+    use asb_storage::{DiskManager, QueryId, StorageError};
+    use std::thread;
+
+    fn meta() -> PageMeta {
+        PageMeta::data(SpatialStats::EMPTY)
+    }
+
+    fn disk_with_pages(n: usize) -> (DiskManager, Vec<PageId>) {
+        let mut d = DiskManager::new();
+        let ids = (0..n)
+            .map(|i| d.allocate(meta(), Bytes::from(vec![i as u8])).unwrap())
+            .collect();
+        d.reset_stats();
+        (d, ids)
+    }
+
+    /// A deterministic page-access trace with skewed locality.
+    fn trace(ids: &[PageId], len: usize) -> Vec<(PageId, QueryId)> {
+        let mut state = 0xDEAD_BEEF_CAFE_F00Du64;
+        let mut rng = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        (0..len)
+            .map(|i| {
+                let hot = rng() % 10 < 7;
+                let span = if hot { ids.len() / 8 + 1 } else { ids.len() };
+                (
+                    ids[(rng() % span as u64) as usize],
+                    QueryId::new(i as u64 / 4),
+                )
+            })
+            .collect()
+    }
+
+    #[test]
+    fn routing_is_deterministic_and_total() {
+        let (disk, ids) = disk_with_pages(64);
+        let pool = ShardedBuffer::new(disk, PolicyKind::Lru, 32, 5);
+        for &id in &ids {
+            let a = pool.shard_of(id);
+            let b = pool.shard_of(id);
+            assert_eq!(a, b);
+            assert!(a < 5);
+        }
+    }
+
+    #[test]
+    fn capacity_splits_evenly_with_remainder_first() {
+        let (disk, _) = disk_with_pages(1);
+        let pool = ShardedBuffer::new(disk, PolicyKind::Lru, 10, 4);
+        let caps: Vec<usize> = pool
+            .inner
+            .shards
+            .iter()
+            .map(|s| s.lock().capacity())
+            .collect();
+        assert_eq!(caps, vec![3, 3, 2, 2]);
+        assert_eq!(pool.capacity(), 10);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one page per shard")]
+    fn undersized_capacity_panics() {
+        let (disk, _) = disk_with_pages(1);
+        let _ = ShardedBuffer::new(disk, PolicyKind::Lru, 3, 4);
+    }
+
+    #[test]
+    fn single_shard_matches_sequential_buffer_exactly() {
+        let (mut disk_a, ids) = disk_with_pages(128);
+        let accesses = trace(&ids, 4_000);
+
+        let mut sequential = BufferManager::with_policy(PolicyKind::Asb, 24);
+        for &(id, q) in &accesses {
+            sequential
+                .read_through(&mut disk_a, id, AccessContext::query(q))
+                .unwrap();
+        }
+
+        let (disk_b, _) = disk_with_pages(128);
+        let pool = ShardedBuffer::new(disk_b, PolicyKind::Asb, 24, 1);
+        for &(id, q) in &accesses {
+            pool.read(id, AccessContext::query(q)).unwrap();
+        }
+
+        assert_eq!(pool.stats(), sequential.stats());
+        assert_eq!(pool.io_stats().reads, disk_a.stats().reads);
+    }
+
+    #[test]
+    fn parallel_reads_preserve_accounting_invariants() {
+        let (disk, ids) = disk_with_pages(96);
+        let pool = ShardedBuffer::new(disk, PolicyKind::Lru, 32, 4);
+        thread::scope(|s| {
+            for t in 0..4u64 {
+                let pool = pool.clone();
+                let ids = ids.clone();
+                s.spawn(move || {
+                    for i in 0..500u64 {
+                        let id = ids[((t * 31 + i * 7) % ids.len() as u64) as usize];
+                        let page = pool
+                            .read(id, AccessContext::query(QueryId::new(i)))
+                            .unwrap();
+                        assert_eq!(page.id, id);
+                    }
+                });
+            }
+        });
+        let stats = pool.stats();
+        assert_eq!(stats.logical_reads, 2_000);
+        assert_eq!(stats.hits + stats.misses, stats.logical_reads);
+        assert!(pool.resident() <= pool.capacity());
+        assert_eq!(pool.io_stats().reads, stats.misses);
+    }
+
+    #[test]
+    fn writes_are_visible_across_handles_and_threads() {
+        let (disk, ids) = disk_with_pages(16);
+        let pool = ShardedBuffer::new(disk, PolicyKind::Lru, 16, 4);
+        thread::scope(|s| {
+            for (t, chunk) in ids.chunks(4).enumerate() {
+                let pool = pool.clone();
+                let chunk = chunk.to_vec();
+                s.spawn(move || {
+                    for &id in &chunk {
+                        let payload = Bytes::from(vec![t as u8 + 100]);
+                        pool.write(Page::new(id, meta(), payload).unwrap()).unwrap();
+                    }
+                });
+            }
+        });
+        for (t, chunk) in ids.chunks(4).enumerate() {
+            for &id in chunk {
+                let got = pool.read(id, AccessContext::default()).unwrap();
+                assert_eq!(
+                    got.payload.as_ref(),
+                    &[t as u8 + 100],
+                    "lost write to {id:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn allocate_and_free_route_to_the_owning_shard() {
+        let (disk, _) = disk_with_pages(0);
+        let pool = ShardedBuffer::new(disk, PolicyKind::Lru, 8, 2);
+        let id = pool.allocate(meta(), Bytes::from_static(b"fresh")).unwrap();
+        assert!(pool.contains(id), "allocated page must be admitted");
+        assert_eq!(
+            pool.read(id, AccessContext::default())
+                .unwrap()
+                .payload
+                .as_ref(),
+            b"fresh"
+        );
+        pool.free(id).unwrap();
+        assert!(!pool.contains(id));
+        assert_eq!(
+            pool.read(id, AccessContext::default()).unwrap_err(),
+            StorageError::PageNotFound(id)
+        );
+    }
+
+    #[test]
+    fn clear_and_reset_io_stats_start_a_fresh_measurement() {
+        let (disk, ids) = disk_with_pages(32);
+        let pool = ShardedBuffer::new(disk, PolicyKind::Lru, 16, 4);
+        for &id in &ids {
+            pool.read(id, AccessContext::default()).unwrap();
+        }
+        assert!(pool.io_stats().reads > 0);
+        pool.clear();
+        pool.reset_io_stats();
+        assert_eq!(pool.resident(), 0);
+        assert_eq!(pool.stats(), BufferStats::default());
+        assert_eq!(pool.io_stats(), IoStats::default());
+    }
+
+    #[test]
+    fn try_into_store_returns_the_disk_when_unique() {
+        let (disk, ids) = disk_with_pages(4);
+        let pool = ShardedBuffer::new(disk, PolicyKind::Lru, 4, 2);
+        let other = pool.clone();
+        let pool = pool.try_into_store().expect_err("second handle alive");
+        drop(other);
+        let disk = pool.try_into_store().expect("last handle");
+        assert_eq!(disk.page_count(), ids.len());
+    }
+}

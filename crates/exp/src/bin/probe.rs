@@ -2,16 +2,24 @@
 //!
 //! ```text
 //! probe [--scale S] [--seed N] [--db 1|2] [--frac F] [--set NAME]
+//!       [--threads N] [--shards M]
 //! ```
 //!
 //! Prints, for every policy, the disk accesses, hit ratio and I/O split of
 //! the chosen query set — the raw numbers behind the figures, useful when
 //! calibrating the synthetic workloads against the paper's described
 //! behaviour.
+//!
+//! `--threads N` computes the per-policy cells on N worker threads (same
+//! numbers, less wall-clock). `--shards M` additionally replays the query
+//! set against a sharded buffer pool with M shards served by N threads and
+//! reports the pool-wide statistics.
 
-use asb_core::{PolicyKind, SpatialCriterion};
-use asb_exp::Lab;
-use asb_workload::{DatasetKind, Distribution, QueryKind, QuerySetSpec, Scale};
+use asb_core::{PolicyKind, ShardedBuffer, SpatialCriterion};
+use asb_exp::{run_cells, ExperimentCell};
+use asb_rtree::RTree;
+use asb_storage::DiskManager;
+use asb_workload::{Dataset, DatasetKind, Distribution, QueryKind, QuerySetSpec, Scale};
 use std::process::ExitCode;
 
 fn spec_by_name(name: &str) -> Option<QuerySetSpec> {
@@ -31,7 +39,9 @@ fn spec_by_name(name: &str) -> Option<QuerySetSpec> {
     let kind = match rest {
         "P" => QueryKind::Point,
         "W" => QueryKind::ObjectWindow,
-        w => QueryKind::Window { ex: w.strip_prefix("W-")?.parse().ok()? },
+        w => QueryKind::Window {
+            ex: w.strip_prefix("W-")?.parse().ok()?,
+        },
     };
     Some(QuerySetSpec { dist, kind })
 }
@@ -42,6 +52,8 @@ fn main() -> ExitCode {
     let mut db = DatasetKind::Mainland;
     let mut frac = 0.047f64;
     let mut set = "INT-P".to_string();
+    let mut threads = 1usize;
+    let mut shards = 0usize;
     let mut it = std::env::args().skip(1);
     while let Some(arg) = it.next() {
         let mut next = || it.next().ok_or_else(|| format!("{arg} needs a value"));
@@ -71,6 +83,18 @@ fn main() -> ExitCode {
                     set = v.clone();
                     spec_by_name(&v).ok_or(format!("unknown query set {v}"))?;
                 }
+                "--threads" => {
+                    threads = next()?.parse().map_err(|e| format!("{e}"))?;
+                    if threads == 0 {
+                        return Err("--threads must be at least 1".into());
+                    }
+                }
+                "--shards" => {
+                    shards = next()?.parse().map_err(|e| format!("{e}"))?;
+                    if shards == 0 {
+                        return Err("--shards must be at least 1".into());
+                    }
+                }
                 o => return Err(format!("unknown argument {o}")),
             }
             Ok(())
@@ -82,11 +106,14 @@ fn main() -> ExitCode {
     }
     let spec = spec_by_name(&set).expect("validated above");
 
-    let mut lab = Lab::new(scale, seed);
-    let pages = lab.tree_pages(db);
+    let dataset = Dataset::generate(db, scale, seed);
+    let pages = RTree::bulk_load(DiskManager::new(), dataset.items())
+        .expect("bulk load")
+        .page_count();
+    let buffer_pages = ((pages as f64 * frac).round() as usize).max(4);
     println!(
-        "# db={db:?} scale={scale:?} pages={pages} buffer={frac} (= {} pages) set={set}",
-        ((pages as f64 * frac).round() as usize).max(4)
+        "# db={db:?} scale={scale:?} pages={pages} buffer={frac} (= {buffer_pages} pages) \
+         set={set} threads={threads}"
     );
     let policies = [
         PolicyKind::Lru,
@@ -97,16 +124,28 @@ fn main() -> ExitCode {
         PolicyKind::TwoQ,
         PolicyKind::LruK { k: 2 },
         PolicyKind::Spatial(SpatialCriterion::Area),
-        PolicyKind::Slru { candidate_fraction: 0.25, criterion: SpatialCriterion::Area },
+        PolicyKind::Slru {
+            candidate_fraction: 0.25,
+            criterion: SpatialCriterion::Area,
+        },
         PolicyKind::Asb,
     ];
     println!(
         "{:<10} {:>9} {:>9} {:>7} {:>9} {:>9} {:>9} {:>8}",
         "policy", "accesses", "logical", "hit%", "random", "seq", "sim[ms]", "gain%"
     );
-    let base = lab.run(db, PolicyKind::Lru, frac, spec);
-    for p in policies {
-        let r = lab.run(db, p, frac, spec);
+    let cells: Vec<ExperimentCell> = policies
+        .iter()
+        .map(|&policy| ExperimentCell {
+            db,
+            policy,
+            frac,
+            spec,
+        })
+        .collect();
+    let results = run_cells(scale, seed, threads, &cells);
+    let base = results[0]; // cells[0] is LRU, the paper's baseline
+    for (p, r) in policies.iter().zip(&results) {
         println!(
             "{:<10} {:>9} {:>9} {:>7.1} {:>9} {:>9} {:>9.0} {:>8.1}",
             p.label(),
@@ -119,5 +158,60 @@ fn main() -> ExitCode {
             r.gain_over(&base),
         );
     }
+
+    if shards > 0 {
+        sharded_replay(
+            &dataset,
+            spec,
+            seed,
+            buffer_pages.max(shards),
+            shards,
+            threads.max(2),
+        );
+    }
     ExitCode::SUCCESS
+}
+
+/// Replays the query set against one sharded pool served by several
+/// threads and prints the pool-wide statistics.
+fn sharded_replay(
+    dataset: &Dataset,
+    spec: QuerySetSpec,
+    seed: u64,
+    capacity: usize,
+    shards: usize,
+    threads: usize,
+) {
+    let queries = spec.generate(dataset, 2_000, seed ^ 0x0051_5e75);
+    for policy in [PolicyKind::Lru, PolicyKind::Asb] {
+        let tree = RTree::bulk_load(DiskManager::new(), dataset.items()).expect("bulk load");
+        let snap = tree.snapshot();
+        let pool = ShardedBuffer::new(tree.into_store(), policy, capacity, shards);
+        pool.reset_io_stats();
+        let started = std::time::Instant::now();
+        std::thread::scope(|s| {
+            for t in 0..threads {
+                let pool = pool.clone();
+                let queries = &queries;
+                s.spawn(move || {
+                    let mut view = RTree::attach(pool, snap);
+                    view.seed_query_counter((t as u64) << 32);
+                    for q in queries.iter().skip(t).step_by(threads) {
+                        view.execute(q).expect("viewport query");
+                    }
+                });
+            }
+        });
+        let elapsed = started.elapsed();
+        let stats = pool.stats();
+        let io = pool.io_stats();
+        println!(
+            "# sharded replay: policy={} shards={shards} threads={threads} capacity={capacity} \
+             logical={} hit%={:.1} disk={} wall={elapsed:.1?}",
+            policy.label(),
+            stats.logical_reads,
+            100.0 * stats.hit_ratio(),
+            io.reads,
+        );
+    }
 }

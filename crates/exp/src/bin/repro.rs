@@ -83,7 +83,13 @@ fn parse_args() -> Result<Args, String> {
     if figures.is_empty() && extensions.is_empty() {
         figures = FIGURE_IDS.to_vec();
     }
-    Ok(Args { figures, extensions, scale, seed, json })
+    Ok(Args {
+        figures,
+        extensions,
+        scale,
+        seed,
+        json,
+    })
 }
 
 fn main() -> ExitCode {
@@ -94,7 +100,10 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
-    let config = FigureConfig { scale: args.scale, seed: args.seed };
+    let config = FigureConfig {
+        scale: args.scale,
+        seed: args.seed,
+    };
     eprintln!(
         "# reproducing figures {:?} at scale {:?} (seed {})",
         args.figures, config.scale, config.seed
@@ -104,7 +113,11 @@ fn main() -> ExitCode {
     for &id in &args.figures {
         let started = std::time::Instant::now();
         let tables = figure(id, &mut lab);
-        eprintln!("# figure {id}: {} table(s) in {:.1?}", tables.len(), started.elapsed());
+        eprintln!(
+            "# figure {id}: {} table(s) in {:.1?}",
+            tables.len(),
+            started.elapsed()
+        );
         for t in &tables {
             println!("{}", t.render_text());
         }
@@ -114,7 +127,11 @@ fn main() -> ExitCode {
         let started = std::time::Instant::now();
         let tables = extension(name, config.scale, config.seed)
             .expect("extension names validated during parsing");
-        eprintln!("# extension {name}: {} table(s) in {:.1?}", tables.len(), started.elapsed());
+        eprintln!(
+            "# extension {name}: {} table(s) in {:.1?}",
+            tables.len(),
+            started.elapsed()
+        );
         for t in &tables {
             println!("{}", t.render_text());
         }

@@ -63,7 +63,8 @@ pub fn ext_object_pages(scale: Scale, seed: u64) -> FigureTable {
         .collect();
     let objects = ObjectStore::build(&mut disk, &records).expect("object store");
     let mut tree = RTree::bulk_load(disk, dataset.items()).expect("bulk load");
-    tree.assign_object_pages(|id| objects.page_of(id)).expect("assign object pages");
+    tree.assign_object_pages(|id| objects.page_of(id))
+        .expect("assign object pages");
 
     let pages = tree.page_count();
     let buffer_pages = ((pages as f64) * 0.047).round() as usize;
@@ -93,7 +94,10 @@ pub fn ext_object_pages(scale: Scale, seed: u64) -> FigureTable {
                 points.push((spec.name(), (lru as f64 / reads as f64 - 1.0) * 100.0));
             }
         }
-        series.push(Series { name: name.into(), points });
+        series.push(Series {
+            name: name.into(),
+            points,
+        });
     }
     FigureTable {
         id: "ext-object-pages".into(),
@@ -111,8 +115,11 @@ pub fn ext_object_pages(scale: Scale, seed: u64) -> FigureTable {
 pub fn ext_cross_sam(scale: Scale, seed: u64) -> FigureTable {
     let dataset = Dataset::generate(DatasetKind::Mainland, scale, seed);
     let queries = QuerySetSpec::uniform_windows(33).generate(&dataset, 1500, seed ^ 0x5A11);
-    let centers: Vec<(u64, Point)> =
-        dataset.items().iter().map(|it| (it.id, it.mbr.center())).collect();
+    let centers: Vec<(u64, Point)> = dataset
+        .items()
+        .iter()
+        .map(|it| (it.id, it.mbr.center()))
+        .collect();
 
     let contenders = [
         (PolicyKind::LruK { k: 2 }, "LRU-2"),
@@ -121,17 +128,19 @@ pub fn ext_cross_sam(scale: Scale, seed: u64) -> FigureTable {
     ];
 
     // One closure per SAM: build, then return per-policy disk accesses.
-    let run_all = |label: &str,
-                       mut run: Box<dyn FnMut(PolicyKind) -> u64>|
-     -> (String, Vec<(String, f64)>) {
-        let lru = run(PolicyKind::Lru);
-        let mut points = vec![];
-        for (p, name) in contenders {
-            let reads = run(p);
-            points.push((format!("{label}/{name}"), (lru as f64 / reads as f64 - 1.0) * 100.0));
-        }
-        (label.to_string(), points)
-    };
+    let run_all =
+        |label: &str, mut run: Box<dyn FnMut(PolicyKind) -> u64>| -> (String, Vec<(String, f64)>) {
+            let lru = run(PolicyKind::Lru);
+            let mut points = vec![];
+            for (p, name) in contenders {
+                let reads = run(p);
+                points.push((
+                    format!("{label}/{name}"),
+                    (lru as f64 / reads as f64 - 1.0) * 100.0,
+                ));
+            }
+            (label.to_string(), points)
+        };
 
     // R*-tree.
     let mut rtree = RTree::bulk_load(DiskManager::new(), dataset.items()).expect("rtree");
@@ -152,12 +161,9 @@ pub fn ext_cross_sam(scale: Scale, seed: u64) -> FigureTable {
     );
 
     // Quadtree (same MBR data).
-    let mut quad = QuadTree::with_config(
-        DiskManager::new(),
-        dataset.bounds(),
-        QuadConfig::default(),
-    )
-    .expect("quadtree");
+    let mut quad =
+        QuadTree::with_config(DiskManager::new(), dataset.bounds(), QuadConfig::default())
+            .expect("quadtree");
     for it in dataset.items() {
         quad.insert(*it).expect("insert");
     }
@@ -179,8 +185,7 @@ pub fn ext_cross_sam(scale: Scale, seed: u64) -> FigureTable {
 
     // Z-order B+-tree (indexes object centers; same windows,
     // point-in-window semantics).
-    let mut zb = ZBTree::bulk_load(DiskManager::new(), dataset.bounds(), &centers)
-        .expect("zbtree");
+    let mut zb = ZBTree::bulk_load(DiskManager::new(), dataset.bounds(), &centers).expect("zbtree");
     let zb_buffer = ((zb.page_count() as f64) * 0.047).round().max(8.0) as usize;
     let queries_z = queries;
     let (_, zb_points) = run_all(
@@ -205,7 +210,10 @@ pub fn ext_cross_sam(scale: Scale, seed: u64) -> FigureTable {
             ("Quadtree".to_string(), quad_points[i].1),
             ("Z-B+tree".to_string(), zb_points[i].1),
         ];
-        series.push(Series { name: (*name).into(), points });
+        series.push(Series {
+            name: (*name).into(),
+            points,
+        });
     }
     FigureTable {
         id: "ext-cross-sam".into(),
@@ -260,7 +268,8 @@ pub fn ext_moving_objects(scale: Scale, seed: u64) -> FigureTable {
                 let deleted = tree.delete(it.id, &it.mbr).expect("delete")
                     || tree.delete(it.id, &moved).expect("delete moved");
                 if deleted {
-                    tree.insert(asb_geom::SpatialItem::new(it.id, moved)).expect("insert");
+                    tree.insert(asb_geom::SpatialItem::new(it.id, moved))
+                        .expect("insert");
                 }
             }
             mover = (mover + 1009) % items.len();

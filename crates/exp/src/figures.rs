@@ -21,12 +21,17 @@ pub struct FigureConfig {
 
 impl Default for FigureConfig {
     fn default() -> Self {
-        FigureConfig { scale: Scale::Medium, seed: 42 }
+        FigureConfig {
+            scale: Scale::Medium,
+            seed: 42,
+        }
     }
 }
 
-const DB_BOTH: [(DatasetKind, &str); 2] =
-    [(DatasetKind::Mainland, "database 1"), (DatasetKind::World, "database 2")];
+const DB_BOTH: [(DatasetKind, &str); 2] = [
+    (DatasetKind::Mainland, "database 1"),
+    (DatasetKind::World, "database 2"),
+];
 
 /// The two buffer sizes most figures contrast.
 const SMALL_LARGE: [(f64, &str); 2] = [(0.006, "0.6% buffer"), (0.047, "4.7% buffer")];
@@ -45,7 +50,10 @@ fn family(make: fn(QueryKind) -> QuerySetSpec) -> Vec<QuerySetSpec> {
 }
 
 fn uniform_family() -> Vec<QuerySetSpec> {
-    family(|k| QuerySetSpec { dist: asb_workload::Distribution::Uniform, kind: k })
+    family(|k| QuerySetSpec {
+        dist: asb_workload::Distribution::Uniform,
+        kind: k,
+    })
 }
 
 fn intensified_family() -> Vec<QuerySetSpec> {
@@ -92,9 +100,10 @@ fn gain_series(
 pub fn fig4(lab: &mut Lab) -> Vec<FigureTable> {
     let mut tables = Vec::new();
     for (db, db_name) in DB_BOTH {
-        for (sets, dist_name) in
-            [(uniform_family(), "uniform"), (intensified_family(), "intensified")]
-        {
+        for (sets, dist_name) in [
+            (uniform_family(), "uniform"),
+            (intensified_family(), "intensified"),
+        ] {
             let series = BUFFER_FRACS
                 .iter()
                 .map(|&frac| {
@@ -221,7 +230,10 @@ pub fn fig7(lab: &mut Lab) -> Vec<FigureTable> {
 
 /// Figure 8: identical and similar distributions.
 pub fn fig8(lab: &mut Lab) -> Vec<FigureTable> {
-    let mut sets = vec![QuerySetSpec::identical_points(), QuerySetSpec::identical_windows()];
+    let mut sets = vec![
+        QuerySetSpec::identical_points(),
+        QuerySetSpec::identical_windows(),
+    ];
     sets.extend(family(QuerySetSpec::similar));
     comparison_figure(lab, "fig8", "identical & similar distributions", &sets)
 }
@@ -230,7 +242,12 @@ pub fn fig8(lab: &mut Lab) -> Vec<FigureTable> {
 pub fn fig9(lab: &mut Lab) -> Vec<FigureTable> {
     let mut sets = family(QuerySetSpec::independent);
     sets.extend(intensified_family());
-    comparison_figure(lab, "fig9", "independent & intensified distributions", &sets)
+    comparison_figure(
+        lab,
+        "fig9",
+        "independent & intensified distributions",
+        &sets,
+    )
 }
 
 /// Figure 12: pure A vs the static combinations SLRU 50 % and SLRU 25 %.
@@ -239,11 +256,17 @@ pub fn fig12(lab: &mut Lab) -> Vec<FigureTable> {
     let policies = [
         (PolicyKind::Spatial(SpatialCriterion::Area), "A"),
         (
-            PolicyKind::Slru { candidate_fraction: 0.5, criterion: SpatialCriterion::Area },
+            PolicyKind::Slru {
+                candidate_fraction: 0.5,
+                criterion: SpatialCriterion::Area,
+            },
             "SLRU 50%",
         ),
         (
-            PolicyKind::Slru { candidate_fraction: 0.25, criterion: SpatialCriterion::Area },
+            PolicyKind::Slru {
+                candidate_fraction: 0.25,
+                criterion: SpatialCriterion::Area,
+            },
             "SLRU 25%",
         ),
     ];
@@ -256,9 +279,7 @@ pub fn fig12(lab: &mut Lab) -> Vec<FigureTable> {
             y_label: "gain vs LRU [%]".into(),
             series: policies
                 .iter()
-                .map(|&(p, name)| {
-                    gain_series(lab, DatasetKind::Mainland, p, frac, &sets, name)
-                })
+                .map(|&(p, name)| gain_series(lab, DatasetKind::Mainland, p, frac, &sets, name))
                 .collect(),
         })
         .collect()
@@ -270,7 +291,10 @@ pub fn fig13(lab: &mut Lab) -> Vec<FigureTable> {
     let policies = [
         (PolicyKind::Spatial(SpatialCriterion::Area), "A"),
         (
-            PolicyKind::Slru { candidate_fraction: 0.25, criterion: SpatialCriterion::Area },
+            PolicyKind::Slru {
+                candidate_fraction: 0.25,
+                criterion: SpatialCriterion::Area,
+            },
             "SLRU",
         ),
         (PolicyKind::Asb, "ASB"),
@@ -348,7 +372,10 @@ pub fn figure(id: u8, lab: &mut Lab) -> Vec<FigureTable> {
 /// Runs every data figure.
 pub fn all_figures(config: FigureConfig) -> Vec<FigureTable> {
     let mut lab = Lab::new(config.scale, config.seed);
-    FIGURE_IDS.iter().flat_map(|&id| figure(id, &mut lab)).collect()
+    FIGURE_IDS
+        .iter()
+        .flat_map(|&id| figure(id, &mut lab))
+        .collect()
 }
 
 #[cfg(test)]
@@ -377,7 +404,11 @@ mod tests {
         let mut lab = Lab::new(Scale::Tiny, 7);
         let tables = fig6(&mut lab);
         for t in &tables {
-            let a = t.series.iter().find(|s| s.name == "A").expect("A series present");
+            let a = t
+                .series
+                .iter()
+                .find(|s| s.name == "A")
+                .expect("A series present");
             for (x, v) in &a.points {
                 assert!((v - 100.0).abs() < 1e-9, "{x}: A must be its own baseline");
             }

@@ -61,7 +61,11 @@ impl TreeHarness {
         let tree = RTree::bulk_load(DiskManager::new(), dataset.items())
             .expect("bulk load of a generated dataset cannot fail");
         let pages = tree.page_count();
-        TreeHarness { tree, dataset, pages }
+        TreeHarness {
+            tree,
+            dataset,
+            pages,
+        }
     }
 
     fn buffer_pages(&self, frac: f64) -> usize {
@@ -158,7 +162,8 @@ impl Lab {
         let queries = self.queries(kind, spec);
         let h = self.harness(kind);
         let buffer_pages = h.buffer_pages(frac);
-        h.tree.set_buffer(BufferManager::with_policy(policy, buffer_pages));
+        h.tree
+            .set_buffer(BufferManager::with_policy(policy, buffer_pages));
         h.tree.store_mut().reset_stats();
         let mut result_objects = 0u64;
         for q in &queries {
@@ -234,7 +239,8 @@ impl Lab {
         };
         let h = self.harness(kind);
         let buffer_pages = h.buffer_pages(frac);
-        h.tree.set_buffer(BufferManager::with_policy(PolicyKind::Asb, buffer_pages));
+        h.tree
+            .set_buffer(BufferManager::with_policy(PolicyKind::Asb, buffer_pages));
         let mut trace = Vec::with_capacity(all_queries.len());
         for (i, (_phase, q)) in all_queries.iter().enumerate() {
             h.tree.execute(q).expect("query execution");
@@ -323,7 +329,12 @@ mod tests {
     fn query_volume_respects_the_papers_rule() {
         let mut lab = lab();
         let spec = QuerySetSpec::uniform_windows(33);
-        let r = lab.run(DatasetKind::Mainland, PolicyKind::Lru, LARGEST_BUFFER_FRAC, spec);
+        let r = lab.run(
+            DatasetKind::Mainland,
+            PolicyKind::Lru,
+            LARGEST_BUFFER_FRAC,
+            spec,
+        );
         // "about 10 to 20 times higher than the buffer size" — allow slack
         // for the calibration heuristic (clamping dominates at tiny scale).
         assert!(
@@ -337,9 +348,10 @@ mod tests {
     #[test]
     fn candidate_trace_is_dense_and_bounded() {
         let mut lab = lab();
-        let specs = [QuerySetSpec::uniform_windows(33), QuerySetSpec::intensified(
-            asb_workload::QueryKind::Window { ex: 33 },
-        )];
+        let specs = [
+            QuerySetSpec::uniform_windows(33),
+            QuerySetSpec::intensified(asb_workload::QueryKind::Window { ex: 33 }),
+        ];
         let trace = lab.candidate_trace(DatasetKind::Mainland, 0.047, &specs);
         let bounds = lab.phase_boundaries(DatasetKind::Mainland, &specs);
         assert_eq!(trace.len(), *bounds.last().unwrap());

@@ -40,8 +40,11 @@ impl FigureTable {
             let _ = writeln!(out, "   (no data)");
             return out;
         }
-        let x_labels: Vec<&str> =
-            self.series[0].points.iter().map(|(x, _)| x.as_str()).collect();
+        let x_labels: Vec<&str> = self.series[0]
+            .points
+            .iter()
+            .map(|(x, _)| x.as_str())
+            .collect();
         let x_width = x_labels
             .iter()
             .map(|l| l.len())
@@ -110,7 +113,9 @@ mod tests {
     #[test]
     fn text_rendering_contains_all_cells() {
         let text = table().render_text();
-        for needle in ["fig7", "U-P", "U-W-33", "A", "LRU-2", "12.5", "30.0", "20.0", "1.2"] {
+        for needle in [
+            "fig7", "U-P", "U-W-33", "A", "LRU-2", "12.5", "30.0", "20.0", "1.2",
+        ] {
             assert!(text.contains(needle), "missing {needle} in:\n{text}");
         }
     }

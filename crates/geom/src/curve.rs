@@ -199,7 +199,13 @@ mod tests {
 
     #[test]
     fn z_order_roundtrip() {
-        for &(x, y) in &[(0u32, 0u32), (1, 2), (123, 456), (u32::MAX, 0), (u32::MAX, u32::MAX)] {
+        for &(x, y) in &[
+            (0u32, 0u32),
+            (1, 2),
+            (123, 456),
+            (u32::MAX, 0),
+            (u32::MAX, u32::MAX),
+        ] {
             assert_eq!(z_order_inverse(z_order(x, y)), (x, y));
         }
     }

@@ -79,7 +79,11 @@ mod tests {
 
     #[test]
     fn mbr_of_points_spans_all() {
-        let pts = [Point::new(0.0, 0.0), Point::new(2.0, 3.0), Point::new(-1.0, 1.0)];
+        let pts = [
+            Point::new(0.0, 0.0),
+            Point::new(2.0, 3.0),
+            Point::new(-1.0, 1.0),
+        ];
         let m = mbr_of(pts).unwrap();
         assert_eq!(m, Rect::new(-1.0, 0.0, 2.0, 3.0));
     }

@@ -31,7 +31,10 @@ impl Rect {
     /// Creates a rectangle from two corner points (any order).
     #[inline]
     pub fn from_corners(a: Point, b: Point) -> Self {
-        Rect { min: a.min(&b), max: a.max(&b) }
+        Rect {
+            min: a.min(&b),
+            max: a.max(&b),
+        }
     }
 
     /// The degenerate rectangle covering exactly one point.

@@ -212,10 +212,7 @@ mod tests {
     fn a_equals_ea_for_complete_disjoint_partition() {
         // Directory pages of SAMs partitioning the space completely and
         // without overlap: A and EA coincide (paper, Section 2.3).
-        let s = SpatialStats::from_rects(&[
-            r(0.0, 0.0, 1.0, 2.0),
-            r(1.0, 0.0, 2.0, 2.0),
-        ]);
+        let s = SpatialStats::from_rects(&[r(0.0, 0.0, 1.0, 2.0), r(1.0, 0.0, 2.0, 2.0)]);
         assert_eq!(
             s.criterion(SpatialCriterion::Area),
             s.criterion(SpatialCriterion::EntryArea)
@@ -224,7 +221,10 @@ mod tests {
 
     #[test]
     fn short_names_match_paper() {
-        let names: Vec<_> = SpatialCriterion::ALL.iter().map(|c| c.short_name()).collect();
+        let names: Vec<_> = SpatialCriterion::ALL
+            .iter()
+            .map(|c| c.short_name())
+            .collect();
         assert_eq!(names, ["A", "EA", "M", "EM", "EO"]);
     }
 }

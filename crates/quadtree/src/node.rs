@@ -50,7 +50,12 @@ pub struct QuadNode {
 impl QuadNode {
     /// An empty leaf page at the given depth.
     pub fn new_leaf(depth: u8) -> Self {
-        QuadNode { depth, children: [None; CHILDREN], next: None, entries: Vec::new() }
+        QuadNode {
+            depth,
+            children: [None; CHILDREN],
+            next: None,
+            entries: Vec::new(),
+        }
     }
 
     /// Whether this page has any child pointers (i.e. is the primary page
@@ -63,14 +68,21 @@ impl QuadNode {
     /// pages; the priority level decreases with depth (the root has the
     /// highest priority, like the R\*-tree root).
     pub fn page_meta(&self, max_depth: u8) -> PageMeta {
-        let stats = SpatialStats::from_rects(
-            &self.entries.iter().map(|e| e.mbr).collect::<Vec<_>>(),
-        );
+        let stats =
+            SpatialStats::from_rects(&self.entries.iter().map(|e| e.mbr).collect::<Vec<_>>());
         let level = (max_depth.saturating_sub(self.depth)).saturating_add(1);
         if self.is_internal() {
-            PageMeta { page_type: PageType::Directory, level: level.max(2), stats }
+            PageMeta {
+                page_type: PageType::Directory,
+                level: level.max(2),
+                stats,
+            }
         } else {
-            PageMeta { page_type: PageType::Data, level: 1, stats }
+            PageMeta {
+                page_type: PageType::Data,
+                level: 1,
+                stats,
+            }
         }
     }
 
@@ -79,10 +91,14 @@ impl QuadNode {
     /// Layout: `[tag u8][depth u8][count u16][reserved u32]`, continuation
     /// pointer, 4 child pointers, then entries.
     pub fn encode(&self) -> Bytes {
-        let mut buf =
-            BytesMut::with_capacity(PAGE_HEADER_SIZE + LINKS_SIZE + self.entries.len() * ENTRY_SIZE);
-        let tag =
-            if self.is_internal() { PageType::Directory } else { PageType::Data };
+        let mut buf = BytesMut::with_capacity(
+            PAGE_HEADER_SIZE + LINKS_SIZE + self.entries.len() * ENTRY_SIZE,
+        );
+        let tag = if self.is_internal() {
+            PageType::Directory
+        } else {
+            PageType::Data
+        };
         buf.put_u8(tag.tag());
         buf.put_u8(self.depth);
         buf.put_u16_le(self.entries.len() as u16);
@@ -136,11 +152,19 @@ impl QuadNode {
             let y1 = buf.get_f64_le();
             let object_id = buf.get_u64_le();
             entries.push(QuadEntry {
-                mbr: Rect { min: Point::new(x0, y0), max: Point::new(x1, y1) },
+                mbr: Rect {
+                    min: Point::new(x0, y0),
+                    max: Point::new(x1, y1),
+                },
                 object_id,
             });
         }
-        Ok(QuadNode { depth, children, next, entries })
+        Ok(QuadNode {
+            depth,
+            children,
+            next,
+            entries,
+        })
     }
 }
 
@@ -168,11 +192,11 @@ pub(crate) fn containing_quadrant(cell: &Rect, mbr: &Rect) -> Option<usize> {
     let top = mbr.min.y >= c.y;
     let bottom = mbr.max.y < c.y;
     match (left, right, bottom, top) {
-        (true, _, true, _) => Some(0),  // SW
-        (_, true, true, _) => Some(1),  // SE
-        (true, _, _, true) => Some(2),  // NW
-        (_, true, _, true) => Some(3),  // NE
-        _ => None,                      // straddles a center line
+        (true, _, true, _) => Some(0), // SW
+        (_, true, true, _) => Some(1), // SE
+        (true, _, _, true) => Some(2), // NW
+        (_, true, _, true) => Some(3), // NE
+        _ => None,                     // straddles a center line
     }
 }
 
@@ -192,8 +216,14 @@ mod tests {
             children: [Some(PageId::new(7)), None, Some(PageId::new(9)), None],
             next: Some(PageId::new(42)),
             entries: vec![
-                QuadEntry { mbr: Rect::new(0.0, 0.0, 1.0, 1.0), object_id: 5 },
-                QuadEntry { mbr: Rect::new(2.0, 2.0, 3.0, 4.0), object_id: 6 },
+                QuadEntry {
+                    mbr: Rect::new(0.0, 0.0, 1.0, 1.0),
+                    object_id: 5,
+                },
+                QuadEntry {
+                    mbr: Rect::new(2.0, 2.0, 3.0, 4.0),
+                    object_id: 6,
+                },
             ],
         }
     }
@@ -225,7 +255,10 @@ mod tests {
         }
         assert!(node.encode().len() <= PAGE_SIZE);
         let page = Page::new(PageId::new(1), node.page_meta(16), node.encode()).unwrap();
-        assert_eq!(QuadNode::decode(&page).unwrap().entries.len(), PAGE_CAPACITY);
+        assert_eq!(
+            QuadNode::decode(&page).unwrap().entries.len(),
+            PAGE_CAPACITY
+        );
     }
 
     #[test]
@@ -254,14 +287,32 @@ mod tests {
     #[test]
     fn containing_quadrant_assignments() {
         let cell = Rect::new(0.0, 0.0, 8.0, 8.0);
-        assert_eq!(containing_quadrant(&cell, &Rect::new(1.0, 1.0, 2.0, 2.0)), Some(0));
-        assert_eq!(containing_quadrant(&cell, &Rect::new(5.0, 1.0, 6.0, 2.0)), Some(1));
-        assert_eq!(containing_quadrant(&cell, &Rect::new(1.0, 5.0, 2.0, 6.0)), Some(2));
-        assert_eq!(containing_quadrant(&cell, &Rect::new(5.0, 5.0, 6.0, 6.0)), Some(3));
+        assert_eq!(
+            containing_quadrant(&cell, &Rect::new(1.0, 1.0, 2.0, 2.0)),
+            Some(0)
+        );
+        assert_eq!(
+            containing_quadrant(&cell, &Rect::new(5.0, 1.0, 6.0, 2.0)),
+            Some(1)
+        );
+        assert_eq!(
+            containing_quadrant(&cell, &Rect::new(1.0, 5.0, 2.0, 6.0)),
+            Some(2)
+        );
+        assert_eq!(
+            containing_quadrant(&cell, &Rect::new(5.0, 5.0, 6.0, 6.0)),
+            Some(3)
+        );
         // Straddles the vertical center line.
-        assert_eq!(containing_quadrant(&cell, &Rect::new(3.0, 1.0, 5.0, 2.0)), None);
+        assert_eq!(
+            containing_quadrant(&cell, &Rect::new(3.0, 1.0, 5.0, 2.0)),
+            None
+        );
         // Touching the center from the right belongs to the east side.
-        assert_eq!(containing_quadrant(&cell, &Rect::new(4.0, 0.0, 5.0, 1.0)), Some(1));
+        assert_eq!(
+            containing_quadrant(&cell, &Rect::new(4.0, 0.0, 5.0, 1.0)),
+            Some(1)
+        );
     }
 
     #[test]

@@ -1,8 +1,6 @@
 //! The disk-based bucket MX-CIF quadtree.
 
-use crate::node::{
-    containing_quadrant, quadrants, QuadEntry, QuadNode, CHILDREN, PAGE_CAPACITY,
-};
+use crate::node::{containing_quadrant, quadrants, QuadEntry, QuadNode, CHILDREN, PAGE_CAPACITY};
 use asb_core::{BufferManager, BufferStats};
 use asb_geom::{Query, Rect, SpatialItem};
 use asb_storage::{
@@ -20,7 +18,10 @@ pub struct QuadConfig {
 
 impl Default for QuadConfig {
     fn default() -> Self {
-        QuadConfig { max_depth: 12, bucket_capacity: PAGE_CAPACITY }
+        QuadConfig {
+            max_depth: 12,
+            bucket_capacity: PAGE_CAPACITY,
+        }
     }
 }
 
@@ -115,9 +116,16 @@ impl<S: PageStore> QuadTree<S> {
             });
         }
         let root_node = QuadNode::new_leaf(0);
-        let root =
-            store.allocate(root_node.page_meta(config.max_depth), root_node.encode())?;
-        Ok(QuadTree { store, buffer: None, config, bounds, root, len: 0, next_query: 0 })
+        let root = store.allocate(root_node.page_meta(config.max_depth), root_node.encode())?;
+        Ok(QuadTree {
+            store,
+            buffer: None,
+            config,
+            bounds,
+            root,
+            len: 0,
+            next_query: 0,
+        })
     }
 
     /// Bulk construction by repeated insertion (the quadtree's shape is
@@ -205,7 +213,9 @@ impl<S: PageStore> QuadTree<S> {
                 node.page_meta(self.config.max_depth),
                 node.encode(),
             ),
-            None => self.store.allocate(node.page_meta(self.config.max_depth), node.encode()),
+            None => self
+                .store
+                .allocate(node.page_meta(self.config.max_depth), node.encode()),
         }
     }
 
@@ -288,7 +298,10 @@ impl<S: PageStore> QuadTree<S> {
             });
         }
         self.next_query += 1;
-        let entry = QuadEntry { mbr: item.mbr, object_id: item.id };
+        let entry = QuadEntry {
+            mbr: item.mbr,
+            object_id: item.id,
+        };
         let mut node_id = self.root;
         let mut cell = self.bounds;
         let mut depth = 0u8;
@@ -333,9 +346,7 @@ impl<S: PageStore> QuadTree<S> {
                 // Leaf: append; split on overflow.
                 let (_, mut entries, chain) = self.read_chain(node_id)?;
                 entries.push(entry);
-                if entries.len() > self.config.bucket_capacity
-                    && depth < self.config.max_depth
-                {
+                if entries.len() > self.config.bucket_capacity && depth < self.config.max_depth {
                     self.split(node_id, cell, depth, entries, &chain)?;
                 } else {
                     self.write_chain(node_id, depth, [None; CHILDREN], &entries, &chain)?;
@@ -442,8 +453,9 @@ impl<S: PageStore> QuadTree<S> {
                 },
                 None => {
                     let (head, mut entries, chain) = self.read_chain(node_id)?;
-                    let Some(pos) =
-                        entries.iter().position(|e| e.object_id == id && e.mbr == *mbr)
+                    let Some(pos) = entries
+                        .iter()
+                        .position(|e| e.object_id == id && e.mbr == *mbr)
                     else {
                         return Ok(false);
                     };
@@ -543,7 +555,10 @@ impl<S: PageStore> QuadTree<S> {
         while let Some((id, cell, depth)) = stack.pop() {
             let node = self.read_node(id)?;
             if node.depth != depth {
-                return Err(corrupt(id, format!("depth {} != expected {depth}", node.depth)));
+                return Err(corrupt(
+                    id,
+                    format!("depth {} != expected {depth}", node.depth),
+                ));
             }
             if depth > self.config.max_depth {
                 return Err(corrupt(id, "node below max depth".into()));
@@ -565,7 +580,10 @@ impl<S: PageStore> QuadTree<S> {
             }
             for e in &chain_entries {
                 if !cell.contains(&e.mbr) {
-                    return Err(corrupt(id, format!("entry {} outside its cell", e.object_id)));
+                    return Err(corrupt(
+                        id,
+                        format!("entry {} outside its cell", e.object_id),
+                    ));
                 }
                 if internal && containing_quadrant(&cell, &e.mbr).is_some() {
                     return Err(corrupt(
@@ -585,7 +603,10 @@ impl<S: PageStore> QuadTree<S> {
         if objects != self.len {
             return Err(corrupt(
                 self.root,
-                format!("object count mismatch: nodes hold {objects}, tree records {}", self.len),
+                format!(
+                    "object count mismatch: nodes hold {objects}, tree records {}",
+                    self.len
+                ),
             ));
         }
         Ok(())
@@ -620,14 +641,20 @@ mod tests {
     }
 
     fn tiny_config() -> QuadConfig {
-        QuadConfig { max_depth: 8, bucket_capacity: 8 }
+        QuadConfig {
+            max_depth: 8,
+            bucket_capacity: 8,
+        }
     }
 
     #[test]
     fn empty_tree_answers_nothing() {
         let mut t = QuadTree::new(DiskManager::new(), bounds()).unwrap();
         assert!(t.is_empty());
-        assert_eq!(t.window_query(Rect::new(0.0, 0.0, 500.0, 500.0)).unwrap(), vec![]);
+        assert_eq!(
+            t.window_query(Rect::new(0.0, 0.0, 500.0, 500.0)).unwrap(),
+            vec![]
+        );
         t.validate().unwrap();
     }
 
@@ -647,8 +674,7 @@ mod tests {
     #[test]
     fn insert_and_query_matches_brute_force() {
         let items = scatter(500);
-        let mut t =
-            QuadTree::with_config(DiskManager::new(), bounds(), tiny_config()).unwrap();
+        let mut t = QuadTree::with_config(DiskManager::new(), bounds(), tiny_config()).unwrap();
         for &it in &items {
             t.insert(it).unwrap();
         }
@@ -662,8 +688,11 @@ mod tests {
         ] {
             let mut got = t.window_query(w).unwrap();
             got.sort_unstable();
-            let mut want: Vec<u64> =
-                items.iter().filter(|it| it.mbr.intersects(&w)).map(|it| it.id).collect();
+            let mut want: Vec<u64> = items
+                .iter()
+                .filter(|it| it.mbr.intersects(&w))
+                .map(|it| it.id)
+                .collect();
             want.sort_unstable();
             assert_eq!(got, want, "window {w:?}");
         }
@@ -672,8 +701,7 @@ mod tests {
     #[test]
     fn no_duplicates_in_answers() {
         let items = scatter(300);
-        let mut t =
-            QuadTree::with_config(DiskManager::new(), bounds(), tiny_config()).unwrap();
+        let mut t = QuadTree::with_config(DiskManager::new(), bounds(), tiny_config()).unwrap();
         for &it in &items {
             t.insert(it).unwrap();
         }
@@ -688,8 +716,7 @@ mod tests {
     #[test]
     fn splits_create_internal_nodes() {
         let items = scatter(400);
-        let mut t =
-            QuadTree::with_config(DiskManager::new(), bounds(), tiny_config()).unwrap();
+        let mut t = QuadTree::with_config(DiskManager::new(), bounds(), tiny_config()).unwrap();
         for &it in &items {
             t.insert(it).unwrap();
         }
@@ -705,7 +732,10 @@ mod tests {
         let mut t = QuadTree::with_config(
             DiskManager::new(),
             bounds(),
-            QuadConfig { max_depth: 8, bucket_capacity: 4 },
+            QuadConfig {
+                max_depth: 8,
+                bucket_capacity: 4,
+            },
         )
         .unwrap();
         // Objects crossing the root's center lines.
@@ -716,7 +746,8 @@ mod tests {
         // Plus clustered objects to force a split.
         for i in 10..40u64 {
             let x = 10.0 + (i as f64) * 3.0;
-            t.insert(SpatialItem::new(i, Rect::new(x, 10.0, x + 1.0, 11.0))).unwrap();
+            t.insert(SpatialItem::new(i, Rect::new(x, 10.0, x + 1.0, 11.0)))
+                .unwrap();
         }
         t.validate().unwrap();
         // All 40 retrievable.
@@ -730,23 +761,29 @@ mod tests {
         let mut t = QuadTree::with_config(
             DiskManager::new(),
             bounds(),
-            QuadConfig { max_depth: 3, bucket_capacity: 4 },
+            QuadConfig {
+                max_depth: 3,
+                bucket_capacity: 4,
+            },
         )
         .unwrap();
         for i in 0..200u64 {
-            t.insert(SpatialItem::new(i, Rect::new(1.0, 1.0, 1.5, 1.5))).unwrap();
+            t.insert(SpatialItem::new(i, Rect::new(1.0, 1.0, 1.5, 1.5)))
+                .unwrap();
         }
         t.validate().unwrap();
         let stats = t.stats().unwrap();
         assert!(stats.chain_pages > 0, "{stats:?}");
-        assert_eq!(t.window_query(Rect::new(0.0, 0.0, 2.0, 2.0)).unwrap().len(), 200);
+        assert_eq!(
+            t.window_query(Rect::new(0.0, 0.0, 2.0, 2.0)).unwrap().len(),
+            200
+        );
     }
 
     #[test]
     fn delete_removes_and_shrinks_chains() {
         let items = scatter(300);
-        let mut t =
-            QuadTree::with_config(DiskManager::new(), bounds(), tiny_config()).unwrap();
+        let mut t = QuadTree::with_config(DiskManager::new(), bounds(), tiny_config()).unwrap();
         for &it in &items {
             t.insert(it).unwrap();
         }
@@ -766,7 +803,8 @@ mod tests {
     #[test]
     fn delete_missing_returns_false() {
         let mut t = QuadTree::new(DiskManager::new(), bounds()).unwrap();
-        t.insert(SpatialItem::new(1, Rect::new(1.0, 1.0, 2.0, 2.0))).unwrap();
+        t.insert(SpatialItem::new(1, Rect::new(1.0, 1.0, 2.0, 2.0)))
+            .unwrap();
         assert!(!t.delete(2, &Rect::new(1.0, 1.0, 2.0, 2.0)).unwrap());
         assert!(!t.delete(1, &Rect::new(5.0, 5.0, 6.0, 6.0)).unwrap());
         assert_eq!(t.len(), 1);
@@ -776,8 +814,7 @@ mod tests {
     fn buffered_quadtree_gives_identical_answers() {
         use asb_core::PolicyKind;
         let items = scatter(400);
-        let mut plain =
-            QuadTree::with_config(DiskManager::new(), bounds(), tiny_config()).unwrap();
+        let mut plain = QuadTree::with_config(DiskManager::new(), bounds(), tiny_config()).unwrap();
         let mut buffered =
             QuadTree::with_config(DiskManager::new(), bounds(), tiny_config()).unwrap();
         for &it in &items {
@@ -801,12 +838,8 @@ mod tests {
     fn pages_report_meaningful_meta() {
         let items = scatter(300);
         let mut disk = DiskManager::new();
-        let mut t = QuadTree::with_config(
-            std::mem::take(&mut disk),
-            bounds(),
-            tiny_config(),
-        )
-        .unwrap();
+        let mut t =
+            QuadTree::with_config(std::mem::take(&mut disk), bounds(), tiny_config()).unwrap();
         for &it in &items {
             t.insert(it).unwrap();
         }

@@ -153,11 +153,17 @@ mod tests {
         c.dir_min = c.dir_max; // > max/2
         assert!(c.validate().is_err());
 
-        let c = RTreeConfig { leaf_max: 3, ..RTreeConfig::default() };
+        let c = RTreeConfig {
+            leaf_max: 3,
+            ..RTreeConfig::default()
+        };
         assert!(c.validate().is_err());
 
         let base = RTreeConfig::default();
-        let c = RTreeConfig { bulk_leaf_fill: base.leaf_max + 1, ..base };
+        let c = RTreeConfig {
+            bulk_leaf_fill: base.leaf_max + 1,
+            ..base
+        };
         assert!(c.validate().is_err());
     }
 }

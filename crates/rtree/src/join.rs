@@ -106,7 +106,10 @@ mod tests {
         for i in 0..n {
             let x = (i % side) as f64 * 3.0 + offset;
             let y = (i / side) as f64 * 3.0 + offset;
-            out.push(RTreeItem::new(start_id + i as u64, Rect::new(x, y, x + 2.0, y + 2.0)));
+            out.push(RTreeItem::new(
+                start_id + i as u64,
+                Rect::new(x, y, x + 2.0, y + 2.0),
+            ));
         }
         out
     }

@@ -38,4 +38,4 @@ mod tree;
 pub use config::RTreeConfig;
 pub use join::spatial_join;
 pub use node::{DirEntry, LeafEntry, Node, NodeKind};
-pub use tree::{RTree, RTreeItem, TreeStats};
+pub use tree::{RTree, RTreeItem, TreeSnapshot, TreeStats};

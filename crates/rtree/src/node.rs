@@ -49,13 +49,19 @@ pub struct Node {
 impl Node {
     /// Creates an empty leaf.
     pub fn new_leaf() -> Self {
-        Node { level: 1, kind: NodeKind::Leaf(Vec::new()) }
+        Node {
+            level: 1,
+            kind: NodeKind::Leaf(Vec::new()),
+        }
     }
 
     /// Creates an empty directory node at `level >= 2`.
     pub fn new_dir(level: u8) -> Self {
         debug_assert!(level >= 2);
-        Node { level, kind: NodeKind::Dir(Vec::new()) }
+        Node {
+            level,
+            kind: NodeKind::Dir(Vec::new()),
+        }
     }
 
     /// Whether this node is a leaf.
@@ -142,9 +148,17 @@ impl Node {
     /// entry — the paper's fan-outs on a 2 KiB page).
     pub fn encode(&self) -> Bytes {
         let count = self.len();
-        let entry_size = if self.is_leaf() { LEAF_ENTRY_SIZE } else { DIR_ENTRY_SIZE };
+        let entry_size = if self.is_leaf() {
+            LEAF_ENTRY_SIZE
+        } else {
+            DIR_ENTRY_SIZE
+        };
         let mut buf = BytesMut::with_capacity(PAGE_HEADER_SIZE + count * entry_size);
-        let tag = if self.is_leaf() { PageType::Data } else { PageType::Directory };
+        let tag = if self.is_leaf() {
+            PageType::Data
+        } else {
+            PageType::Directory
+        };
         buf.put_u8(tag.tag());
         buf.put_u8(self.level);
         buf.put_u16_le(count as u16);
@@ -194,9 +208,16 @@ impl Node {
                     let mbr = get_rect(&mut buf);
                     let object_id = buf.get_u64_le();
                     let object_page = buf.get_u64_le();
-                    entries.push(LeafEntry { mbr, object_id, object_page });
+                    entries.push(LeafEntry {
+                        mbr,
+                        object_id,
+                        object_page,
+                    });
                 }
-                Ok(Node { level: 1, kind: NodeKind::Leaf(entries) })
+                Ok(Node {
+                    level: 1,
+                    kind: NodeKind::Leaf(entries),
+                })
             }
             Some(PageType::Directory) => {
                 if level < 2 {
@@ -211,7 +232,10 @@ impl Node {
                     let child = PageId::new(buf.get_u64_le());
                     entries.push(DirEntry { mbr, child });
                 }
-                Ok(Node { level, kind: NodeKind::Dir(entries) })
+                Ok(Node {
+                    level,
+                    kind: NodeKind::Dir(entries),
+                })
             }
             _ => Err(corrupt("not an index page")),
         }
@@ -230,7 +254,10 @@ fn get_rect(buf: &mut Bytes) -> Rect {
     let y0 = buf.get_f64_le();
     let x1 = buf.get_f64_le();
     let y1 = buf.get_f64_le();
-    Rect { min: asb_geom::Point::new(x0, y0), max: asb_geom::Point::new(x1, y1) }
+    Rect {
+        min: asb_geom::Point::new(x0, y0),
+        max: asb_geom::Point::new(x1, y1),
+    }
 }
 
 #[cfg(test)]
@@ -246,7 +273,10 @@ mod tests {
                 object_page: 0,
             })
             .collect();
-        Node { level: 1, kind: NodeKind::Leaf(entries) }
+        Node {
+            level: 1,
+            kind: NodeKind::Leaf(entries),
+        }
     }
 
     fn dir_with(n: usize) -> Node {
@@ -256,7 +286,10 @@ mod tests {
                 child: PageId::new(100 + i as u64),
             })
             .collect();
-        Node { level: 2, kind: NodeKind::Dir(entries) }
+        Node {
+            level: 2,
+            kind: NodeKind::Dir(entries),
+        }
     }
 
     fn roundtrip(node: &Node) -> Node {
@@ -318,7 +351,10 @@ mod tests {
     fn decode_rejects_garbage() {
         let meta = PageMeta::data(SpatialStats::EMPTY);
         let page = Page::new(PageId::new(9), meta, Bytes::from_static(b"nonsense")).unwrap();
-        assert!(matches!(Node::decode(&page), Err(StorageError::Corrupt { .. })));
+        assert!(matches!(
+            Node::decode(&page),
+            Err(StorageError::Corrupt { .. })
+        ));
         let short = Page::new(PageId::new(9), meta, Bytes::from_static(b"ab")).unwrap();
         assert!(Node::decode(&short).is_err());
     }
@@ -337,8 +373,7 @@ mod tests {
         let node = leaf_with(3);
         let full = node.encode();
         let truncated = full.slice(0..full.len() - 8);
-        let page =
-            Page::new(PageId::new(3), node.page_meta(), truncated).unwrap();
+        let page = Page::new(PageId::new(3), node.page_meta(), truncated).unwrap();
         assert!(Node::decode(&page).is_err());
     }
 }

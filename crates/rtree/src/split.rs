@@ -77,7 +77,11 @@ fn sort_along<E: HasMbr>(entries: &mut [E], axis: usize, by_upper: bool) {
     entries.sort_by(|l, r| {
         let (lm, rm) = (l.mbr(), r.mbr());
         let key = |m: &Rect| -> (f64, f64) {
-            let (lo, hi) = if axis == 0 { (m.min.x, m.max.x) } else { (m.min.y, m.max.y) };
+            let (lo, hi) = if axis == 0 {
+                (m.min.x, m.max.x)
+            } else {
+                (m.min.y, m.max.y)
+            };
             if by_upper {
                 (hi, lo)
             } else {
@@ -206,7 +210,10 @@ mod tests {
     }
 
     fn dir(r: Rect, id: u64) -> DirEntry {
-        DirEntry { mbr: r, child: PageId::new(id) }
+        DirEntry {
+            mbr: r,
+            child: PageId::new(id),
+        }
     }
 
     #[test]

@@ -54,6 +54,25 @@ impl TreeStats {
     }
 }
 
+/// The structural identity of a tree, detached from its page store.
+///
+/// A snapshot plus a store handle reconstructs a working tree view
+/// ([`RTree::attach`]). The intended use is concurrent serving on a shared
+/// buffer pool: build (or bulk-load) a tree once, take its [`snapshot`],
+/// move the store into an `asb_core::ShardedBuffer`, and give every serving
+/// thread its own `RTree` attached to a clone of the pool handle. As long
+/// as no thread mutates the structure (insert/delete), all views stay
+/// consistent.
+///
+/// [`snapshot`]: RTree::snapshot
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TreeSnapshot {
+    root: PageId,
+    height: u8,
+    len: usize,
+    config: RTreeConfig,
+}
+
 enum AnyEntry {
     Leaf(LeafEntry),
     Dir(DirEntry),
@@ -129,7 +148,15 @@ impl<S: PageStore> RTree<S> {
         })?;
         let root_node = Node::new_leaf();
         let root = store.allocate(root_node.page_meta(), root_node.encode())?;
-        Ok(RTree { store, buffer: None, config, root, height: 1, len: 0, next_query: 0 })
+        Ok(RTree {
+            store,
+            buffer: None,
+            config,
+            root,
+            height: 1,
+            len: 0,
+            next_query: 0,
+        })
     }
 
     /// Bulk-loads a tree from `items` using the STR (sort-tile-recursive)
@@ -139,11 +166,7 @@ impl<S: PageStore> RTree<S> {
     }
 
     /// Bulk-loads with a custom configuration.
-    pub fn bulk_load_with(
-        mut store: S,
-        config: RTreeConfig,
-        items: &[RTreeItem],
-    ) -> Result<Self> {
+    pub fn bulk_load_with(mut store: S, config: RTreeConfig, items: &[RTreeItem]) -> Result<Self> {
         config.validate().map_err(|reason| StorageError::Corrupt {
             id: PageId::new(0),
             reason,
@@ -155,26 +178,52 @@ impl<S: PageStore> RTree<S> {
         // Level 1: tile items into leaves.
         let leaf_entries: Vec<LeafEntry> = items
             .iter()
-            .map(|it| LeafEntry { mbr: it.mbr, object_id: it.id, object_page: 0 })
+            .map(|it| LeafEntry {
+                mbr: it.mbr,
+                object_id: it.id,
+                object_page: 0,
+            })
             .collect();
-        let tiles = str_tiles(leaf_entries, config.bulk_leaf_fill, config.leaf_min, config.leaf_max);
+        let tiles = str_tiles(
+            leaf_entries,
+            config.bulk_leaf_fill,
+            config.leaf_min,
+            config.leaf_max,
+        );
         let mut level_entries: Vec<DirEntry> = Vec::with_capacity(tiles.len());
         for tile in tiles {
-            let node = Node { level: 1, kind: NodeKind::Leaf(tile) };
+            let node = Node {
+                level: 1,
+                kind: NodeKind::Leaf(tile),
+            };
             let id = store.allocate(node.page_meta(), node.encode())?;
-            level_entries.push(DirEntry { mbr: node.mbr().expect("non-empty tile"), child: id });
+            level_entries.push(DirEntry {
+                mbr: node.mbr().expect("non-empty tile"),
+                child: id,
+            });
         }
 
         // Upper levels until a single node remains.
         let mut level = 1u8;
         while level_entries.len() > 1 {
             level += 1;
-            let tiles = str_tiles(level_entries, config.bulk_dir_fill, config.dir_min, config.dir_max);
+            let tiles = str_tiles(
+                level_entries,
+                config.bulk_dir_fill,
+                config.dir_min,
+                config.dir_max,
+            );
             let mut next = Vec::with_capacity(tiles.len());
             for tile in tiles {
-                let node = Node { level, kind: NodeKind::Dir(tile) };
+                let node = Node {
+                    level,
+                    kind: NodeKind::Dir(tile),
+                };
                 let id = store.allocate(node.page_meta(), node.encode())?;
-                next.push(DirEntry { mbr: node.mbr().expect("non-empty tile"), child: id });
+                next.push(DirEntry {
+                    mbr: node.mbr().expect("non-empty tile"),
+                    child: id,
+                });
             }
             level_entries = next;
         }
@@ -253,6 +302,53 @@ impl<S: PageStore> RTree<S> {
     /// The tree's configuration.
     pub fn config(&self) -> &RTreeConfig {
         self.config_ref()
+    }
+
+    /// Captures the tree's structural identity (root, height, length,
+    /// configuration) so the store can be re-wrapped and re-attached — see
+    /// [`TreeSnapshot`].
+    pub fn snapshot(&self) -> TreeSnapshot {
+        TreeSnapshot {
+            root: self.root,
+            height: self.height,
+            len: self.len,
+            config: self.config,
+        }
+    }
+
+    /// Consumes the tree and returns its backing store (e.g. to move a
+    /// bulk-loaded disk into a shared buffer pool).
+    pub fn into_store(self) -> S {
+        self.store
+    }
+
+    /// Reconstructs a tree view over `store` from a [`TreeSnapshot`].
+    ///
+    /// The store must contain the pages the snapshot was taken over
+    /// (typically: the same store, or a buffer pool wrapping it). The view
+    /// starts with no buffer attached and query counter 0; concurrent views
+    /// should space their counters out with
+    /// [`seed_query_counter`](RTree::seed_query_counter).
+    pub fn attach(store: S, snapshot: TreeSnapshot) -> Self {
+        RTree {
+            store,
+            buffer: None,
+            config: snapshot.config,
+            root: snapshot.root,
+            height: snapshot.height,
+            len: snapshot.len,
+            next_query: 0,
+        }
+    }
+
+    /// Sets the query counter to `base`.
+    ///
+    /// Query ids tag accesses for correlated-reference detection (LRU-K).
+    /// Threads serving from separate views of one shared pool should use
+    /// disjoint ranges (e.g. `t * 1 << 32`) so accesses from different
+    /// threads are never treated as the same query.
+    pub fn seed_query_counter(&mut self, base: u64) {
+        self.next_query = base;
     }
 
     fn config_ref(&self) -> &RTreeConfig {
@@ -353,7 +449,10 @@ impl<S: PageStore> RTree<S> {
         impl Ord for Candidate {
             fn cmp(&self, other: &Self) -> std::cmp::Ordering {
                 // Reverse: BinaryHeap is a max-heap, we need the minimum.
-                other.dist.partial_cmp(&self.dist).expect("finite distances")
+                other
+                    .dist
+                    .partial_cmp(&self.dist)
+                    .expect("finite distances")
             }
         }
         impl PartialOrd for Candidate {
@@ -363,7 +462,10 @@ impl<S: PageStore> RTree<S> {
         }
 
         let mut heap = BinaryHeap::new();
-        heap.push(Candidate { dist: 0.0, target: Ok(self.root) });
+        heap.push(Candidate {
+            dist: 0.0,
+            target: Ok(self.root),
+        });
         let mut out = Vec::with_capacity(k);
         while let Some(c) = heap.pop() {
             match c.target {
@@ -405,7 +507,11 @@ impl<S: PageStore> RTree<S> {
     /// forced reinsertion, margin-driven split).
     pub fn insert(&mut self, item: RTreeItem) -> Result<()> {
         self.next_query += 1;
-        let entry = LeafEntry { mbr: item.mbr, object_id: item.id, object_page: 0 };
+        let entry = LeafEntry {
+            mbr: item.mbr,
+            object_id: item.id,
+            object_page: 0,
+        };
         let mut reinserted = 0u64; // bitmask: level l already reinserted
         let mut pending: Vec<(AnyEntry, u8)> = vec![(AnyEntry::Leaf(entry), 1)];
         while let Some((entry, level)) = pending.pop() {
@@ -501,7 +607,10 @@ impl<S: PageStore> RTree<S> {
         let level = node.level;
         let level_bit = 1u64 << level.min(63);
         let is_root = node_id == self.root;
-        let p = self.config.reinsert_count.min(node.len() - self.config.min_for(level));
+        let p = self
+            .config
+            .reinsert_count
+            .min(node.len() - self.config.min_for(level));
 
         if !is_root && *reinserted & level_bit == 0 && p > 0 {
             // Forced reinsertion: remove the p entries farthest from the
@@ -530,15 +639,27 @@ impl<S: PageStore> RTree<S> {
             NodeKind::Leaf(entries) => {
                 let split = rstar_split(entries, min_fill);
                 (
-                    Node { level, kind: NodeKind::Leaf(split.first) },
-                    Node { level, kind: NodeKind::Leaf(split.second) },
+                    Node {
+                        level,
+                        kind: NodeKind::Leaf(split.first),
+                    },
+                    Node {
+                        level,
+                        kind: NodeKind::Leaf(split.second),
+                    },
                 )
             }
             NodeKind::Dir(entries) => {
                 let split = rstar_split(entries, min_fill);
                 (
-                    Node { level, kind: NodeKind::Dir(split.first) },
-                    Node { level, kind: NodeKind::Dir(split.second) },
+                    Node {
+                        level,
+                        kind: NodeKind::Dir(split.first),
+                    },
+                    Node {
+                        level,
+                        kind: NodeKind::Dir(split.second),
+                    },
                 )
             }
         };
@@ -546,7 +667,13 @@ impl<S: PageStore> RTree<S> {
         let second_mbr = second_node.mbr().expect("non-empty split half");
         self.write_node(node_id, &first_node)?;
         let sibling_id = self.alloc_node(&second_node)?;
-        Ok((first_mbr, Some(DirEntry { mbr: second_mbr, child: sibling_id })))
+        Ok((
+            first_mbr,
+            Some(DirEntry {
+                mbr: second_mbr,
+                child: sibling_id,
+            }),
+        ))
     }
 
     // ---- deletion --------------------------------------------------------
@@ -604,7 +731,9 @@ impl<S: PageStore> RTree<S> {
     ) -> Result<Option<Option<Rect>>> {
         let mut node = self.read_node(node_id)?;
         if let NodeKind::Leaf(entries) = &mut node.kind {
-            let Some(pos) = entries.iter().position(|e| e.object_id == id && e.mbr == *mbr)
+            let Some(pos) = entries
+                .iter()
+                .position(|e| e.object_id == id && e.mbr == *mbr)
             else {
                 return Ok(None);
             };
@@ -650,8 +779,7 @@ impl<S: PageStore> RTree<S> {
             self.free_node(child)?;
             node.dir_entries_mut().remove(idx);
         } else {
-            node.dir_entries_mut()[idx].mbr =
-                child_mbr.expect("non-underfull child is non-empty");
+            node.dir_entries_mut()[idx].mbr = child_mbr.expect("non-underfull child is non-empty");
         }
         let new_mbr = node.mbr();
         self.write_node(node_id, &node)?;
@@ -711,7 +839,10 @@ impl<S: PageStore> RTree<S> {
             return Err(corrupt(root, "root level != recorded height".into()));
         }
         if self.height > 1 && root_node.len() < 2 {
-            return Err(corrupt(root, "directory root with fewer than 2 entries".into()));
+            return Err(corrupt(
+                root,
+                "directory root with fewer than 2 entries".into(),
+            ));
         }
         let mut objects = 0usize;
         // (page, expected level, expected exact MBR or None for the root)
@@ -719,23 +850,32 @@ impl<S: PageStore> RTree<S> {
         while let Some((id, level, expected_mbr)) = stack.pop() {
             let node = self.read_node(id)?;
             if node.level != level {
-                return Err(corrupt(id, format!("expected level {level}, found {}", node.level)));
+                return Err(corrupt(
+                    id,
+                    format!("expected level {level}, found {}", node.level),
+                ));
             }
             if id != root {
                 let min = self.config.min_for(level);
                 if node.len() < min {
-                    return Err(corrupt(id, format!("underfull node: {} < {min}", node.len())));
+                    return Err(corrupt(
+                        id,
+                        format!("underfull node: {} < {min}", node.len()),
+                    ));
                 }
             }
             if node.len() > self.config.max_for(level) {
                 return Err(corrupt(id, "overfull node".into()));
             }
             if let Some(expected) = expected_mbr {
-                let actual = node.mbr().ok_or_else(|| {
-                    corrupt(id, "non-root node without entries".into())
-                })?;
+                let actual = node
+                    .mbr()
+                    .ok_or_else(|| corrupt(id, "non-root node without entries".into()))?;
                 if actual != expected {
-                    return Err(corrupt(id, "parent entry MBR differs from child MBR".into()));
+                    return Err(corrupt(
+                        id,
+                        "parent entry MBR differs from child MBR".into(),
+                    ));
                 }
             }
             match &node.kind {
@@ -758,7 +898,10 @@ impl<S: PageStore> RTree<S> {
         if objects != self.len {
             return Err(corrupt(
                 root,
-                format!("object count mismatch: leaves hold {objects}, tree records {}", self.len),
+                format!(
+                    "object count mismatch: leaves hold {objects}, tree records {}",
+                    self.len
+                ),
             ));
         }
         Ok(())
@@ -850,9 +993,10 @@ impl<S: PageStore> RTree<S> {
             let node = self.read_node(id)?;
             match &node.kind {
                 NodeKind::Dir(entries) => stack.extend(entries.iter().map(|e| e.child)),
-                NodeKind::Leaf(entries) => out.extend(
-                    entries.iter().map(|e| RTreeItem { mbr: e.mbr, id: e.object_id }),
-                ),
+                NodeKind::Leaf(entries) => out.extend(entries.iter().map(|e| RTreeItem {
+                    mbr: e.mbr,
+                    id: e.object_id,
+                })),
             }
         }
         Ok(out)
@@ -940,7 +1084,9 @@ mod tests {
             state ^= state << 17;
             (state >> 11) as f64 / (1u64 << 53) as f64
         };
-        (0..n).map(|i| item(i, rng() * 1000.0, rng() * 1000.0)).collect()
+        (0..n)
+            .map(|i| item(i, rng() * 1000.0, rng() * 1000.0))
+            .collect()
     }
 
     fn tiny_tree(items: &[RTreeItem]) -> RTree<DiskManager> {
@@ -955,7 +1101,10 @@ mod tests {
     fn empty_tree_answers_nothing() {
         let mut tree = RTree::new(DiskManager::new()).unwrap();
         assert!(tree.is_empty());
-        assert_eq!(tree.window_query(Rect::new(0.0, 0.0, 10.0, 10.0)).unwrap(), vec![]);
+        assert_eq!(
+            tree.window_query(Rect::new(0.0, 0.0, 10.0, 10.0)).unwrap(),
+            vec![]
+        );
         assert_eq!(tree.point_query(Point::new(1.0, 1.0)).unwrap(), vec![]);
         tree.validate().unwrap();
     }
@@ -997,8 +1146,11 @@ mod tests {
         for w in windows {
             let mut got = tree.window_query(w).unwrap();
             got.sort_unstable();
-            let mut want: Vec<u64> =
-                items.iter().filter(|it| it.mbr.intersects(&w)).map(|it| it.id).collect();
+            let mut want: Vec<u64> = items
+                .iter()
+                .filter(|it| it.mbr.intersects(&w))
+                .map(|it| it.id)
+                .collect();
             want.sort_unstable();
             assert_eq!(got, want, "window {w:?}");
         }
@@ -1013,8 +1165,11 @@ mod tests {
         let w = Rect::new(100.0, 100.0, 400.0, 300.0);
         let mut got = tree.window_query(w).unwrap();
         got.sort_unstable();
-        let mut want: Vec<u64> =
-            items.iter().filter(|it| it.mbr.intersects(&w)).map(|it| it.id).collect();
+        let mut want: Vec<u64> = items
+            .iter()
+            .filter(|it| it.mbr.intersects(&w))
+            .map(|it| it.id)
+            .collect();
         want.sort_unstable();
         assert_eq!(got, want);
     }
@@ -1026,7 +1181,10 @@ mod tests {
         let stats = tree.stats().unwrap();
         assert_eq!(stats.objects, 2000);
         // ~2000 / 29 ≈ 69 leaves.
-        assert!(stats.data_pages >= 65 && stats.data_pages <= 75, "{stats:?}");
+        assert!(
+            stats.data_pages >= 65 && stats.data_pages <= 75,
+            "{stats:?}"
+        );
         tree.validate().unwrap();
     }
 
@@ -1046,7 +1204,11 @@ mod tests {
         let items = scatter(150);
         let mut tree = tiny_tree(&items);
         for it in items.iter().take(120) {
-            assert!(tree.delete(it.id, &it.mbr).unwrap(), "object {} not found", it.id);
+            assert!(
+                tree.delete(it.id, &it.mbr).unwrap(),
+                "object {} not found",
+                it.id
+            );
             tree.validate().unwrap();
         }
         assert_eq!(tree.len(), 30);
@@ -1076,7 +1238,10 @@ mod tests {
         assert!(tree.is_empty());
         assert_eq!(tree.height(), 1);
         tree.validate().unwrap();
-        assert_eq!(tree.window_query(Rect::new(0.0, 0.0, 1e4, 1e4)).unwrap(), vec![]);
+        assert_eq!(
+            tree.window_query(Rect::new(0.0, 0.0, 1e4, 1e4)).unwrap(),
+            vec![]
+        );
     }
 
     #[test]
@@ -1091,8 +1256,10 @@ mod tests {
             assert!(w[0].1 <= w[1].1);
         }
         // Compare against brute force.
-        let mut want: Vec<(u64, f64)> =
-            items.iter().map(|it| (it.id, it.mbr.min_dist(&p))).collect();
+        let mut want: Vec<(u64, f64)> = items
+            .iter()
+            .map(|it| (it.id, it.mbr.min_dist(&p)))
+            .collect();
         want.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap());
         let got_dists: Vec<f64> = got.iter().map(|g| g.1).collect();
         let want_dists: Vec<f64> = want.iter().take(5).map(|g| g.1).collect();
@@ -1182,7 +1349,11 @@ mod tests {
         let mut disk = DiskManager::new();
         let records: Vec<ObjectRecord> = items
             .iter()
-            .map(|it| ObjectRecord { id: it.id, mbr: it.mbr, payload: Bytes::from(vec![1u8; 80]) })
+            .map(|it| ObjectRecord {
+                id: it.id,
+                mbr: it.mbr,
+                payload: Bytes::from(vec![1u8; 80]),
+            })
             .collect();
         let objects = ObjectStore::build(&mut disk, &records).unwrap();
         let mut tree = RTree::bulk_load_with(disk, RTreeConfig::small(), &items).unwrap();
@@ -1217,6 +1388,80 @@ mod tests {
         let b = tree.execute_fetching_objects(&Query::Window(w)).unwrap();
         assert_eq!(a.len(), b.len());
         assert_eq!(tree.store().stats().reads, plain_reads);
+    }
+
+    #[test]
+    fn snapshot_attach_roundtrip_preserves_answers() {
+        let items = scatter(300);
+        let mut tree =
+            RTree::bulk_load_with(DiskManager::new(), RTreeConfig::small(), &items).unwrap();
+        let w = Rect::new(100.0, 100.0, 400.0, 400.0);
+        let mut want = tree.window_query(w).unwrap();
+        want.sort_unstable();
+
+        let snap = tree.snapshot();
+        let store = tree.into_store();
+        let mut view = RTree::attach(store, snap);
+        view.seed_query_counter(1 << 32);
+        let mut got = view.window_query(w).unwrap();
+        got.sort_unstable();
+        assert_eq!(got, want);
+        assert_eq!(view.len(), 300);
+        view.validate().unwrap();
+    }
+
+    #[test]
+    fn concurrent_views_on_a_sharded_pool_answer_identically() {
+        use asb_core::ShardedBuffer;
+        let items = scatter(500);
+        let tree = RTree::bulk_load_with(DiskManager::new(), RTreeConfig::small(), &items).unwrap();
+        let snap = tree.snapshot();
+        let pool = ShardedBuffer::new(tree.into_store(), PolicyKind::Asb, 32, 4);
+
+        let windows: Vec<Rect> = (0..24)
+            .map(|i| {
+                let x = (i as f64 * 37.0) % 900.0;
+                Rect::new(x, x / 3.0, x + 80.0, x / 3.0 + 80.0)
+            })
+            .collect();
+        let mut expected: Vec<Vec<u64>> = windows
+            .iter()
+            .map(|w| {
+                let mut ids: Vec<u64> = items
+                    .iter()
+                    .filter(|it| it.mbr.intersects(w))
+                    .map(|it| it.id)
+                    .collect();
+                ids.sort_unstable();
+                ids
+            })
+            .collect();
+        expected.sort();
+
+        std::thread::scope(|s| {
+            for t in 0..3u64 {
+                let pool = pool.clone();
+                let windows = windows.clone();
+                let expected = expected.clone();
+                s.spawn(move || {
+                    let mut view = RTree::attach(pool, snap);
+                    view.seed_query_counter(t << 32);
+                    let mut got: Vec<Vec<u64>> = windows
+                        .iter()
+                        .map(|&w| {
+                            let mut ids = view.window_query(w).unwrap();
+                            ids.sort_unstable();
+                            ids
+                        })
+                        .collect();
+                    got.sort();
+                    assert_eq!(got, expected);
+                });
+            }
+        });
+        let stats = pool.stats();
+        assert_eq!(stats.hits + stats.misses, stats.logical_reads);
+        assert!(stats.hits > 0, "shared pool must produce hits across views");
     }
 
     #[test]

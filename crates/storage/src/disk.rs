@@ -1,5 +1,9 @@
-use crate::{AccessContext, Page, PageId, PageMeta, PageStore, Result, StorageError, PAGE_SIZE};
+use crate::{
+    AccessContext, ConcurrentPageStore, Page, PageId, PageMeta, PageStore, Result, StorageError,
+    PAGE_SIZE,
+};
 use bytes::Bytes;
+use parking_lot::Mutex;
 use serde::{Deserialize, Serialize};
 
 /// Timing model of the simulated disk.
@@ -22,7 +26,10 @@ impl Default for DiskProfile {
     fn default() -> Self {
         // ~10 ms seek+rotation for a random access (paper intro, [7]);
         // ~0.5 ms transfer-dominated cost for the next adjacent page.
-        DiskProfile { random_ms: 10.0, sequential_ms: 0.5 }
+        DiskProfile {
+            random_ms: 10.0,
+            sequential_ms: 0.5,
+        }
     }
 }
 
@@ -54,6 +61,17 @@ impl IoStats {
     }
 }
 
+/// Access counters of a [`DiskManager`], updated on every physical access.
+///
+/// Kept behind a mutex (not alongside the slot vector) so that the *read*
+/// path can count accesses through `&self`: the sharded buffer pool serves
+/// misses from several threads under a shared store lock.
+#[derive(Debug, Default)]
+struct IoState {
+    stats: IoStats,
+    last_read: Option<PageId>,
+}
+
 /// An in-memory simulated disk.
 ///
 /// Pages live in a dense slot vector; freed slots are recycled via a free
@@ -65,9 +83,8 @@ pub struct DiskManager {
     slots: Vec<Option<Page>>,
     free: Vec<u64>,
     live: usize,
-    stats: IoStats,
+    io: Mutex<IoState>,
     profile: DiskProfile,
-    last_read: Option<PageId>,
 }
 
 impl DiskManager {
@@ -78,20 +95,22 @@ impl DiskManager {
 
     /// Creates an empty disk with a custom timing profile.
     pub fn with_profile(profile: DiskProfile) -> Self {
-        DiskManager { profile, ..DiskManager::default() }
+        DiskManager {
+            profile,
+            ..DiskManager::default()
+        }
     }
 
     /// Current physical I/O statistics.
     pub fn stats(&self) -> IoStats {
-        self.stats
+        self.io.lock().stats
     }
 
     /// Resets the I/O statistics (the paper clears buffers and counters
     /// before each query set "to increase the comparability of the
     /// results").
-    pub fn reset_stats(&mut self) {
-        self.stats = IoStats::default();
-        self.last_read = None;
+    pub fn reset_stats(&self) {
+        *self.io.lock() = IoState::default();
     }
 
     /// The timing profile in use.
@@ -113,35 +132,32 @@ impl DiskManager {
         self.slots.iter().filter_map(|s| s.as_ref())
     }
 
-    fn record_read(&mut self, id: PageId) {
-        self.stats.reads += 1;
-        let sequential = self.last_read.is_some_and(|prev| id.is_successor_of(&prev));
+    fn record_read(&self, id: PageId) {
+        let mut io = self.io.lock();
+        io.stats.reads += 1;
+        let sequential = io.last_read.is_some_and(|prev| id.is_successor_of(&prev));
         if sequential {
-            self.stats.sequential_reads += 1;
-            self.stats.simulated_ms += self.profile.sequential_ms;
+            io.stats.sequential_reads += 1;
+            io.stats.simulated_ms += self.profile.sequential_ms;
         } else {
-            self.stats.random_reads += 1;
-            self.stats.simulated_ms += self.profile.random_ms;
+            io.stats.random_reads += 1;
+            io.stats.simulated_ms += self.profile.random_ms;
         }
-        self.last_read = Some(id);
+        io.last_read = Some(id);
     }
 }
 
 impl PageStore for DiskManager {
-    fn read(&mut self, id: PageId, _ctx: AccessContext) -> Result<Page> {
-        let page = self
-            .slots
-            .get(id.raw() as usize)
-            .and_then(|s| s.as_ref())
-            .cloned()
-            .ok_or(StorageError::PageNotFound(id))?;
-        self.record_read(id);
-        Ok(page)
+    fn read(&mut self, id: PageId, ctx: AccessContext) -> Result<Page> {
+        self.read_shared(id, ctx)
     }
 
     fn write(&mut self, page: Page) -> Result<()> {
         if page.payload.len() > PAGE_SIZE {
-            return Err(StorageError::PageOverflow { id: page.id, len: page.payload.len() });
+            return Err(StorageError::PageOverflow {
+                id: page.id,
+                len: page.payload.len(),
+            });
         }
         let slot = self
             .slots
@@ -151,7 +167,7 @@ impl PageStore for DiskManager {
             return Err(StorageError::PageNotFound(page.id));
         }
         *slot = Some(page);
-        self.stats.writes += 1;
+        self.io.lock().stats.writes += 1;
         Ok(())
     }
 
@@ -167,7 +183,7 @@ impl PageStore for DiskManager {
         let page = Page::new(id, meta, payload)?;
         self.slots[raw as usize] = Some(page);
         self.live += 1;
-        self.stats.writes += 1;
+        self.io.lock().stats.writes += 1;
         Ok(id)
     }
 
@@ -186,6 +202,27 @@ impl PageStore for DiskManager {
 
     fn page_count(&self) -> usize {
         self.live
+    }
+}
+
+impl ConcurrentPageStore for DiskManager {
+    fn read_shared(&self, id: PageId, _ctx: AccessContext) -> Result<Page> {
+        let page = self
+            .slots
+            .get(id.raw() as usize)
+            .and_then(|s| s.as_ref())
+            .cloned()
+            .ok_or(StorageError::PageNotFound(id))?;
+        self.record_read(id);
+        Ok(page)
+    }
+
+    fn io_stats(&self) -> IoStats {
+        self.stats()
+    }
+
+    fn reset_io_stats(&self) {
+        self.reset_stats()
     }
 }
 
@@ -219,7 +256,9 @@ mod tests {
     #[test]
     fn read_missing_page_fails() {
         let (mut d, _) = disk_with_pages(1);
-        let err = d.read(PageId::new(99), AccessContext::default()).unwrap_err();
+        let err = d
+            .read(PageId::new(99), AccessContext::default())
+            .unwrap_err();
         assert_eq!(err, StorageError::PageNotFound(PageId::new(99)));
         // Failed reads are not counted as disk accesses.
         assert_eq!(d.stats().reads, 0);
@@ -276,7 +315,10 @@ mod tests {
 
     #[test]
     fn simulated_time_uses_profile() {
-        let profile = DiskProfile { random_ms: 10.0, sequential_ms: 1.0 };
+        let profile = DiskProfile {
+            random_ms: 10.0,
+            sequential_ms: 1.0,
+        };
         let mut d = DiskManager::with_profile(profile);
         let a = d.allocate(meta(), Bytes::new()).unwrap();
         let b = d.allocate(meta(), Bytes::new()).unwrap();
@@ -308,6 +350,42 @@ mod tests {
         d.read(ids[1], ctx).unwrap(); // would be sequential, but tracking reset
         assert_eq!(d.stats().random_reads, 1);
         assert_eq!(d.stats().sequential_reads, 0);
+    }
+
+    #[test]
+    fn shared_reads_count_like_exclusive_reads() {
+        let (mut d, ids) = disk_with_pages(3);
+        let ctx = AccessContext::default();
+        d.read(ids[0], ctx).unwrap();
+        let exclusive = d.stats();
+        d.reset_stats();
+        d.read_shared(ids[0], ctx).unwrap();
+        assert_eq!(
+            d.stats(),
+            exclusive,
+            "read and read_shared must count identically"
+        );
+    }
+
+    #[test]
+    fn shared_reads_from_many_threads_lose_no_counts() {
+        let (d, ids) = disk_with_pages(8);
+        std::thread::scope(|scope| {
+            for t in 0..4usize {
+                let d = &d;
+                let ids = &ids;
+                scope.spawn(move || {
+                    for i in 0..100usize {
+                        let id = ids[(t + i) % ids.len()];
+                        let page = d.read_shared(id, AccessContext::default()).unwrap();
+                        assert_eq!(page.id, id);
+                    }
+                });
+            }
+        });
+        let s = d.stats();
+        assert_eq!(s.reads, 400);
+        assert_eq!(s.sequential_reads + s.random_reads, 400);
     }
 
     #[test]

@@ -55,13 +55,19 @@ mod tests {
     #[test]
     fn display_messages_are_informative() {
         let id = PageId::new(7);
-        assert_eq!(StorageError::PageNotFound(id).to_string(), "page P7 not found");
+        assert_eq!(
+            StorageError::PageNotFound(id).to_string(),
+            "page P7 not found"
+        );
         assert!(StorageError::PageOverflow { id, len: 4096 }
             .to_string()
             .contains("4096"));
-        assert!(StorageError::Corrupt { id, reason: "bad magic".into() }
-            .to_string()
-            .contains("bad magic"));
+        assert!(StorageError::Corrupt {
+            id,
+            reason: "bad magic".into()
+        }
+        .to_string()
+        .contains("bad magic"));
     }
 
     #[test]

@@ -14,6 +14,10 @@
 //! * [`PageStore`] — the read/write/allocate interface. Implemented by
 //!   [`DiskManager`] (the simulated disk) and, in `asb-core`, by the buffer
 //!   manager, so buffers stack transparently between an index and the disk.
+//! * [`ConcurrentPageStore`] — the shared-reference read path on top of
+//!   `PageStore`: reads through `&self` with interior-mutable [`IoStats`],
+//!   which is what lets the sharded buffer pool in `asb-core` serve misses
+//!   from several threads in parallel.
 //! * [`DiskManager`] — an in-memory "disk" that counts physical reads and
 //!   writes and distinguishes random from sequential accesses
 //!   ([`IoStats`]), including a simulated-time model (10 ms per random
@@ -35,7 +39,7 @@ pub use disk::{DiskManager, DiskProfile, IoStats};
 pub use error::StorageError;
 pub use objects::{decode_object_page, ObjectRecord, ObjectStore};
 pub use page::{Page, PageId, PageMeta, PageType, PAGE_HEADER_SIZE, PAGE_SIZE};
-pub use store::{AccessContext, PageStore, QueryId};
+pub use store::{AccessContext, ConcurrentPageStore, PageStore, QueryId};
 
 /// Convenience alias used across the workspace.
 pub type Result<T> = std::result::Result<T, StorageError>;

@@ -100,11 +100,7 @@ impl ObjectStore {
         Ok(out)
     }
 
-    fn flush_batch<S: PageStore>(
-        &mut self,
-        store: &mut S,
-        batch: &[&ObjectRecord],
-    ) -> Result<()> {
+    fn flush_batch<S: PageStore>(&mut self, store: &mut S, batch: &[&ObjectRecord]) -> Result<()> {
         let mut buf = BytesMut::with_capacity(PAGE_SIZE);
         buf.put_u16_le(batch.len() as u16);
         buf.put_bytes(0, 6);
@@ -197,7 +193,11 @@ pub fn decode_object_page(page: &Page) -> Result<Vec<ObjectRecord>> {
             return Err(corrupt("truncated object payload"));
         }
         let payload = buf.copy_to_bytes(len);
-        out.push(ObjectRecord { id, mbr: Rect::new(x0, y0, x1, y1), payload });
+        out.push(ObjectRecord {
+            id,
+            mbr: Rect::new(x0, y0, x1, y1),
+            payload,
+        });
     }
     Ok(out)
 }
@@ -222,7 +222,9 @@ mod tests {
         let store = ObjectStore::build(&mut disk, &records).unwrap();
         assert_eq!(store.len(), 50);
         for rec in &records {
-            let got = store.fetch(&mut disk, rec.id, AccessContext::default()).unwrap();
+            let got = store
+                .fetch(&mut disk, rec.id, AccessContext::default())
+                .unwrap();
             assert_eq!(&got, rec);
         }
     }
@@ -276,7 +278,9 @@ mod tests {
     fn unknown_object_fails() {
         let mut disk = DiskManager::new();
         let store = ObjectStore::build(&mut disk, &[record(1, 10)]).unwrap();
-        assert!(store.fetch(&mut disk, 99, AccessContext::default()).is_err());
+        assert!(store
+            .fetch(&mut disk, 99, AccessContext::default())
+            .is_err());
         assert_eq!(store.page_of(99), None);
     }
 

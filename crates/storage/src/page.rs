@@ -121,18 +121,30 @@ impl PageMeta {
     /// Metadata for an object page (level 0, no entry statistics required by
     /// the experiments, but they may be supplied).
     pub fn object(stats: SpatialStats) -> Self {
-        PageMeta { page_type: PageType::Object, level: 0, stats }
+        PageMeta {
+            page_type: PageType::Object,
+            level: 0,
+            stats,
+        }
     }
 
     /// Metadata for a data (leaf) page of the index.
     pub fn data(stats: SpatialStats) -> Self {
-        PageMeta { page_type: PageType::Data, level: 1, stats }
+        PageMeta {
+            page_type: PageType::Data,
+            level: 1,
+            stats,
+        }
     }
 
     /// Metadata for a directory page at `level >= 2`.
     pub fn directory(level: u8, stats: SpatialStats) -> Self {
         debug_assert!(level >= 2, "directory pages live at level 2 and above");
-        PageMeta { page_type: PageType::Directory, level, stats }
+        PageMeta {
+            page_type: PageType::Directory,
+            level,
+            stats,
+        }
     }
 
     /// The LRU-P priority of the page: "the object page may have the
@@ -165,7 +177,10 @@ impl Page {
     /// Creates a page, validating the payload size.
     pub fn new(id: PageId, meta: PageMeta, payload: Bytes) -> crate::Result<Self> {
         if payload.len() > PAGE_SIZE {
-            return Err(crate::StorageError::PageOverflow { id, len: payload.len() });
+            return Err(crate::StorageError::PageOverflow {
+                id,
+                len: payload.len(),
+            });
         }
         Ok(Page { id, meta, payload })
     }
@@ -196,7 +211,9 @@ mod tests {
         let meta = PageMeta::data(SpatialStats::EMPTY);
         let big = Bytes::from(vec![0u8; PAGE_SIZE + 1]);
         let err = Page::new(PageId::new(0), meta, big).unwrap_err();
-        assert!(matches!(err, crate::StorageError::PageOverflow { len, .. } if len == PAGE_SIZE + 1));
+        assert!(
+            matches!(err, crate::StorageError::PageOverflow { len, .. } if len == PAGE_SIZE + 1)
+        );
     }
 
     #[test]

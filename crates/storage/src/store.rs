@@ -1,4 +1,4 @@
-use crate::{Page, PageId, PageMeta, Result};
+use crate::{IoStats, Page, PageId, PageMeta, Result};
 use bytes::Bytes;
 use serde::{Deserialize, Serialize};
 
@@ -48,7 +48,9 @@ impl AccessContext {
 
 impl Default for AccessContext {
     fn default() -> Self {
-        AccessContext { query: QueryId::new(0) }
+        AccessContext {
+            query: QueryId::new(0),
+        }
     }
 }
 
@@ -75,6 +77,33 @@ pub trait PageStore {
 
     /// Number of live (allocated, not freed) pages.
     fn page_count(&self) -> usize;
+}
+
+/// A [`PageStore`] whose read path is safe to drive from several threads at
+/// once through a shared reference.
+///
+/// The sharded buffer pool in `asb-core` keeps one store behind a
+/// reader-writer lock and serves buffer misses from many shards in
+/// parallel; that only works when a read needs no exclusive access. An
+/// implementation keeps its access counters behind interior mutability so
+/// [`read_shared`](ConcurrentPageStore::read_shared) can count physical
+/// accesses without `&mut self`.
+///
+/// Implemented by [`DiskManager`](crate::DiskManager); wrappers that merely
+/// delegate (buffers, tracing stores) can forward all three methods.
+pub trait ConcurrentPageStore: PageStore + Send + Sync {
+    /// Reads a page through a shared reference. Counts exactly like
+    /// [`PageStore::read`]; the two must be indistinguishable in the
+    /// statistics they record.
+    fn read_shared(&self, id: PageId, ctx: AccessContext) -> Result<Page>;
+
+    /// Current physical I/O statistics.
+    fn io_stats(&self) -> IoStats;
+
+    /// Resets the I/O statistics (and any sequential-read tracking) through
+    /// a shared reference, so buffer pools can expose a reset without
+    /// exclusive store access.
+    fn reset_io_stats(&self);
 }
 
 #[cfg(test)]

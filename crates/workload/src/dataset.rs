@@ -107,7 +107,10 @@ pub struct Dataset {
 
 /// The data space. A unit square keeps window-extent arithmetic (1/ex of
 /// the space) trivial.
-const BOUNDS: Rect = Rect { min: Point::new(0.0, 0.0), max: Point::new(1.0, 1.0) };
+const BOUNDS: Rect = Rect {
+    min: Point::new(0.0, 0.0),
+    max: Point::new(1.0, 1.0),
+};
 
 impl Dataset {
     /// Generates a dataset deterministically from `seed`.
@@ -121,7 +124,14 @@ impl Dataset {
         let clusters = make_clusters(&mut rng, &regions, n);
         let items = make_items(&mut rng, kind, &clusters, &regions, n);
         let places = make_places(&mut rng, &clusters, &regions, scale.places());
-        Dataset { kind, scale, seed, bounds: BOUNDS, items, places }
+        Dataset {
+            kind,
+            scale,
+            seed,
+            bounds: BOUNDS,
+            items,
+            places,
+        }
     }
 
     /// The dataset kind.
@@ -192,7 +202,13 @@ pub(crate) struct Blob {
 
 impl Blob {
     fn mainland() -> Blob {
-        Blob { center: Point::new(0.5, 0.48), rx: 0.40, ry: 0.30, phase: 1.7, weight: 1.0 }
+        Blob {
+            center: Point::new(0.5, 0.48),
+            rx: 0.40,
+            ry: 0.30,
+            phase: 1.7,
+            weight: 1.0,
+        }
     }
 
     /// A handful of continents covering roughly a third of the space,
@@ -200,18 +216,55 @@ impl Blob {
     /// distribution lands mostly on water.
     fn continents() -> Vec<Blob> {
         vec![
-            Blob { center: Point::new(0.22, 0.70), rx: 0.16, ry: 0.14, phase: 0.3, weight: 0.30 },
-            Blob { center: Point::new(0.30, 0.35), rx: 0.10, ry: 0.17, phase: 2.1, weight: 0.20 },
-            Blob { center: Point::new(0.55, 0.62), rx: 0.11, ry: 0.10, phase: 4.0, weight: 0.22 },
-            Blob { center: Point::new(0.62, 0.28), rx: 0.09, ry: 0.09, phase: 5.2, weight: 0.13 },
-            Blob { center: Point::new(0.84, 0.52), rx: 0.07, ry: 0.10, phase: 0.9, weight: 0.11 },
-            Blob { center: Point::new(0.86, 0.16), rx: 0.05, ry: 0.05, phase: 3.3, weight: 0.04 },
+            Blob {
+                center: Point::new(0.22, 0.70),
+                rx: 0.16,
+                ry: 0.14,
+                phase: 0.3,
+                weight: 0.30,
+            },
+            Blob {
+                center: Point::new(0.30, 0.35),
+                rx: 0.10,
+                ry: 0.17,
+                phase: 2.1,
+                weight: 0.20,
+            },
+            Blob {
+                center: Point::new(0.55, 0.62),
+                rx: 0.11,
+                ry: 0.10,
+                phase: 4.0,
+                weight: 0.22,
+            },
+            Blob {
+                center: Point::new(0.62, 0.28),
+                rx: 0.09,
+                ry: 0.09,
+                phase: 5.2,
+                weight: 0.13,
+            },
+            Blob {
+                center: Point::new(0.84, 0.52),
+                rx: 0.07,
+                ry: 0.10,
+                phase: 0.9,
+                weight: 0.11,
+            },
+            Blob {
+                center: Point::new(0.86, 0.16),
+                rx: 0.05,
+                ry: 0.05,
+                phase: 3.3,
+                weight: 0.04,
+            },
         ]
     }
 
     /// Irregular radius multiplier in direction `theta` (the "coastline").
     fn radius_at(&self, theta: f64) -> f64 {
-        1.0 + 0.18 * (3.0 * theta + self.phase).sin() + 0.09 * (7.0 * theta + 2.0 * self.phase).sin()
+        1.0 + 0.18 * (3.0 * theta + self.phase).sin()
+            + 0.09 * (7.0 * theta + 2.0 * self.phase).sin()
     }
 
     /// Whether `p` lies on this continent.
@@ -282,7 +335,12 @@ fn make_clusters(rng: &mut StdRng, regions: &[Blob], n: usize) -> Vec<Cluster> {
         let weight = 1.0 / (i as f64 + 1.0).powf(0.8);
         organic_weight += weight;
         let sigma = blob.rx.min(blob.ry) * (0.04 + rng.gen::<f64>() * 0.12);
-        clusters.push(Cluster { center, sigma, weight, is_metro: false });
+        clusters.push(Cluster {
+            center,
+            sigma,
+            weight,
+            is_metro: false,
+        });
     }
     for _ in 0..METRO_COUNT {
         let blob = pick_blob(rng);
@@ -446,7 +504,10 @@ fn make_places(
         // to at least one inhabitant.
         let base = if c.is_metro { 8_000_000.0 } else { 80_000.0 };
         let population = (base / local_rank.powi(2)).max(1.0);
-        places.push(Place { location, population });
+        places.push(Place {
+            location,
+            population,
+        });
     }
     places
 }
@@ -486,7 +547,10 @@ mod tests {
             let d = Dataset::generate(kind, Scale::Tiny, 3);
             for it in d.items() {
                 let c = it.mbr.center();
-                assert!(d.bounds().contains_point(&c), "{kind:?}: center {c:?} outside");
+                assert!(
+                    d.bounds().contains_point(&c),
+                    "{kind:?}: center {c:?} outside"
+                );
             }
         }
     }
@@ -496,8 +560,11 @@ mod tests {
         let d = Dataset::generate(DatasetKind::Mainland, Scale::Small, 11);
         // Corners of the unit square are ocean: no object centers there.
         let corner = Rect::new(0.0, 0.0, 0.04, 0.04);
-        let in_corner =
-            d.items().iter().filter(|it| corner.contains_point(&it.mbr.center())).count();
+        let in_corner = d
+            .items()
+            .iter()
+            .filter(|it| corner.contains_point(&it.mbr.center()))
+            .count();
         assert_eq!(in_corner, 0, "ocean corner should be empty");
     }
 
@@ -534,7 +601,10 @@ mod tests {
             })
             .count();
         let frac = flipped_on_land as f64 / d.places().len() as f64;
-        assert!(frac < 0.5, "flipped-on-land fraction {frac} should be a minority");
+        assert!(
+            frac < 0.5,
+            "flipped-on-land fraction {frac} should be a minority"
+        );
     }
 
     #[test]
@@ -563,8 +633,11 @@ mod tests {
         }
         let n = d.items().len() as f64;
         let mean = n / 100.0;
-        let var: f64 =
-            counts.iter().map(|&c| (c as f64 - mean).powi(2)).sum::<f64>() / 100.0;
+        let var: f64 = counts
+            .iter()
+            .map(|&c| (c as f64 - mean).powi(2))
+            .sum::<f64>()
+            / 100.0;
         // Uniform data would have var ≈ mean (Poisson); clusters inflate it.
         assert!(var > 4.0 * mean, "variance {var} vs mean {mean}");
     }

@@ -69,37 +69,58 @@ pub struct QuerySetSpec {
 impl QuerySetSpec {
     /// `U-P`: uniformly distributed point queries.
     pub fn uniform_points() -> Self {
-        QuerySetSpec { dist: Distribution::Uniform, kind: QueryKind::Point }
+        QuerySetSpec {
+            dist: Distribution::Uniform,
+            kind: QueryKind::Point,
+        }
     }
 
     /// `U-W-ex`: uniformly distributed window queries.
     pub fn uniform_windows(ex: u32) -> Self {
-        QuerySetSpec { dist: Distribution::Uniform, kind: QueryKind::Window { ex } }
+        QuerySetSpec {
+            dist: Distribution::Uniform,
+            kind: QueryKind::Window { ex },
+        }
     }
 
     /// `ID-P`: point queries at stored objects.
     pub fn identical_points() -> Self {
-        QuerySetSpec { dist: Distribution::Identical, kind: QueryKind::Point }
+        QuerySetSpec {
+            dist: Distribution::Identical,
+            kind: QueryKind::Point,
+        }
     }
 
     /// `ID-W`: window queries that are stored objects' MBRs.
     pub fn identical_windows() -> Self {
-        QuerySetSpec { dist: Distribution::Identical, kind: QueryKind::ObjectWindow }
+        QuerySetSpec {
+            dist: Distribution::Identical,
+            kind: QueryKind::ObjectWindow,
+        }
     }
 
     /// `S-P` / `S-W-ex`.
     pub fn similar(kind: QueryKind) -> Self {
-        QuerySetSpec { dist: Distribution::Similar, kind }
+        QuerySetSpec {
+            dist: Distribution::Similar,
+            kind,
+        }
     }
 
     /// `INT-P` / `INT-W-ex`.
     pub fn intensified(kind: QueryKind) -> Self {
-        QuerySetSpec { dist: Distribution::Intensified, kind }
+        QuerySetSpec {
+            dist: Distribution::Intensified,
+            kind,
+        }
     }
 
     /// `IND-P` / `IND-W-ex`.
     pub fn independent(kind: QueryKind) -> Self {
-        QuerySetSpec { dist: Distribution::Independent, kind }
+        QuerySetSpec {
+            dist: Distribution::Independent,
+            kind,
+        }
     }
 
     /// The paper's name for the set, e.g. `"U-W-33"`, `"INT-P"`, `"ID-W"`.
@@ -169,8 +190,12 @@ impl QuerySetSpec {
                 let w = bounds.width() / ex as f64;
                 let h = bounds.height() / ex as f64;
                 // Keep the window inside the data space (clamp the center).
-                let cx = anchor.x.clamp(bounds.min.x + w / 2.0, bounds.max.x - w / 2.0);
-                let cy = anchor.y.clamp(bounds.min.y + h / 2.0, bounds.max.y - h / 2.0);
+                let cx = anchor
+                    .x
+                    .clamp(bounds.min.x + w / 2.0, bounds.max.x - w / 2.0);
+                let cy = anchor
+                    .y
+                    .clamp(bounds.min.y + h / 2.0, bounds.max.y - h / 2.0);
                 Query::Window(Rect::centered(Point::new(cx, cy), w, h))
             }
             QueryKind::ObjectWindow => {
@@ -217,7 +242,9 @@ mod tests {
     fn window_extent_is_one_over_ex() {
         let d = dataset();
         for q in QuerySetSpec::uniform_windows(33).generate(&d, 20, 3) {
-            let Query::Window(w) = q else { panic!("expected windows") };
+            let Query::Window(w) = q else {
+                panic!("expected windows")
+            };
             assert!((w.width() - 1.0 / 33.0).abs() < 1e-12);
             assert!((w.height() - 1.0 / 33.0).abs() < 1e-12);
             assert!(d.bounds().contains(&w), "window must stay inside the space");
@@ -228,7 +255,9 @@ mod tests {
     fn identical_windows_are_object_mbrs() {
         let d = dataset();
         for q in QuerySetSpec::identical_windows().generate(&d, 50, 5) {
-            let Query::Window(w) = q else { panic!("expected windows") };
+            let Query::Window(w) = q else {
+                panic!("expected windows")
+            };
             assert!(
                 d.items().iter().any(|it| it.mbr == w),
                 "window {w:?} is not a stored object"
@@ -240,7 +269,9 @@ mod tests {
     fn identical_points_hit_objects() {
         let d = dataset();
         for q in QuerySetSpec::identical_points().generate(&d, 50, 5) {
-            let Query::Point(p) = q else { panic!("expected points") };
+            let Query::Point(p) = q else {
+                panic!("expected points")
+            };
             assert!(
                 d.items().iter().any(|it| it.mbr.contains_point(&p)),
                 "point {p:?} does not hit any object"
@@ -290,9 +321,10 @@ mod tests {
             let Query::Point(p) = q else { panic!() };
             let back = p.flip_x(0.0, 1.0);
             // Un-flipping is only exact up to floating-point rounding.
-            assert!(d.places().iter().any(|pl| {
-                (pl.location.x - back.x).abs() < 1e-12 && pl.location.y == back.y
-            }));
+            assert!(d
+                .places()
+                .iter()
+                .any(|pl| { (pl.location.x - back.x).abs() < 1e-12 && pl.location.y == back.y }));
         }
     }
 
@@ -308,6 +340,9 @@ mod tests {
                 !d.items().iter().any(|it| it.mbr.min_dist(p) < 0.02)
             })
             .count();
-        assert!(misses > 0, "uniform queries should also hit object-free areas");
+        assert!(
+            misses > 0,
+            "uniform queries should also hit object-free areas"
+        );
     }
 }

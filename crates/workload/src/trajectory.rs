@@ -54,7 +54,8 @@ impl SessionSpec {
         if self.jump_probability + self.zoom_probability > 1.0 {
             return Err("jump + zoom probability must not exceed 1".into());
         }
-        if !(self.min_half > 0.0 && self.min_half <= self.initial_half
+        if !(self.min_half > 0.0
+            && self.min_half <= self.initial_half
             && self.initial_half <= self.max_half)
         {
             return Err("half-width bounds must satisfy 0 < min <= initial <= max".into());
@@ -74,7 +75,7 @@ pub fn session(dataset: &Dataset, spec: SessionSpec, steps: usize, seed: u64) ->
     let places = dataset.places();
     assert!(!places.is_empty(), "sessions need places to jump to");
     let bounds = dataset.bounds();
-    let mut rng = StdRng::seed_from_u64(seed ^ 0x7_A11_E7);
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x007A_11E7);
     let mut center = places[0].location;
     let mut half = spec.initial_half;
     let mut out = Vec::with_capacity(steps);
@@ -122,7 +123,9 @@ mod tests {
         let d = dataset();
         let spec = SessionSpec::default();
         for q in session(&d, spec, 500, 7) {
-            let Query::Window(w) = q else { panic!("sessions emit windows") };
+            let Query::Window(w) = q else {
+                panic!("sessions emit windows")
+            };
             let half = w.width() / 2.0;
             assert!(half >= spec.min_half - 1e-12 && half <= spec.max_half + 1e-12);
         }
@@ -134,22 +137,32 @@ mod tests {
         let queries = session(&d, SessionSpec::default(), 400, 5);
         let mut overlapping = 0usize;
         for w in queries.windows(2) {
-            let (Query::Window(a), Query::Window(b)) = (&w[0], &w[1]) else { panic!() };
+            let (Query::Window(a), Query::Window(b)) = (&w[0], &w[1]) else {
+                panic!()
+            };
             if a.intersects(b) {
                 overlapping += 1;
             }
         }
         let frac = overlapping as f64 / (queries.len() - 1) as f64;
-        assert!(frac > 0.7, "pan/zoom sessions should have high locality ({frac:.2})");
+        assert!(
+            frac > 0.7,
+            "pan/zoom sessions should have high locality ({frac:.2})"
+        );
     }
 
     #[test]
     fn invalid_specs_are_rejected() {
-        let mut spec = SessionSpec::default();
-        spec.jump_probability = 0.9;
-        spec.zoom_probability = 0.5;
+        let spec = SessionSpec {
+            jump_probability: 0.9,
+            zoom_probability: 0.5,
+            ..SessionSpec::default()
+        };
         assert!(spec.validate().is_err());
-        let spec = SessionSpec { min_half: 0.5, ..SessionSpec::default() };
+        let spec = SessionSpec {
+            min_half: 0.5,
+            ..SessionSpec::default()
+        };
         assert!(spec.validate().is_err());
     }
 }

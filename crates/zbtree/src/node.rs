@@ -21,7 +21,10 @@ impl Key {
     /// The smallest possible key.
     pub const MIN: Key = Key { z: 0, id: 0 };
     /// The largest possible key.
-    pub const MAX: Key = Key { z: u64::MAX, id: u64::MAX };
+    pub const MAX: Key = Key {
+        z: u64::MAX,
+        id: u64::MAX,
+    };
 }
 
 /// A leaf entry: key plus the exact point location.
@@ -55,8 +58,14 @@ pub(crate) struct InnerEntry {
 /// A decoded B⁺-tree node.
 #[derive(Debug, Clone, PartialEq)]
 pub(crate) enum ZNode {
-    Leaf { next: Option<PageId>, entries: Vec<ZLeafEntry> },
-    Inner { level: u8, entries: Vec<InnerEntry> },
+    Leaf {
+        next: Option<PageId>,
+        entries: Vec<ZLeafEntry>,
+    },
+    Inner {
+        level: u8,
+        entries: Vec<InnerEntry>,
+    },
 }
 
 impl ZNode {
@@ -97,9 +106,8 @@ impl ZNode {
     pub fn encode(&self) -> Bytes {
         match self {
             ZNode::Leaf { next, entries } => {
-                let mut buf = BytesMut::with_capacity(
-                    PAGE_HEADER_SIZE + 8 + entries.len() * LEAF_ENTRY_SIZE,
-                );
+                let mut buf =
+                    BytesMut::with_capacity(PAGE_HEADER_SIZE + 8 + entries.len() * LEAF_ENTRY_SIZE);
                 buf.put_u8(PageType::Data.tag());
                 buf.put_u8(1);
                 buf.put_u16_le(entries.len() as u16);
@@ -114,9 +122,8 @@ impl ZNode {
                 buf.freeze()
             }
             ZNode::Inner { level, entries } => {
-                let mut buf = BytesMut::with_capacity(
-                    PAGE_HEADER_SIZE + entries.len() * INNER_ENTRY_SIZE,
-                );
+                let mut buf =
+                    BytesMut::with_capacity(PAGE_HEADER_SIZE + entries.len() * INNER_ENTRY_SIZE);
                 buf.put_u8(PageType::Directory.tag());
                 buf.put_u8(*level);
                 buf.put_u16_le(entries.len() as u16);
@@ -161,7 +168,10 @@ impl ZNode {
                     let id = buf.get_u64_le();
                     let x = buf.get_f64_le();
                     let y = buf.get_f64_le();
-                    entries.push(ZLeafEntry { key: Key { z, id }, location: Point::new(x, y) });
+                    entries.push(ZLeafEntry {
+                        key: Key { z, id },
+                        location: Point::new(x, y),
+                    });
                 }
                 Ok(ZNode::Leaf { next, entries })
             }
@@ -249,7 +259,10 @@ mod tests {
 
     #[test]
     fn empty_leaf_roundtrip() {
-        let n = ZNode::Leaf { next: None, entries: vec![] };
+        let n = ZNode::Leaf {
+            next: None,
+            entries: vec![],
+        };
         assert_eq!(roundtrip(&n), n);
     }
 
@@ -266,7 +279,10 @@ mod tests {
         let n = ZNode::Leaf {
             next: None,
             entries: (0..LEAF_CAPACITY as u64)
-                .map(|i| ZLeafEntry { key: Key { z: i, id: i }, location: Point::ORIGIN })
+                .map(|i| ZLeafEntry {
+                    key: Key { z: i, id: i },
+                    location: Point::ORIGIN,
+                })
                 .collect(),
         };
         assert!(n.encode().len() <= PAGE_SIZE);

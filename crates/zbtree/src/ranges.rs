@@ -63,7 +63,11 @@ fn descend(
         // Emit the cell's whole z-interval: all z-values sharing the
         // cell's 2*depth-bit prefix.
         let lo = z_order(cx, cy);
-        let span = if depth == 0 { u64::MAX } else { (1u64 << (2 * side_shift)) - 1 };
+        let span = if depth == 0 {
+            u64::MAX
+        } else {
+            (1u64 << (2 * side_shift)) - 1
+        };
         out.push((lo, lo.saturating_add(span)));
         return;
     }
@@ -71,7 +75,17 @@ fn descend(
     descend(depth + 1, cx, cy, qx0, qy0, qx1, qy1, budget, out);
     descend(depth + 1, cx + half, cy, qx0, qy0, qx1, qy1, budget, out);
     descend(depth + 1, cx, cy + half, qx0, qy0, qx1, qy1, budget, out);
-    descend(depth + 1, cx + half, cy + half, qx0, qy0, qx1, qy1, budget, out);
+    descend(
+        depth + 1,
+        cx + half,
+        cy + half,
+        qx0,
+        qy0,
+        qx1,
+        qy1,
+        budget,
+        out,
+    );
 }
 
 #[inline]
@@ -135,10 +149,7 @@ mod tests {
         // Every point inside the window must be covered.
         for i in 0..40 {
             for j in 0..40 {
-                let p = Point::new(
-                    0.2 + 0.25 * i as f64 / 39.0,
-                    0.3 + 0.3 * j as f64 / 39.0,
-                );
+                let p = Point::new(0.2 + 0.25 * i as f64 / 39.0, 0.3 + 0.3 * j as f64 / 39.0);
                 let z = g.z_key(&p);
                 assert!(covers(&ranges, z), "point {p:?} (z={z}) uncovered");
             }
@@ -151,10 +162,12 @@ mod tests {
         let window = Rect::new(0.1, 0.1, 0.2, 0.2);
         let coarse = z_ranges(&g, &window, 4);
         let fine = z_ranges(&g, &window, 12);
-        let total = |rs: &[(u64, u64)]| -> u128 {
-            rs.iter().map(|&(lo, hi)| (hi - lo) as u128 + 1).sum()
-        };
-        assert!(total(&fine) <= total(&coarse), "finer budget must not widen the cover");
+        let total =
+            |rs: &[(u64, u64)]| -> u128 { rs.iter().map(|&(lo, hi)| (hi - lo) as u128 + 1).sum() };
+        assert!(
+            total(&fine) <= total(&coarse),
+            "finer budget must not widen the cover"
+        );
         // Both still cover the window's own corner.
         let z = g.z_key(&Point::new(0.15, 0.15));
         assert!(covers(&coarse, z) && covers(&fine, z));
@@ -174,6 +187,10 @@ mod tests {
         let g = grid();
         let ranges = z_ranges(&g, &Rect::new(0.5001, 0.5001, 0.5002, 0.5002), 12);
         assert!(!ranges.is_empty());
-        assert!(ranges.len() <= 8, "tiny windows decompose compactly: {}", ranges.len());
+        assert!(
+            ranges.len() <= 8,
+            "tiny windows decompose compactly: {}",
+            ranges.len()
+        );
     }
 }

@@ -70,14 +70,21 @@ enum InsertOutcome {
     Ok(Key, Rect),
     /// Subtree split; the original node kept `(min_key, mbr)` and a new
     /// right sibling `(min_key, page, mbr)` must be added to the parent.
-    Split { left: (Key, Rect), right: (Key, PageId, Rect) },
+    Split {
+        left: (Key, Rect),
+        right: (Key, PageId, Rect),
+    },
 }
 
 enum DeleteOutcome {
     NotFound,
     /// Entry removed; `(min_key, mbr, len)` of the child after removal (the
     /// parent uses `len` to detect underflow).
-    Removed { min_key: Option<Key>, mbr: Option<Rect>, len: usize },
+    Removed {
+        min_key: Option<Key>,
+        mbr: Option<Rect>,
+        len: usize,
+    },
 }
 
 /// A disk-based B⁺-tree over z-order values of point locations.
@@ -131,9 +138,21 @@ impl<S: PageStore> ZBTree<S> {
             reason,
         })?;
         let grid = CurveGrid::new(bounds, config.grid_bits);
-        let root_node = ZNode::Leaf { next: None, entries: Vec::new() };
+        let root_node = ZNode::Leaf {
+            next: None,
+            entries: Vec::new(),
+        };
         let root = store.allocate(root_node.page_meta(&[]), root_node.encode())?;
-        Ok(ZBTree { store, buffer: None, config, grid, root, height: 1, len: 0, next_query: 0 })
+        Ok(ZBTree {
+            store,
+            buffer: None,
+            config,
+            grid,
+            root,
+            height: 1,
+            len: 0,
+            next_query: 0,
+        })
     }
 
     /// Bulk-loads from `(id, location)` pairs (sorted internally).
@@ -154,7 +173,10 @@ impl<S: PageStore> ZBTree<S> {
         }
         let mut entries: Vec<ZLeafEntry> = points
             .iter()
-            .map(|&(id, location)| ZLeafEntry { key: tree.key_of(id, &location), location })
+            .map(|&(id, location)| ZLeafEntry {
+                key: tree.key_of(id, &location),
+                location,
+            })
             .collect();
         entries.sort_by_key(|e| e.key);
         entries.dedup_by_key(|e| e.key);
@@ -163,8 +185,12 @@ impl<S: PageStore> ZBTree<S> {
         // Chunk sizes are evened out so the tail chunk never falls below
         // the minimum fill the validator (and deletion) relies on.
         tree.store.free(tree.root)?;
-        let leaf_chunks =
-            even_chunks(entries.len(), config.bulk_leaf_fill, LEAF_CAPACITY / 2, LEAF_CAPACITY);
+        let leaf_chunks = even_chunks(
+            entries.len(),
+            config.bulk_leaf_fill,
+            LEAF_CAPACITY / 2,
+            LEAF_CAPACITY,
+        );
         let mut leaf_slices = Vec::with_capacity(leaf_chunks.len());
         let mut offset = 0usize;
         for size in leaf_chunks {
@@ -174,7 +200,10 @@ impl<S: PageStore> ZBTree<S> {
         let mut leaf_ids = Vec::with_capacity(leaf_slices.len());
         let mut level_entries: Vec<InnerEntry> = Vec::new();
         for chunk in &leaf_slices {
-            let node = ZNode::Leaf { next: None, entries: chunk.to_vec() };
+            let node = ZNode::Leaf {
+                next: None,
+                entries: chunk.to_vec(),
+            };
             let id = tree.alloc_node(&node)?;
             leaf_ids.push(id);
             level_entries.push(InnerEntry {
@@ -186,7 +215,10 @@ impl<S: PageStore> ZBTree<S> {
         // Link the leaf chain (rewrite with next pointers).
         for (i, chunk) in leaf_slices.iter().enumerate() {
             let next = leaf_ids.get(i + 1).copied();
-            let node = ZNode::Leaf { next, entries: chunk.to_vec() };
+            let node = ZNode::Leaf {
+                next,
+                entries: chunk.to_vec(),
+            };
             tree.write_node(leaf_ids[i], &node)?;
         }
         let mut level = 1u8;
@@ -203,7 +235,10 @@ impl<S: PageStore> ZBTree<S> {
             for size in sizes {
                 let chunk = &level_entries[offset..offset + size];
                 offset += size;
-                let node = ZNode::Inner { level, entries: chunk.to_vec() };
+                let node = ZNode::Inner {
+                    level,
+                    entries: chunk.to_vec(),
+                };
                 let id = tree.alloc_node(&node)?;
                 next_level.push(InnerEntry {
                     min_key: chunk[0].min_key,
@@ -271,7 +306,10 @@ impl<S: PageStore> ZBTree<S> {
 
     /// The key a `(id, location)` pair indexes under.
     pub fn key_of(&self, id: u64, location: &Point) -> Key {
-        Key { z: self.grid.z_key(location), id }
+        Key {
+            z: self.grid.z_key(location),
+            id,
+        }
     }
 
     /// The grid cell (rectangle) a z-value addresses — the paper's
@@ -310,16 +348,13 @@ impl<S: PageStore> ZBTree<S> {
 
     fn entry_rects(&self, node: &ZNode) -> Vec<Rect> {
         match node {
-            ZNode::Leaf { entries, .. } => {
-                entries.iter().map(|e| self.cell_of(e.key.z)).collect()
-            }
+            ZNode::Leaf { entries, .. } => entries.iter().map(|e| self.cell_of(e.key.z)).collect(),
             ZNode::Inner { entries, .. } => entries.iter().map(|e| e.mbr).collect(),
         }
     }
 
     fn leaf_mbr(&self, entries: &[ZLeafEntry]) -> Rect {
-        mbr_of(entries.iter().map(|e| self.cell_of(e.key.z)))
-            .expect("leaf_mbr of a non-empty leaf")
+        mbr_of(entries.iter().map(|e| self.cell_of(e.key.z))).expect("leaf_mbr of a non-empty leaf")
     }
 
     fn node_mbr(&self, node: &ZNode) -> Option<Rect> {
@@ -359,7 +394,10 @@ impl<S: PageStore> ZBTree<S> {
     /// updates the stored location (upsert semantics).
     pub fn insert(&mut self, id: u64, location: Point) -> Result<()> {
         self.next_query += 1;
-        let entry = ZLeafEntry { key: self.key_of(id, &location), location };
+        let entry = ZLeafEntry {
+            key: self.key_of(id, &location),
+            location,
+        };
         let root = self.root;
         match self.insert_rec(root, entry)? {
             InsertOutcome::Ok(..) => {}
@@ -367,8 +405,16 @@ impl<S: PageStore> ZBTree<S> {
                 let new_root = ZNode::Inner {
                     level: self.height + 1,
                     entries: vec![
-                        InnerEntry { min_key: left.0, child: root, mbr: left.1 },
-                        InnerEntry { min_key: right.0, child: right.1, mbr: right.2 },
+                        InnerEntry {
+                            min_key: left.0,
+                            child: root,
+                            mbr: left.1,
+                        },
+                        InnerEntry {
+                            min_key: right.0,
+                            child: right.1,
+                            mbr: right.2,
+                        },
                     ],
                 };
                 self.root = self.alloc_node(&new_root)?;
@@ -400,9 +446,15 @@ impl<S: PageStore> ZBTree<S> {
                 }
                 // Split.
                 let right_entries = entries.split_off(entries.len() / 2);
-                let right = ZNode::Leaf { next, entries: right_entries };
+                let right = ZNode::Leaf {
+                    next,
+                    entries: right_entries,
+                };
                 let right_id = self.alloc_node(&right)?;
-                let left = ZNode::Leaf { next: Some(right_id), entries };
+                let left = ZNode::Leaf {
+                    next: Some(right_id),
+                    entries,
+                };
                 self.write_node(node_id, &left)?;
                 Ok(InsertOutcome::Split {
                     left: (
@@ -433,7 +485,11 @@ impl<S: PageStore> ZBTree<S> {
                         entries[idx].mbr = left.1;
                         entries.insert(
                             idx + 1,
-                            InnerEntry { min_key: right.0, child: right.1, mbr: right.2 },
+                            InnerEntry {
+                                min_key: right.0,
+                                child: right.1,
+                                mbr: right.2,
+                            },
                         );
                     }
                 }
@@ -445,7 +501,10 @@ impl<S: PageStore> ZBTree<S> {
                     return Ok(InsertOutcome::Ok(min, mbr));
                 }
                 let right_entries = entries.split_off(entries.len() / 2);
-                let right = ZNode::Inner { level, entries: right_entries };
+                let right = ZNode::Inner {
+                    level,
+                    entries: right_entries,
+                };
                 let right_id = self.alloc_node(&right)?;
                 let left = ZNode::Inner { level, entries };
                 self.write_node(node_id, &left)?;
@@ -513,8 +572,7 @@ impl<S: PageStore> ZBTree<S> {
                     Err(i) => i - 1,
                 };
                 let child = entries[idx].child;
-                let DeleteOutcome::Removed { min_key, mbr, len } =
-                    self.delete_rec(child, key)?
+                let DeleteOutcome::Removed { min_key, mbr, len } = self.delete_rec(child, key)?
                 else {
                     return Ok(DeleteOutcome::NotFound);
                 };
@@ -561,7 +619,11 @@ impl<S: PageStore> ZBTree<S> {
             return Ok(()); // only child: nothing to rebalance with (root path)
         }
         // Prefer the right sibling; fall back to the left one.
-        let (left_idx, right_idx) = if idx + 1 < entries.len() { (idx, idx + 1) } else { (idx - 1, idx) };
+        let (left_idx, right_idx) = if idx + 1 < entries.len() {
+            (idx, idx + 1)
+        } else {
+            (idx - 1, idx)
+        };
         let left_id = entries[left_idx].child;
         let right_id = entries[right_idx].child;
         let left_node = self.read_node(left_id)?;
@@ -569,8 +631,13 @@ impl<S: PageStore> ZBTree<S> {
 
         match (left_node, right_node) {
             (
-                ZNode::Leaf { next: lnext, entries: mut le },
-                ZNode::Leaf { entries: mut re, .. },
+                ZNode::Leaf {
+                    next: lnext,
+                    entries: mut le,
+                },
+                ZNode::Leaf {
+                    entries: mut re, ..
+                },
             ) => {
                 if le.len() + re.len() <= LEAF_CAPACITY {
                     // Merge right into left; left inherits right's chain link.
@@ -584,7 +651,10 @@ impl<S: PageStore> ZBTree<S> {
                         }
                     };
                     le.append(&mut re);
-                    let merged = ZNode::Leaf { next: rnext, entries: le };
+                    let merged = ZNode::Leaf {
+                        next: rnext,
+                        entries: le,
+                    };
                     entries[left_idx].min_key = merged.min_key().expect("non-empty merge");
                     entries[left_idx].mbr = self.node_mbr(&merged).expect("non-empty merge");
                     self.write_node(left_id, &merged)?;
@@ -593,32 +663,49 @@ impl<S: PageStore> ZBTree<S> {
                 } else if le.len() < re.len() {
                     // Borrow the first entry of the right sibling.
                     le.push(re.remove(0));
-                    let l = ZNode::Leaf { next: lnext, entries: le };
+                    let l = ZNode::Leaf {
+                        next: lnext,
+                        entries: le,
+                    };
                     let rnext = match self.read_node(right_id)? {
                         ZNode::Leaf { next, .. } => next,
                         _ => unreachable!(),
                     };
-                    let r = ZNode::Leaf { next: rnext, entries: re };
+                    let r = ZNode::Leaf {
+                        next: rnext,
+                        entries: re,
+                    };
                     self.update_pair(entries, left_idx, right_idx, &l, &r)?;
                     self.write_node(left_id, &l)?;
                     self.write_node(right_id, &r)?;
                 } else {
                     // Borrow the last entry of the left sibling.
                     re.insert(0, le.pop().expect("left sibling non-empty"));
-                    let l = ZNode::Leaf { next: lnext, entries: le };
+                    let l = ZNode::Leaf {
+                        next: lnext,
+                        entries: le,
+                    };
                     let rnext = match self.read_node(right_id)? {
                         ZNode::Leaf { next, .. } => next,
                         _ => unreachable!(),
                     };
-                    let r = ZNode::Leaf { next: rnext, entries: re };
+                    let r = ZNode::Leaf {
+                        next: rnext,
+                        entries: re,
+                    };
                     self.update_pair(entries, left_idx, right_idx, &l, &r)?;
                     self.write_node(left_id, &l)?;
                     self.write_node(right_id, &r)?;
                 }
             }
             (
-                ZNode::Inner { level, entries: mut le },
-                ZNode::Inner { entries: mut re, .. },
+                ZNode::Inner {
+                    level,
+                    entries: mut le,
+                },
+                ZNode::Inner {
+                    entries: mut re, ..
+                },
             ) => {
                 if le.len() + re.len() <= INNER_CAPACITY {
                     le.append(&mut re);
@@ -727,7 +814,10 @@ impl<S: PageStore> ZBTree<S> {
                     hits.clear();
                     self.scan_range(
                         Key { z: lo, id: 0 },
-                        Key { z: hi, id: u64::MAX },
+                        Key {
+                            z: hi,
+                            id: u64::MAX,
+                        },
                         &mut hits,
                     )?;
                     out.extend(
@@ -787,11 +877,21 @@ impl<S: PageStore> ZBTree<S> {
         if root_node.level() != self.height {
             return Err(corrupt(root, "root level != height".into()));
         }
-        self.validate_rec(root, self.height, None, true, &mut leaves_in_order, &mut total)?;
+        self.validate_rec(
+            root,
+            self.height,
+            None,
+            true,
+            &mut leaves_in_order,
+            &mut total,
+        )?;
         if total != self.len {
             return Err(corrupt(
                 root,
-                format!("entry count mismatch: leaves hold {total}, tree records {}", self.len),
+                format!(
+                    "entry count mismatch: leaves hold {total}, tree records {}",
+                    self.len
+                ),
             ));
         }
         // Leaf chain must equal the in-order leaf sequence.
@@ -832,7 +932,10 @@ impl<S: PageStore> ZBTree<S> {
         match node {
             ZNode::Leaf { entries, .. } => {
                 if !is_root && entries.len() < LEAF_CAPACITY / 2 {
-                    return Err(corrupt(node_id, format!("underfull leaf: {}", entries.len())));
+                    return Err(corrupt(
+                        node_id,
+                        format!("underfull leaf: {}", entries.len()),
+                    ));
                 }
                 if entries.len() > LEAF_CAPACITY {
                     return Err(corrupt(node_id, "overfull leaf".into()));
@@ -844,7 +947,10 @@ impl<S: PageStore> ZBTree<S> {
                 }
                 for e in &entries {
                     if self.grid.z_key(&e.location) != e.key.z {
-                        return Err(corrupt(node_id, "entry z-value disagrees with location".into()));
+                        return Err(corrupt(
+                            node_id,
+                            "entry z-value disagrees with location".into(),
+                        ));
                     }
                 }
                 *total += entries.len();
@@ -925,8 +1031,11 @@ mod tests {
     }
 
     fn brute(points: &[(u64, Point)], w: &Rect) -> Vec<u64> {
-        let mut v: Vec<u64> =
-            points.iter().filter(|(_, p)| w.contains_point(p)).map(|&(id, _)| id).collect();
+        let mut v: Vec<u64> = points
+            .iter()
+            .filter(|(_, p)| w.contains_point(p))
+            .map(|&(id, _)| id)
+            .collect();
         v.sort_unstable();
         v
     }
@@ -949,7 +1058,10 @@ mod tests {
     fn empty_tree() {
         let mut t = ZBTree::new(DiskManager::new(), bounds()).unwrap();
         assert!(t.is_empty());
-        assert_eq!(t.window_query(Rect::new(0.0, 0.0, 1.0, 1.0)).unwrap(), vec![]);
+        assert_eq!(
+            t.window_query(Rect::new(0.0, 0.0, 1.0, 1.0)).unwrap(),
+            vec![]
+        );
         t.validate().unwrap();
     }
 
@@ -991,7 +1103,10 @@ mod tests {
         let mut t = ZBTree::bulk_load(DiskManager::new(), bounds(), &points).unwrap();
         let (id, p) = points[123];
         assert!(t.execute(&Query::Point(p)).unwrap().contains(&id));
-        assert_eq!(t.execute(&Query::Point(Point::new(2.0, 2.0))).unwrap(), vec![]);
+        assert_eq!(
+            t.execute(&Query::Point(Point::new(2.0, 2.0))).unwrap(),
+            vec![]
+        );
     }
 
     #[test]
@@ -1043,8 +1158,7 @@ mod tests {
     #[test]
     fn mixed_insert_delete_stays_valid() {
         let points = scatter(1200);
-        let mut t =
-            ZBTree::bulk_load(DiskManager::new(), bounds(), &points[..800]).unwrap();
+        let mut t = ZBTree::bulk_load(DiskManager::new(), bounds(), &points[..800]).unwrap();
         for i in 0..400 {
             t.insert(points[800 + i].0, points[800 + i].1).unwrap();
             let (id, p) = points[i * 2];

@@ -24,8 +24,11 @@ fn main() {
     let mut rng = StdRng::seed_from_u64(7);
 
     // Initial fleet positions: a few depots plus road-like scatter.
-    let depots =
-        [Point::new(0.2, 0.3), Point::new(0.7, 0.6), Point::new(0.45, 0.8)];
+    let depots = [
+        Point::new(0.2, 0.3),
+        Point::new(0.7, 0.6),
+        Point::new(0.45, 0.8),
+    ];
     let mut positions: Vec<Point> = (0..FLEET)
         .map(|i| {
             let d = depots[i % depots.len()];
@@ -36,13 +39,21 @@ fn main() {
         })
         .collect();
     let velocities: Vec<(f64, f64)> = (0..FLEET)
-        .map(|_| ((rng.gen::<f64>() - 0.5) * 0.01, (rng.gen::<f64>() - 0.5) * 0.01))
+        .map(|_| {
+            (
+                (rng.gen::<f64>() - 0.5) * 0.01,
+                (rng.gen::<f64>() - 0.5) * 0.01,
+            )
+        })
         .collect();
 
     println!(
         "fleet of {FLEET} vehicles, {ROUNDS} rounds, {MOVERS_PER_ROUND} moves + 1 dispatch query per round\n"
     );
-    println!("{:<8} {:>12} {:>10} {:>14}", "policy", "disk reads", "hit ratio", "sim I/O [ms]");
+    println!(
+        "{:<8} {:>12} {:>10} {:>14}",
+        "policy", "disk reads", "hit ratio", "sim I/O [ms]"
+    );
 
     for policy in [
         PolicyKind::Lru,
@@ -51,10 +62,12 @@ fn main() {
         PolicyKind::Asb,
     ] {
         // Fresh tree and identical movement replay per policy.
-        let pairs: Vec<(u64, Point)> =
-            positions.iter().enumerate().map(|(i, p)| (i as u64, *p)).collect();
-        let mut tree =
-            ZBTree::bulk_load(DiskManager::new(), bounds, &pairs).expect("bulk load");
+        let pairs: Vec<(u64, Point)> = positions
+            .iter()
+            .enumerate()
+            .map(|(i, p)| (i as u64, *p))
+            .collect();
+        let mut tree = ZBTree::bulk_load(DiskManager::new(), bounds, &pairs).expect("bulk load");
         let buffer = (tree.page_count() / 25).max(8); // 4% buffer
         tree.set_buffer(BufferManager::with_policy(policy, buffer));
         tree.store_mut().reset_stats();
@@ -67,10 +80,7 @@ fn main() {
                 let v = (round * 97 + k * 131) % FLEET;
                 let old = pos[v];
                 let (dx, dy) = velocities[v];
-                let new = Point::new(
-                    (old.x + dx).rem_euclid(1.0),
-                    (old.y + dy).rem_euclid(1.0),
-                );
+                let new = Point::new((old.x + dx).rem_euclid(1.0), (old.y + dy).rem_euclid(1.0));
                 tree.delete(v as u64, &old).expect("delete");
                 tree.insert(v as u64, new).expect("insert");
                 pos[v] = new;

@@ -27,7 +27,10 @@ fn main() {
 
     // Sparkline over ~100 buckets.
     let max = trace.iter().map(|&(_, s)| s).max().unwrap_or(1) as f64;
-    let glyphs = ['\u{2581}', '\u{2582}', '\u{2583}', '\u{2584}', '\u{2585}', '\u{2586}', '\u{2587}', '\u{2588}'];
+    let glyphs = [
+        '\u{2581}', '\u{2582}', '\u{2583}', '\u{2584}', '\u{2585}', '\u{2586}', '\u{2587}',
+        '\u{2588}',
+    ];
     let buckets = 100usize.min(trace.len());
     let per = trace.len().div_ceil(buckets);
     let mut line = String::new();
@@ -68,7 +71,5 @@ fn main() {
         );
         start = end;
     }
-    println!(
-        "\nsmall candidate set = LRU-like behaviour; large = spatial-criterion behaviour."
-    );
+    println!("\nsmall candidate set = LRU-like behaviour; large = spatial-criterion behaviour.");
 }

@@ -26,8 +26,7 @@ fn main() {
     );
 
     // 3. A mixed query workload: medium windows plus point queries.
-    let mut queries: Vec<Query> =
-        QuerySetSpec::uniform_windows(100).generate(&dataset, 1500, 7);
+    let mut queries: Vec<Query> = QuerySetSpec::uniform_windows(100).generate(&dataset, 1500, 7);
     queries.extend(QuerySetSpec::identical_points().generate(&dataset, 1500, 8));
 
     // 4. Run the same workload under LRU and under the adaptable spatial
@@ -55,5 +54,8 @@ fn main() {
     }
 
     let gain = report[0] as f64 / report[1] as f64 - 1.0;
-    println!("\nASB gain over LRU: {:.1}% fewer effective disk accesses", gain * 100.0);
+    println!(
+        "\nASB gain over LRU: {:.1}% fewer effective disk accesses",
+        gain * 100.0
+    );
 }

@@ -40,8 +40,14 @@ fn main() {
         let mut a = RTree::bulk_load(DiskManager::new(), layer_a.items()).expect("layer A");
         let mut b = RTree::bulk_load(DiskManager::new(), layer_b.items()).expect("layer B");
         // Each layer gets a 2% buffer of its own tree.
-        a.set_buffer(BufferManager::with_policy(policy, (a.page_count() / 50).max(8)));
-        b.set_buffer(BufferManager::with_policy(policy, (b.page_count() / 50).max(8)));
+        a.set_buffer(BufferManager::with_policy(
+            policy,
+            (a.page_count() / 50).max(8),
+        ));
+        b.set_buffer(BufferManager::with_policy(
+            policy,
+            (b.page_count() / 50).max(8),
+        ));
         a.store_mut().reset_stats();
         b.store_mut().reset_stats();
 

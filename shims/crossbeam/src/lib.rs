@@ -1,0 +1,93 @@
+//! Offline stand-in for the `crossbeam` crate.
+//!
+//! Provides `crossbeam::scope` / `crossbeam::thread::scope` built on
+//! `std::thread::scope`. Spawned closures receive a `&Scope` argument like
+//! crossbeam's, and `scope()` returns `Result` so call sites can keep the
+//! idiomatic `.expect("threads join")`.
+
+#![forbid(unsafe_code)]
+
+/// Scoped-thread API, mirroring `crossbeam::thread`.
+pub mod thread {
+    /// A handle for spawning threads scoped to a `scope()` call.
+    pub struct Scope<'scope, 'env: 'scope> {
+        inner: &'scope std::thread::Scope<'scope, 'env>,
+    }
+
+    impl<'scope, 'env> Clone for Scope<'scope, 'env> {
+        fn clone(&self) -> Self {
+            *self
+        }
+    }
+
+    impl<'scope, 'env> Copy for Scope<'scope, 'env> {}
+
+    /// Handle to a scoped thread; `join()` returns the closure's result.
+    pub struct ScopedJoinHandle<'scope, T> {
+        inner: std::thread::ScopedJoinHandle<'scope, T>,
+    }
+
+    impl<'scope, T> ScopedJoinHandle<'scope, T> {
+        /// Waits for the thread to finish, propagating its return value.
+        ///
+        /// Returns `Err` with the panic payload if the thread panicked.
+        pub fn join(self) -> std::thread::Result<T> {
+            self.inner.join()
+        }
+    }
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        /// Spawns a thread scoped to the enclosing `scope()` call. The
+        /// closure receives the scope handle so it can spawn siblings.
+        pub fn spawn<F, T>(&self, f: F) -> ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            let scope = *self;
+            ScopedJoinHandle {
+                inner: self.inner.spawn(move || f(&scope)),
+            }
+        }
+    }
+
+    /// Runs `f` with a scope handle; all spawned threads are joined before
+    /// this returns. A panic in a child is resurfaced as a panic here (so
+    /// the `Ok` result means every thread completed), matching how the
+    /// call sites use `.expect("threads join")`.
+    pub fn scope<'env, F, R>(f: F) -> Result<R, Box<dyn std::any::Any + Send + 'static>>
+    where
+        F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+    {
+        Ok(std::thread::scope(|s| {
+            let scope = Scope { inner: s };
+            f(&scope)
+        }))
+    }
+}
+
+pub use thread::scope;
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn scoped_threads_share_stack_data() {
+        let data = [1u64, 2, 3, 4];
+        let total: u64 = crate::scope(|scope| {
+            let handles: Vec<_> = (0..4).map(|i| scope.spawn(move |_| data[i] * 10)).collect();
+            handles.into_iter().map(|h| h.join().unwrap()).sum()
+        })
+        .expect("threads join");
+        assert_eq!(total, 100);
+    }
+
+    #[test]
+    fn nested_spawn_via_passed_scope() {
+        let n = crate::scope(|scope| {
+            let h = scope.spawn(|inner| inner.spawn(|_| 7).join().unwrap());
+            h.join().unwrap()
+        })
+        .expect("threads join");
+        assert_eq!(n, 7);
+    }
+}

@@ -12,8 +12,11 @@ fn build_disk(pages: u64) -> (DiskManager, Vec<PageId>) {
     let mut disk = DiskManager::new();
     let ids = (0..pages)
         .map(|i| {
-            disk.allocate(PageMeta::data(SpatialStats::EMPTY), Bytes::from(vec![i as u8]))
-                .expect("allocate")
+            disk.allocate(
+                PageMeta::data(SpatialStats::EMPTY),
+                Bytes::from(vec![i as u8]),
+            )
+            .expect("allocate")
         })
         .collect();
     (disk, ids)

@@ -23,15 +23,24 @@ fn all_policies() -> Vec<PolicyKind> {
         PolicyKind::Spatial(SpatialCriterion::Margin),
         PolicyKind::Spatial(SpatialCriterion::EntryMargin),
         PolicyKind::Spatial(SpatialCriterion::EntryOverlap),
-        PolicyKind::Slru { candidate_fraction: 0.25, criterion: SpatialCriterion::Area },
-        PolicyKind::Slru { candidate_fraction: 0.5, criterion: SpatialCriterion::Area },
+        PolicyKind::Slru {
+            candidate_fraction: 0.25,
+            criterion: SpatialCriterion::Area,
+        },
+        PolicyKind::Slru {
+            candidate_fraction: 0.5,
+            criterion: SpatialCriterion::Area,
+        },
         PolicyKind::Asb,
     ]
 }
 
 fn brute_force(items: &[RTreeItem], q: &Query) -> Vec<u64> {
-    let mut ids: Vec<u64> =
-        items.iter().filter(|it| q.matches(&it.mbr)).map(|it| it.id).collect();
+    let mut ids: Vec<u64> = items
+        .iter()
+        .filter(|it| q.matches(&it.mbr))
+        .map(|it| it.id)
+        .collect();
     ids.sort_unstable();
     ids
 }
@@ -44,17 +53,18 @@ fn every_policy_is_transparent_and_bounded() {
     let queries: Vec<Query> = {
         let mut v = QuerySetSpec::uniform_windows(33).generate(&dataset, 120, 1);
         v.extend(QuerySetSpec::identical_points().generate(&dataset, 120, 2));
-        v.extend(QuerySetSpec::intensified(QueryKind::Window { ex: 100 }).generate(
-            &dataset, 120, 3,
-        ));
+        v.extend(
+            QuerySetSpec::intensified(QueryKind::Window { ex: 100 }).generate(&dataset, 120, 3),
+        );
         v
     };
-    let expected: Vec<Vec<u64>> =
-        queries.iter().map(|q| brute_force(dataset.items(), q)).collect();
+    let expected: Vec<Vec<u64>> = queries
+        .iter()
+        .map(|q| brute_force(dataset.items(), q))
+        .collect();
 
     for policy in all_policies() {
-        let mut tree =
-            RTree::bulk_load(DiskManager::new(), dataset.items()).expect("bulk load");
+        let mut tree = RTree::bulk_load(DiskManager::new(), dataset.items()).expect("bulk load");
         let capacity = (tree.page_count() / 20).max(4);
         tree.set_buffer(BufferManager::with_policy(policy, capacity));
         tree.store_mut().reset_stats();
@@ -66,9 +76,15 @@ fn every_policy_is_transparent_and_bounded() {
         let disk = tree.store().stats();
         let buf = tree.take_buffer().expect("buffer attached");
         let stats = buf.stats();
-        assert!(buf.resident() <= capacity, "{policy:?} overflowed the buffer");
+        assert!(
+            buf.resident() <= capacity,
+            "{policy:?} overflowed the buffer"
+        );
         assert_eq!(stats.hits + stats.misses, stats.logical_reads, "{policy:?}");
-        assert_eq!(stats.misses, disk.reads, "{policy:?}: misses must equal disk reads");
+        assert_eq!(
+            stats.misses, disk.reads,
+            "{policy:?}: misses must equal disk reads"
+        );
         assert!(stats.hits > 0, "{policy:?} should hit at least the root");
     }
 }
@@ -117,13 +133,16 @@ fn tree_shape_matches_the_paper() {
 fn buffered_updates_stay_coherent() {
     let dataset = Dataset::generate(DatasetKind::Mainland, Scale::Tiny, 8);
     let items = dataset.items();
-    let mut tree =
-        RTree::bulk_load(DiskManager::new(), &items[..1200]).expect("bulk load");
+    let mut tree = RTree::bulk_load(DiskManager::new(), &items[..1200]).expect("bulk load");
     tree.set_buffer(BufferManager::with_policy(PolicyKind::Asb, 24));
 
     // Delete a third, insert fresh objects, interleaved with queries.
     for (i, victim) in items[..400].iter().enumerate() {
-        assert!(tree.delete(victim.id, &victim.mbr).expect("delete"), "object {}", victim.id);
+        assert!(
+            tree.delete(victim.id, &victim.mbr).expect("delete"),
+            "object {}",
+            victim.id
+        );
         let newcomer = items[1200 + i];
         tree.insert(newcomer).expect("insert");
         if i % 37 == 0 {
@@ -133,7 +152,8 @@ fn buffered_updates_stay_coherent() {
             assert!(got.contains(&newcomer.id), "fresh object missing");
         }
     }
-    tree.validate().expect("tree stays valid under buffered updates");
+    tree.validate()
+        .expect("tree stays valid under buffered updates");
     assert_eq!(tree.len(), 1200);
 }
 
@@ -185,7 +205,11 @@ fn full_size_buffer_absorbs_everything() {
     for q in &queries {
         tree.execute(q).expect("query");
     }
-    assert_eq!(tree.store().stats().reads, 0, "warm full-size buffer must not miss");
+    assert_eq!(
+        tree.store().stats().reads,
+        0,
+        "warm full-size buffer must not miss"
+    );
 }
 
 /// LRU-K's ghost history grows with evictions; ASB's does not — the
@@ -196,8 +220,7 @@ fn memory_overhead_matches_the_papers_argument() {
     let queries = QuerySetSpec::uniform_windows(33).generate(&dataset, 400, 2);
     let mut retained = std::collections::HashMap::new();
     for policy in [PolicyKind::LruK { k: 2 }, PolicyKind::Asb, PolicyKind::Lru] {
-        let mut tree =
-            RTree::bulk_load(DiskManager::new(), dataset.items()).expect("bulk load");
+        let mut tree = RTree::bulk_load(DiskManager::new(), dataset.items()).expect("bulk load");
         tree.set_buffer(BufferManager::with_policy(policy, 12));
         for q in &queries {
             tree.execute(q).expect("query");
@@ -206,6 +229,9 @@ fn memory_overhead_matches_the_papers_argument() {
         retained.insert(policy.label(), buf.retained_history());
     }
     assert!(retained["LRU-2"] > 0, "LRU-2 must retain ghost history");
-    assert_eq!(retained["ASB"], 0, "ASB must not retain history for evicted pages");
+    assert_eq!(
+        retained["ASB"], 0,
+        "ASB must not retain history for evicted pages"
+    );
     assert_eq!(retained["LRU"], 0);
 }

@@ -44,11 +44,26 @@ fn asb_never_loses_to_lru() {
 fn spatial_a_wins_on_uniform() {
     let mut lab = small_lab();
     let a = PolicyKind::Spatial(SpatialCriterion::Area);
-    for spec in [QuerySetSpec::uniform_points(), QuerySetSpec::uniform_windows(100)] {
+    for spec in [
+        QuerySetSpec::uniform_points(),
+        QuerySetSpec::uniform_windows(100),
+    ] {
         let gain = lab.gain(DatasetKind::Mainland, a, 0.047, spec);
-        assert!(gain > 5.0, "A should win on {} (got {gain:.1}%)", spec.name());
-        let lru2 = lab.gain(DatasetKind::Mainland, PolicyKind::LruK { k: 2 }, 0.047, spec);
-        assert!(gain > lru2, "A ({gain:.1}%) should beat LRU-2 ({lru2:.1}%) on uniform");
+        assert!(
+            gain > 5.0,
+            "A should win on {} (got {gain:.1}%)",
+            spec.name()
+        );
+        let lru2 = lab.gain(
+            DatasetKind::Mainland,
+            PolicyKind::LruK { k: 2 },
+            0.047,
+            spec,
+        );
+        assert!(
+            gain > lru2,
+            "A ({gain:.1}%) should beat LRU-2 ({lru2:.1}%) on uniform"
+        );
     }
 }
 
@@ -65,7 +80,12 @@ fn spatial_a_collapses_on_intensified() {
         0.047,
         spec,
     );
-    let lru2 = lab.gain(DatasetKind::Mainland, PolicyKind::LruK { k: 2 }, 0.047, spec);
+    let lru2 = lab.gain(
+        DatasetKind::Mainland,
+        PolicyKind::LruK { k: 2 },
+        0.047,
+        spec,
+    );
     assert!(a < 0.0, "A should lose on INT-P (got {a:.1}%)");
     assert!(lru2 > 5.0, "LRU-2 should gain on INT-P (got {lru2:.1}%)");
 }
@@ -77,26 +97,41 @@ fn slru_moderates_spatial_extremes() {
     let mut lab = small_lab();
     let crit = SpatialCriterion::Area;
     let a = PolicyKind::Spatial(crit);
-    let slru25 = PolicyKind::Slru { candidate_fraction: 0.25, criterion: crit };
-    let slru50 = PolicyKind::Slru { candidate_fraction: 0.5, criterion: crit };
+    let slru25 = PolicyKind::Slru {
+        candidate_fraction: 0.25,
+        criterion: crit,
+    };
+    let slru50 = PolicyKind::Slru {
+        candidate_fraction: 0.5,
+        criterion: crit,
+    };
 
     // Where A loses (intensified), both SLRUs must do better than A.
     let spec = QuerySetSpec::intensified(QueryKind::Point);
     let ga = lab.gain(DatasetKind::Mainland, a, 0.047, spec);
     let g25 = lab.gain(DatasetKind::Mainland, slru25, 0.047, spec);
     let g50 = lab.gain(DatasetKind::Mainland, slru50, 0.047, spec);
-    assert!(g25 > ga && g50 > ga, "SLRU must soften A's loss: A={ga:.1} 25%={g25:.1} 50%={g50:.1}");
+    assert!(
+        g25 > ga && g50 > ga,
+        "SLRU must soften A's loss: A={ga:.1} 25%={g25:.1} 50%={g50:.1}"
+    );
     // The paper: "In the most cases, the performance loss has become a
     // (slight) performance gain. These observations especially hold for
     // ... 25%". Pointwise ordering between 25% and 50% is not guaranteed,
     // but the stronger LRU influence must not lose to LRU outright.
-    assert!(g25 > -2.0, "SLRU 25% must stay near or above LRU ({g25:.1}%)");
+    assert!(
+        g25 > -2.0,
+        "SLRU 25% must stay near or above LRU ({g25:.1}%)"
+    );
 
     // Where A wins big (uniform), SLRU keeps part of the gain.
     let spec = QuerySetSpec::uniform_windows(100);
     let ga = lab.gain(DatasetKind::Mainland, a, 0.047, spec);
     let g25 = lab.gain(DatasetKind::Mainland, slru25, 0.047, spec);
-    assert!(g25 > 0.0 && g25 < ga + 1.0, "SLRU shifts A toward LRU: A={ga:.1} 25%={g25:.1}");
+    assert!(
+        g25 > 0.0 && g25 < ga + 1.0,
+        "SLRU shifts A toward LRU: A={ga:.1} 25%={g25:.1}"
+    );
 }
 
 /// Figure 5's claim: K barely matters — LRU-2, LRU-3 and LRU-5 perform
@@ -105,9 +140,24 @@ fn slru_moderates_spatial_extremes() {
 fn lru_k_is_insensitive_to_k() {
     let mut lab = small_lab();
     let spec = QuerySetSpec::identical_points();
-    let g2 = lab.gain(DatasetKind::Mainland, PolicyKind::LruK { k: 2 }, 0.047, spec);
-    let g3 = lab.gain(DatasetKind::Mainland, PolicyKind::LruK { k: 3 }, 0.047, spec);
-    let g5 = lab.gain(DatasetKind::Mainland, PolicyKind::LruK { k: 5 }, 0.047, spec);
+    let g2 = lab.gain(
+        DatasetKind::Mainland,
+        PolicyKind::LruK { k: 2 },
+        0.047,
+        spec,
+    );
+    let g3 = lab.gain(
+        DatasetKind::Mainland,
+        PolicyKind::LruK { k: 3 },
+        0.047,
+        spec,
+    );
+    let g5 = lab.gain(
+        DatasetKind::Mainland,
+        PolicyKind::LruK { k: 5 },
+        0.047,
+        spec,
+    );
     assert!((g2 - g3).abs() < 6.0, "LRU-2 {g2:.1} vs LRU-3 {g3:.1}");
     assert!((g2 - g5).abs() < 6.0, "LRU-2 {g2:.1} vs LRU-5 {g5:.1}");
 }

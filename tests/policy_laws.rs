@@ -117,7 +117,10 @@ fn policy_kinds_serialize_roundtrip() {
         PolicyKind::TwoQ,
         PolicyKind::LruK { k: 5 },
         PolicyKind::Spatial(SpatialCriterion::EntryOverlap),
-        PolicyKind::Slru { candidate_fraction: 0.25, criterion: SpatialCriterion::Area },
+        PolicyKind::Slru {
+            candidate_fraction: 0.25,
+            criterion: SpatialCriterion::Area,
+        },
         PolicyKind::Asb,
         PolicyKind::AsbWith(AsbParams {
             overflow_fraction: 0.3,
@@ -140,8 +143,9 @@ fn policy_kinds_serialize_roundtrip() {
 #[test]
 fn runs_are_deterministic() {
     let (_, ids) = build_disk(50);
-    let trace: Vec<(usize, u64)> =
-        (0..2000u64).map(|i| (((i * 31 + i * i % 7) % 50) as usize, i / 9)).collect();
+    let trace: Vec<(usize, u64)> = (0..2000u64)
+        .map(|i| (((i * 31 + i * i % 7) % 50) as usize, i / 9))
+        .collect();
     for policy in [
         PolicyKind::Random { seed: 5 },
         PolicyKind::Asb,

@@ -173,7 +173,10 @@ fn fuzz_policies() -> Vec<PolicyKind> {
         PolicyKind::LruK { k: 2 },
         PolicyKind::Spatial(SpatialCriterion::Area),
         PolicyKind::Spatial(SpatialCriterion::EntryOverlap),
-        PolicyKind::Slru { candidate_fraction: 0.3, criterion: SpatialCriterion::Margin },
+        PolicyKind::Slru {
+            candidate_fraction: 0.3,
+            criterion: SpatialCriterion::Margin,
+        },
         PolicyKind::Asb,
     ]
 }

@@ -10,7 +10,10 @@ use proptest::prelude::*;
 
 const WORLD: Rect = Rect {
     min: Point { x: 0.0, y: 0.0 },
-    max: Point { x: 1024.0, y: 1024.0 },
+    max: Point {
+        x: 1024.0,
+        y: 1024.0,
+    },
 };
 
 fn small_rect() -> impl Strategy<Value = Rect> {

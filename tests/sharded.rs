@@ -1,0 +1,170 @@
+//! Multi-threaded integration tests for the lock-striped buffer pool,
+//! exercised through the umbrella crate the way applications see it.
+//!
+//! Two families:
+//!
+//! * a stress test over **every** replacement policy — invariants that must
+//!   hold for any interleaving (bounded residency, consistent accounting,
+//!   no lost writes);
+//! * a determinism test — with one shard and one thread the pool reproduces
+//!   the sequential [`BufferManager`]'s counts bit for bit.
+
+use asb::buffer::{BufferManager, PolicyKind, ShardedBuffer, SpatialCriterion};
+use asb::geom::{Rect, SpatialStats};
+use asb::storage::{AccessContext, DiskManager, Page, PageId, PageMeta, PageStore, QueryId};
+use bytes::Bytes;
+
+const PAGES: u64 = 200;
+const CAPACITY: usize = 32;
+const SHARDS: usize = 4;
+const THREADS: usize = 4;
+
+/// Every policy the buffer core offers, in one place so a new variant
+/// fails this test's exhaustiveness rather than silently going untested.
+fn all_policies() -> Vec<PolicyKind> {
+    vec![
+        PolicyKind::Lru,
+        PolicyKind::Fifo,
+        PolicyKind::Clock,
+        PolicyKind::Random { seed: 7 },
+        PolicyKind::LruT,
+        PolicyKind::LruP,
+        PolicyKind::TwoQ,
+        PolicyKind::LruK { k: 2 },
+        PolicyKind::Spatial(SpatialCriterion::Area),
+        PolicyKind::Slru {
+            candidate_fraction: 0.25,
+            criterion: SpatialCriterion::Area,
+        },
+        PolicyKind::Asb,
+    ]
+}
+
+fn build_disk() -> (DiskManager, Vec<PageId>) {
+    let mut disk = DiskManager::new();
+    let ids = (0..PAGES)
+        .map(|i| {
+            let side = 1.0 + (i % 13) as f64;
+            let meta = PageMeta::data(SpatialStats::from_rects(&[Rect::new(0.0, 0.0, side, side)]));
+            disk.allocate(meta, Bytes::from(vec![i as u8]))
+                .expect("allocate")
+        })
+        .collect();
+    disk.reset_stats();
+    (disk, ids)
+}
+
+/// Runs a mixed read/write load from several threads and checks the
+/// invariants that must survive any interleaving.
+#[test]
+fn stress_every_policy_preserves_invariants() {
+    for policy in all_policies() {
+        let (disk, ids) = build_disk();
+        let pool = ShardedBuffer::new(disk, policy, CAPACITY, SHARDS);
+
+        std::thread::scope(|s| {
+            for t in 0..THREADS as u64 {
+                let pool = pool.clone();
+                let ids = &ids;
+                s.spawn(move || {
+                    for i in 0..500u64 {
+                        let slot = ((t * 31 + i * 17) % PAGES) as usize;
+                        let ctx = AccessContext::query(QueryId::new((t << 32) | (i / 8)));
+                        let page = pool.read(ids[slot], ctx).expect("read");
+                        assert_eq!(page.id, ids[slot]);
+                        // Each thread rewrites only its own residue class,
+                        // so the final payloads are schedule-independent.
+                        if slot as u64 % THREADS as u64 == t && i % 5 == 0 {
+                            let page = Page::new(
+                                page.id,
+                                page.meta,
+                                Bytes::from(vec![slot as u8, t as u8]),
+                            )
+                            .expect("page");
+                            pool.write(page).expect("write");
+                        }
+                    }
+                });
+            }
+        });
+
+        let stats = pool.stats();
+        assert!(
+            pool.resident() <= CAPACITY,
+            "{policy:?}: {} resident pages exceed capacity {CAPACITY}",
+            pool.resident()
+        );
+        assert_eq!(
+            stats.hits + stats.misses,
+            stats.logical_reads,
+            "{policy:?}: accounting must balance"
+        );
+        assert_eq!(stats.logical_reads, (THREADS * 500) as u64, "{policy:?}");
+        assert!(
+            stats.evictions > 0,
+            "{policy:?}: the trace must overflow the buffer"
+        );
+
+        // No lost writes: every page some thread rewrote must read back
+        // with that thread's payload, from the pool and from the store.
+        let mut disk = pool.try_into_store().expect("sole handle");
+        for (slot, id) in ids.iter().enumerate() {
+            let owner = (slot % THREADS) as u8;
+            let page = disk
+                .read(*id, AccessContext::default())
+                .expect("page survives");
+            if page.payload.len() == 2 {
+                assert_eq!(
+                    page.payload.as_ref(),
+                    &[slot as u8, owner],
+                    "lost write on {id:?}"
+                );
+            } else {
+                assert_eq!(
+                    page.payload.as_ref(),
+                    &[slot as u8],
+                    "corrupted page {id:?}"
+                );
+            }
+        }
+    }
+}
+
+/// With one shard, the pool is the sequential buffer manager behind a
+/// mutex: a single-threaded trace must produce identical statistics and
+/// identical physical I/O.
+#[test]
+fn single_shard_replays_identically_to_sequential_buffer() {
+    for policy in all_policies() {
+        // Sequential reference: BufferManager::read_through over a disk.
+        let (mut disk, ids) = build_disk();
+        let mut seq = BufferManager::with_policy(policy, CAPACITY);
+        let trace: Vec<(usize, u64)> = (0..3_000u64)
+            .map(|i| (((i * 29 + i / 64) % PAGES) as usize, i / 8))
+            .collect();
+        for &(slot, q) in &trace {
+            seq.read_through(&mut disk, ids[slot], AccessContext::query(QueryId::new(q)))
+                .expect("read");
+        }
+        let seq_io = disk.stats();
+
+        // Same trace through a one-shard pool.
+        let (disk, ids) = build_disk();
+        let pool = ShardedBuffer::new(disk, policy, CAPACITY, 1);
+        for &(slot, q) in &trace {
+            pool.read(ids[slot], AccessContext::query(QueryId::new(q)))
+                .expect("read");
+        }
+
+        assert_eq!(
+            pool.stats(),
+            seq.stats(),
+            "{policy:?}: buffer statistics must match"
+        );
+        assert_eq!(
+            pool.io_stats().reads,
+            seq_io.reads,
+            "{policy:?}: physical reads must match"
+        );
+    }
+}
