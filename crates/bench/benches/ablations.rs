@@ -39,7 +39,10 @@ fn ablation_overflow(c: &mut Criterion) {
         });
         let gains: Vec<f64> = sets
             .iter()
-            .map(|&s| lab.gain(DatasetKind::Mainland, policy, 0.047, s))
+            .map(|&s| {
+                lab.gain(DatasetKind::Mainland, policy, 0.047, s)
+                    .expect("gain")
+            })
             .collect();
         println!(
             "{:<12} {:>10.1} {:>10.1} {:>10.1}",
@@ -87,7 +90,10 @@ fn ablation_step(c: &mut Criterion) {
         });
         let gains: Vec<f64> = sets
             .iter()
-            .map(|&s| lab.gain(DatasetKind::Mainland, policy, 0.047, s))
+            .map(|&s| {
+                lab.gain(DatasetKind::Mainland, policy, 0.047, s)
+                    .expect("gain")
+            })
             .collect();
         println!(
             "{:<12} {:>10.1} {:>10.1}",
@@ -131,7 +137,9 @@ fn ablation_io_mix(c: &mut Criterion) {
         PolicyKind::Spatial(SpatialCriterion::Area),
         PolicyKind::Asb,
     ] {
-        let r = lab.run(DatasetKind::Mainland, policy, 0.047, spec);
+        let r = lab
+            .run(DatasetKind::Mainland, policy, 0.047, spec)
+            .expect("run");
         println!(
             "{:<10} {:>10} {:>10} {:>9.1}% {:>12.0}",
             policy.label(),

@@ -8,7 +8,7 @@ use asb_workload::Scale;
 use criterion::{criterion_group, criterion_main, Criterion};
 
 fn object_pages(c: &mut Criterion) {
-    print_tables(&[ext_object_pages(BENCH_SCALE, BENCH_SEED)]);
+    print_tables(&[ext_object_pages(BENCH_SCALE, BENCH_SEED).expect("extension")]);
     let mut group = c.benchmark_group("extensions");
     group.sample_size(10);
     group.bench_function("ext_object_pages_tiny", |b| {
@@ -18,7 +18,7 @@ fn object_pages(c: &mut Criterion) {
 }
 
 fn cross_sam(c: &mut Criterion) {
-    print_tables(&[ext_cross_sam(BENCH_SCALE, BENCH_SEED)]);
+    print_tables(&[ext_cross_sam(BENCH_SCALE, BENCH_SEED).expect("extension")]);
     let mut group = c.benchmark_group("extensions");
     group.sample_size(10);
     group.bench_function("ext_cross_sam_tiny", |b| {
@@ -28,7 +28,7 @@ fn cross_sam(c: &mut Criterion) {
 }
 
 fn moving_objects(c: &mut Criterion) {
-    print_tables(&[ext_moving_objects(BENCH_SCALE, BENCH_SEED)]);
+    print_tables(&[ext_moving_objects(BENCH_SCALE, BENCH_SEED).expect("extension")]);
     let mut group = c.benchmark_group("extensions");
     group.sample_size(10);
     group.bench_function("ext_moving_tiny", |b| {

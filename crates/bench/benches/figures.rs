@@ -11,7 +11,7 @@ use criterion::{criterion_group, criterion_main, Criterion};
 fn bench_figure(c: &mut Criterion, id: u8) {
     // Print the regenerated tables once.
     let mut lab = Lab::new(BENCH_SCALE, BENCH_SEED);
-    print_tables(&figure(id, &mut lab));
+    print_tables(&figure(id, &mut lab).expect("figure regeneration"));
 
     // Measure a cold regeneration (tree build + all runs of the figure).
     let mut group = c.benchmark_group("figures");
@@ -19,7 +19,7 @@ fn bench_figure(c: &mut Criterion, id: u8) {
     group.bench_function(format!("fig{id:02}"), |b| {
         b.iter(|| {
             let mut lab = Lab::new(BENCH_SCALE, BENCH_SEED);
-            std::hint::black_box(figure(id, &mut lab))
+            std::hint::black_box(figure(id, &mut lab).expect("figure regeneration"))
         })
     });
     group.finish();

@@ -53,7 +53,7 @@ mod policy;
 pub mod sharded;
 
 pub use concurrent::SharedBuffer;
-pub use manager::{BufferManager, BufferStats, BufferedStore};
+pub use manager::{BufferManager, BufferStats, BufferedStore, StoreIo};
 pub use policies::{
     AsbParams, AsbPolicy, ClockPolicy, FifoPolicy, LruKPolicy, LruPolicy, LruPriorityPolicy,
     LruTypePolicy, RandomPolicy, SlruPolicy, SpatialPolicy, TwoQPolicy,

@@ -1,5 +1,8 @@
 use crate::policy::{PolicyKind, ReplacementPolicy};
-use asb_storage::{AccessContext, Page, PageId, PageMeta, PageStore, Result, StorageError};
+use asb_storage::{
+    page_checksum, AccessContext, Page, PageId, PageMeta, PageStore, Result, RetryPolicy,
+    StorageError,
+};
 use bytes::Bytes;
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
@@ -8,7 +11,8 @@ use std::collections::HashMap;
 ///
 /// With the write-through design, `misses` equals the number of physical
 /// disk reads caused through this buffer — the paper's "number of disk
-/// accesses".
+/// accesses". The robustness counters (`retries`, `corruptions`,
+/// `failed_evictions`, `writebacks`) stay zero on a fault-free store.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct BufferStats {
     /// Total page requests served.
@@ -19,6 +23,15 @@ pub struct BufferStats {
     pub misses: u64,
     /// Pages dropped to make room.
     pub evictions: u64,
+    /// Transient store failures absorbed by re-attempting the operation.
+    pub retries: u64,
+    /// Checksum mismatches detected (in fetched copies or resident frames).
+    pub corruptions: u64,
+    /// Evictions abandoned because the victim's write-back failed; the
+    /// victim stays resident and `evictions` is *not* incremented.
+    pub failed_evictions: u64,
+    /// Dirty pages successfully written back (evictions and flushes).
+    pub writebacks: u64,
 }
 
 impl BufferStats {
@@ -41,6 +54,10 @@ impl std::ops::Add for BufferStats {
             hits: self.hits + rhs.hits,
             misses: self.misses + rhs.misses,
             evictions: self.evictions + rhs.evictions,
+            retries: self.retries + rhs.retries,
+            corruptions: self.corruptions + rhs.corruptions,
+            failed_evictions: self.failed_evictions + rhs.failed_evictions,
+            writebacks: self.writebacks + rhs.writebacks,
         }
     }
 }
@@ -59,9 +76,64 @@ impl std::iter::Sum for BufferStats {
     }
 }
 
+/// The I/O surface a [`BufferManager`] needs from its backing store: fetch a
+/// page on a miss, write a page back on a dirty eviction or flush.
+///
+/// Every [`PageStore`] is a `StoreIo`; the sharded pool supplies an adapter
+/// that takes its store lock per operation, and closure-based read paths
+/// (see [`BufferManager::read_through_with`]) use a fetch-only adapter whose
+/// write-backs fail with
+/// [`StorageError::WritebackUnavailable`].
+pub trait StoreIo {
+    /// Fetches a page from the backing store.
+    fn fetch(&mut self, id: PageId, ctx: AccessContext) -> Result<Page>;
+
+    /// Writes a page back to the backing store.
+    fn store(&mut self, page: &Page) -> Result<()>;
+}
+
+impl<S: PageStore> StoreIo for S {
+    fn fetch(&mut self, id: PageId, ctx: AccessContext) -> Result<Page> {
+        self.read(id, ctx)
+    }
+
+    fn store(&mut self, page: &Page) -> Result<()> {
+        self.write(page.clone())
+    }
+}
+
+/// Fetch-only [`StoreIo`] over a closure; write-backs are unavailable.
+struct FetchIo<F>(F);
+
+impl<F: FnMut(PageId, AccessContext) -> Result<Page>> StoreIo for FetchIo<F> {
+    fn fetch(&mut self, id: PageId, ctx: AccessContext) -> Result<Page> {
+        (self.0)(id, ctx)
+    }
+
+    fn store(&mut self, page: &Page) -> Result<()> {
+        Err(StorageError::WritebackUnavailable(page.id))
+    }
+}
+
+/// A [`StoreIo`] with no store at all, for admitting pages that already
+/// exist in the backing store (two-phase allocation).
+struct NoWriteback;
+
+impl StoreIo for NoWriteback {
+    fn fetch(&mut self, id: PageId, _ctx: AccessContext) -> Result<Page> {
+        Err(StorageError::PageNotFound(id))
+    }
+
+    fn store(&mut self, page: &Page) -> Result<()> {
+        Err(StorageError::WritebackUnavailable(page.id))
+    }
+}
+
 struct Frame {
     page: Page,
     pins: u32,
+    /// The frame holds changes not yet written to the backing store.
+    dirty: bool,
 }
 
 /// A buffer (page cache) of fixed capacity with a pluggable replacement
@@ -100,6 +172,9 @@ pub struct BufferManager {
     frames: HashMap<PageId, Frame>,
     stats: BufferStats,
     tick: u64,
+    retry: RetryPolicy,
+    /// Simulated milliseconds spent backing off before retries.
+    backoff_ms: f64,
 }
 
 impl std::fmt::Debug for BufferManager {
@@ -128,6 +203,8 @@ impl BufferManager {
             frames: HashMap::with_capacity(capacity),
             stats: BufferStats::default(),
             tick: 0,
+            retry: RetryPolicy::default(),
+            backoff_ms: 0.0,
         }
     }
 
@@ -161,9 +238,66 @@ impl BufferManager {
         self.stats
     }
 
-    /// Resets the access statistics (pages stay resident).
+    /// Resets the access statistics and the accrued backoff time (pages
+    /// stay resident).
     pub fn reset_stats(&mut self) {
         self.stats = BufferStats::default();
+        self.backoff_ms = 0.0;
+    }
+
+    /// Replaces the retry policy applied to transient store faults.
+    pub fn set_retry_policy(&mut self, retry: RetryPolicy) {
+        self.retry = retry;
+    }
+
+    /// The active retry policy.
+    pub fn retry_policy(&self) -> RetryPolicy {
+        self.retry
+    }
+
+    /// Simulated milliseconds this buffer has spent backing off before
+    /// retries (the disk's own timing model does not include these).
+    pub fn simulated_backoff_ms(&self) -> f64 {
+        self.backoff_ms
+    }
+
+    /// Number of resident frames holding changes not yet written back.
+    pub fn dirty_count(&self) -> usize {
+        self.frames.values().filter(|f| f.dirty).count()
+    }
+
+    /// For the adaptable spatial buffer: the overflow-buffer page ids in
+    /// FIFO order plus its capacity. `None` for policies without one.
+    pub fn overflow_state(&self) -> Option<(Vec<PageId>, usize)> {
+        self.policy.overflow_state()
+    }
+
+    /// Damages the resident copy of `id` (payload altered, recorded checksum
+    /// preserved), returning whether a frame was poisoned. Test support for
+    /// the fault-injection suite: a poisoned frame must be detected, evicted
+    /// and re-fetched on its next read instead of being served.
+    pub fn poison_frame(&mut self, id: PageId) -> bool {
+        let Some(frame) = self.frames.get_mut(&id) else {
+            return false;
+        };
+        let mut payload = frame.page.payload.to_vec();
+        if payload.is_empty() {
+            payload.push(0xee);
+        } else {
+            payload[0] ^= 0xff;
+        }
+        match Page::with_checksum(
+            frame.page.id,
+            frame.page.meta,
+            Bytes::from(payload),
+            frame.page.checksum(),
+        ) {
+            Ok(poisoned) => {
+                frame.page = poisoned;
+                true
+            }
+            Err(_) => false,
+        }
     }
 
     /// For the adaptable spatial buffer: current candidate-set size.
@@ -183,45 +317,207 @@ impl BufferManager {
         id: PageId,
         ctx: AccessContext,
     ) -> Result<Page> {
-        self.read_through_with(id, ctx, |id, ctx| inner.read(id, ctx))
+        self.read_via(inner, id, ctx)
     }
 
     /// Reads a page through the buffer, calling `fetch` on a miss.
     ///
-    /// This is the single read path of the buffer — [`read_through`]
-    /// delegates here, and the sharded pool passes a `fetch` that takes a
-    /// shared store lock — so hit/miss/eviction accounting is identical no
-    /// matter how the backing store is reached.
+    /// Convenience wrapper over [`read_via`] for callers that only have a
+    /// fetch closure; a transient fetch failure is retried (the closure may
+    /// be called several times), but dirty evictions fail with
+    /// [`StorageError::WritebackUnavailable`] on this path because there is
+    /// nowhere to write to.
     ///
-    /// [`read_through`]: BufferManager::read_through
+    /// [`read_via`]: BufferManager::read_via
     pub fn read_through_with(
         &mut self,
         id: PageId,
         ctx: AccessContext,
-        fetch: impl FnOnce(PageId, AccessContext) -> Result<Page>,
+        fetch: impl FnMut(PageId, AccessContext) -> Result<Page>,
+    ) -> Result<Page> {
+        self.read_via(&mut FetchIo(fetch), id, ctx)
+    }
+
+    /// Reads a page through the buffer via an explicit [`StoreIo`].
+    ///
+    /// This is the single read path of the buffer — [`read_through`]
+    /// delegates here, and the sharded pool passes an adapter that takes its
+    /// store lock per operation — so hit/miss/eviction accounting is
+    /// identical no matter how the backing store is reached.
+    ///
+    /// Robustness semantics:
+    /// * a resident frame whose payload no longer matches its checksum is
+    ///   evicted and re-fetched instead of being served,
+    /// * a fetched copy failing its checksum, and any transient store
+    ///   error, is retried under the buffer's [`RetryPolicy`]; an exhausted
+    ///   budget surfaces as [`StorageError::RetriesExhausted`].
+    ///
+    /// [`read_through`]: BufferManager::read_through
+    pub fn read_via<IO: StoreIo + ?Sized>(
+        &mut self,
+        io: &mut IO,
+        id: PageId,
+        ctx: AccessContext,
     ) -> Result<Page> {
         self.stats.logical_reads += 1;
         self.tick += 1;
         if let Some(frame) = self.frames.get(&id) {
-            self.stats.hits += 1;
-            let page = frame.page.clone();
-            self.policy.on_hit(&page, ctx, self.tick);
-            return Ok(page);
+            if frame.page.verify_checksum() {
+                self.stats.hits += 1;
+                let page = frame.page.clone();
+                self.policy.on_hit(&page, ctx, self.tick);
+                return Ok(page);
+            }
+            // The resident copy rotted in memory: discard it and fall
+            // through to a (counted) miss that re-fetches a clean copy.
+            self.stats.corruptions += 1;
+            self.frames.remove(&id);
+            self.policy.on_remove(id);
         }
         self.stats.misses += 1;
-        let page = fetch(id, ctx)?;
-        self.admit(page.clone(), ctx)?;
+        let page = self.fetch_with_retry(io, id, ctx)?;
+        self.admit_frame(page.clone(), ctx, false, io)?;
         Ok(page)
+    }
+
+    /// Fetches `id`, retrying transient failures (including checksum
+    /// mismatches of the delivered copy) under the retry policy.
+    fn fetch_with_retry<IO: StoreIo + ?Sized>(
+        &mut self,
+        io: &mut IO,
+        id: PageId,
+        ctx: AccessContext,
+    ) -> Result<Page> {
+        let budget = self.retry.attempts();
+        let mut failed = 0u32;
+        loop {
+            let err = match io.fetch(id, ctx) {
+                Ok(page) => {
+                    if page.verify_checksum() {
+                        return Ok(page);
+                    }
+                    self.stats.corruptions += 1;
+                    StorageError::ChecksumMismatch {
+                        id,
+                        expected: page.checksum(),
+                        actual: page_checksum(&page.payload),
+                    }
+                }
+                Err(e) => e,
+            };
+            if !err.is_transient() {
+                return Err(err);
+            }
+            failed += 1;
+            if failed >= budget {
+                return Err(StorageError::RetriesExhausted {
+                    id,
+                    attempts: failed,
+                    last: Box::new(err),
+                });
+            }
+            self.stats.retries += 1;
+            self.backoff_ms += self.retry.backoff_ms(failed);
+        }
+    }
+
+    /// Writes `page` back, retrying transient failures under the retry
+    /// policy.
+    fn store_with_retry<IO: StoreIo + ?Sized>(&mut self, io: &mut IO, page: &Page) -> Result<()> {
+        let budget = self.retry.attempts();
+        let mut failed = 0u32;
+        loop {
+            let err = match io.store(page) {
+                Ok(()) => return Ok(()),
+                Err(e) => e,
+            };
+            if !err.is_transient() {
+                return Err(err);
+            }
+            failed += 1;
+            if failed >= budget {
+                return Err(StorageError::RetriesExhausted {
+                    id: page.id,
+                    attempts: failed,
+                    last: Box::new(err),
+                });
+            }
+            self.stats.retries += 1;
+            self.backoff_ms += self.retry.backoff_ms(failed);
+        }
     }
 
     /// Writes a page through the buffer: the underlying store is updated,
     /// and a resident copy (if any) is refreshed along with the policy's
-    /// view of the page's metadata.
+    /// view of the page's metadata. Transient write faults are retried.
     pub fn write_through<S: PageStore>(&mut self, inner: &mut S, page: Page) -> Result<()> {
-        inner.write(page.clone())?;
+        self.write_via(inner, page)
+    }
+
+    /// [`write_through`](BufferManager::write_through) via an explicit
+    /// [`StoreIo`].
+    pub fn write_via<IO: StoreIo + ?Sized>(&mut self, io: &mut IO, page: Page) -> Result<()> {
+        self.store_with_retry(io, &page)?;
         if let Some(frame) = self.frames.get_mut(&page.id) {
             frame.page = page.clone();
+            frame.dirty = false;
             self.policy.on_update(&page);
+        }
+        Ok(())
+    }
+
+    /// Writes a page into the buffer only, deferring the store write to
+    /// eviction or [`flush`](BufferManager::flush) (write-back caching).
+    ///
+    /// The frame is marked dirty; evicting it later performs the write-back,
+    /// and a failed write-back leaves the page resident (see
+    /// [`BufferStats::failed_evictions`]).
+    pub fn write_buffered<S: PageStore>(&mut self, inner: &mut S, page: Page) -> Result<()> {
+        self.write_buffered_via(inner, page)
+    }
+
+    /// [`write_buffered`](BufferManager::write_buffered) via an explicit
+    /// [`StoreIo`] (only used if admission must evict).
+    pub fn write_buffered_via<IO: StoreIo + ?Sized>(
+        &mut self,
+        io: &mut IO,
+        page: Page,
+    ) -> Result<()> {
+        if let Some(frame) = self.frames.get_mut(&page.id) {
+            frame.page = page.clone();
+            frame.dirty = true;
+            self.policy.on_update(&page);
+            return Ok(());
+        }
+        self.tick += 1;
+        self.admit_frame(page, AccessContext::default(), true, io)
+    }
+
+    /// Writes every dirty frame back to the store (in page-id order, for
+    /// determinism), clearing the dirty marks. Transient faults are retried;
+    /// the first permanent failure aborts the flush.
+    pub fn flush<S: PageStore>(&mut self, inner: &mut S) -> Result<()> {
+        self.flush_via(inner)
+    }
+
+    /// [`flush`](BufferManager::flush) via an explicit [`StoreIo`].
+    pub fn flush_via<IO: StoreIo + ?Sized>(&mut self, io: &mut IO) -> Result<()> {
+        let mut dirty: Vec<PageId> = self
+            .frames
+            .iter()
+            .filter(|(_, f)| f.dirty)
+            .map(|(&id, _)| id)
+            .collect();
+        dirty.sort_unstable();
+        for id in dirty {
+            let Some(page) = self.frames.get(&id).map(|f| f.page.clone()) else {
+                continue;
+            };
+            self.store_with_retry(io, &page)?;
+            self.stats.writebacks += 1;
+            if let Some(frame) = self.frames.get_mut(&id) {
+                frame.dirty = false;
+            }
         }
         Ok(())
     }
@@ -236,7 +532,8 @@ impl BufferManager {
     ) -> Result<PageId> {
         let id = inner.allocate(meta, payload.clone())?;
         let page = Page::new(id, meta, payload)?;
-        self.admit_allocated(page)?;
+        self.tick += 1;
+        self.admit_frame(page, AccessContext::default(), false, inner)?;
         Ok(id)
     }
 
@@ -244,12 +541,26 @@ impl BufferManager {
     ///
     /// The sharded pool allocates under the store lock, releases it, and
     /// then admits under the owning shard's lock — this is the second phase,
-    /// with accounting identical to [`allocate_through`].
+    /// with accounting identical to [`allocate_through`]. If admission must
+    /// evict a *dirty* victim, this path fails with
+    /// [`StorageError::WritebackUnavailable`]; use
+    /// [`admit_allocated_via`](BufferManager::admit_allocated_via) when a
+    /// store is reachable.
     ///
     /// [`allocate_through`]: BufferManager::allocate_through
     pub fn admit_allocated(&mut self, page: Page) -> Result<()> {
+        self.admit_allocated_via(page, &mut NoWriteback)
+    }
+
+    /// [`admit_allocated`](BufferManager::admit_allocated) via an explicit
+    /// [`StoreIo`] for dirty-victim write-backs.
+    pub fn admit_allocated_via<IO: StoreIo + ?Sized>(
+        &mut self,
+        page: Page,
+        io: &mut IO,
+    ) -> Result<()> {
         self.tick += 1;
-        self.admit(page, AccessContext::default())
+        self.admit_frame(page, AccessContext::default(), false, io)
     }
 
     /// Frees a page in `inner` and drops any buffered copy.
@@ -268,7 +579,9 @@ impl BufferManager {
     }
 
     /// Drops every buffered page and resets statistics — the paper clears
-    /// the buffer before each query set.
+    /// the buffer before each query set. Dirty frames are discarded without
+    /// a write-back; call [`flush`](BufferManager::flush) first to keep
+    /// deferred writes.
     pub fn clear(&mut self) {
         let ids: Vec<PageId> = self.frames.keys().copied().collect();
         for id in ids {
@@ -302,16 +615,33 @@ impl BufferManager {
         Ok(())
     }
 
-    fn admit(&mut self, page: Page, ctx: AccessContext) -> Result<()> {
+    fn admit_frame<IO: StoreIo + ?Sized>(
+        &mut self,
+        page: Page,
+        ctx: AccessContext,
+        dirty: bool,
+        io: &mut IO,
+    ) -> Result<()> {
         if self.frames.len() >= self.capacity {
-            self.evict_one(ctx)?;
+            self.evict_one(ctx, io)?;
         }
         self.policy.on_insert(&page, ctx, self.tick);
-        self.frames.insert(page.id, Frame { page, pins: 0 });
+        self.frames.insert(
+            page.id,
+            Frame {
+                page,
+                pins: 0,
+                dirty,
+            },
+        );
         Ok(())
     }
 
-    fn evict_one(&mut self, ctx: AccessContext) -> Result<()> {
+    /// Evicts one page. A dirty victim is written back first; if that
+    /// write-back fails the victim stays resident, the policy keeps its
+    /// bookkeeping for the page, and the eviction is recorded as *failed*
+    /// rather than completed.
+    fn evict_one<IO: StoreIo + ?Sized>(&mut self, ctx: AccessContext, io: &mut IO) -> Result<()> {
         if !self.frames.values().any(|f| f.pins == 0) {
             return Err(StorageError::AllPagesPinned);
         }
@@ -324,6 +654,21 @@ impl BufferManager {
             self.frames.get(&victim).is_some_and(|f| f.pins == 0),
             "policy returned a non-evictable victim"
         );
+        if let Some(page) = self
+            .frames
+            .get(&victim)
+            .filter(|f| f.dirty)
+            .map(|f| f.page.clone())
+        {
+            if let Err(e) = self.store_with_retry(io, &page) {
+                self.stats.failed_evictions += 1;
+                return Err(e);
+            }
+            self.stats.writebacks += 1;
+            if let Some(frame) = self.frames.get_mut(&victim) {
+                frame.dirty = false;
+            }
+        }
         self.frames.remove(&victim);
         self.policy.on_remove(victim);
         self.stats.evictions += 1;
@@ -563,10 +908,127 @@ mod tests {
             logical_reads: 10,
             hits: 7,
             misses: 3,
-            evictions: 0,
+            ..BufferStats::default()
         };
         assert!((s.hit_ratio() - 0.7).abs() < 1e-12);
         assert_eq!(BufferStats::default().hit_ratio(), 0.0);
+    }
+
+    #[test]
+    fn stats_sum_includes_robustness_counters() {
+        let a = BufferStats {
+            retries: 2,
+            corruptions: 1,
+            failed_evictions: 1,
+            writebacks: 3,
+            ..BufferStats::default()
+        };
+        let b = BufferStats {
+            retries: 1,
+            ..BufferStats::default()
+        };
+        let sum: BufferStats = [a, b].into_iter().sum();
+        assert_eq!(sum.retries, 3);
+        assert_eq!(sum.corruptions, 1);
+        assert_eq!(sum.failed_evictions, 1);
+        assert_eq!(sum.writebacks, 3);
+    }
+
+    #[test]
+    fn poisoned_frame_is_refetched_not_served() {
+        let (mut disk, mut buf, ids) = setup(4, 1);
+        let clean = buf.read_through(&mut disk, ids[0], ctx()).unwrap();
+        assert!(buf.poison_frame(ids[0]));
+        let again = buf.read_through(&mut disk, ids[0], ctx()).unwrap();
+        assert_eq!(again, clean, "the served copy must be the clean one");
+        let s = buf.stats();
+        assert_eq!(s.corruptions, 1);
+        assert_eq!(s.misses, 2, "the poisoned hit degrades to a miss");
+        assert_eq!(s.evictions, 0, "corruption discard is not an eviction");
+        assert_eq!(disk.stats().reads, 2);
+    }
+
+    #[test]
+    fn write_buffered_defers_and_flush_writes_back() {
+        let (mut disk, mut buf, ids) = setup(4, 1);
+        buf.read_through(&mut disk, ids[0], ctx()).unwrap();
+        let updated = Page::new(ids[0], meta(), Bytes::from_static(b"deferred")).unwrap();
+        buf.write_buffered(&mut disk, updated).unwrap();
+        assert_eq!(buf.dirty_count(), 1);
+        assert_ne!(disk.peek(ids[0]).unwrap().payload.as_ref(), b"deferred");
+        buf.flush(&mut disk).unwrap();
+        assert_eq!(buf.dirty_count(), 0);
+        assert_eq!(buf.stats().writebacks, 1);
+        assert_eq!(disk.peek(ids[0]).unwrap().payload.as_ref(), b"deferred");
+    }
+
+    #[test]
+    fn dirty_eviction_writes_back() {
+        let (mut disk, mut buf, ids) = setup(1, 2);
+        let updated = Page::new(ids[0], meta(), Bytes::from_static(b"dirty")).unwrap();
+        buf.write_buffered(&mut disk, updated).unwrap();
+        // Admitting another page evicts the dirty one, writing it back.
+        buf.read_through(&mut disk, ids[1], ctx()).unwrap();
+        assert!(!buf.contains(ids[0]));
+        assert_eq!(buf.stats().writebacks, 1);
+        assert_eq!(buf.stats().evictions, 1);
+        assert_eq!(disk.peek(ids[0]).unwrap().payload.as_ref(), b"dirty");
+    }
+
+    #[test]
+    fn fetch_retries_are_transparent() {
+        let (mut disk, mut buf, ids) = setup(2, 1);
+        let mut attempts = 0;
+        let page = buf
+            .read_through_with(ids[0], ctx(), |id, ctx| {
+                attempts += 1;
+                if attempts < 3 {
+                    Err(StorageError::TransientRead(id))
+                } else {
+                    disk.read(id, ctx)
+                }
+            })
+            .unwrap();
+        assert_eq!(page.id, ids[0]);
+        assert_eq!(attempts, 3);
+        assert_eq!(buf.stats().retries, 2);
+        assert!(buf.simulated_backoff_ms() > 0.0);
+    }
+
+    #[test]
+    fn exhausted_retries_surface_typed_give_up() {
+        let (_, mut buf, ids) = setup(2, 1);
+        buf.set_retry_policy(asb_storage::RetryPolicy {
+            max_attempts: 3,
+            base_backoff_ms: 0.0,
+            backoff_multiplier: 1.0,
+        });
+        let err = buf
+            .read_through_with(ids[0], ctx(), |id, _| Err(StorageError::TransientRead(id)))
+            .unwrap_err();
+        assert_eq!(
+            err,
+            StorageError::RetriesExhausted {
+                id: ids[0],
+                attempts: 3,
+                last: Box::new(StorageError::TransientRead(ids[0])),
+            }
+        );
+    }
+
+    #[test]
+    fn non_transient_fetch_errors_are_not_retried() {
+        let (_, mut buf, ids) = setup(2, 1);
+        let mut attempts = 0;
+        let err = buf
+            .read_through_with(ids[0], ctx(), |id, _| {
+                attempts += 1;
+                Err(StorageError::PageNotFound(id))
+            })
+            .unwrap_err();
+        assert_eq!(err, StorageError::PageNotFound(ids[0]));
+        assert_eq!(attempts, 1);
+        assert_eq!(buf.stats().retries, 0);
     }
 
     #[test]

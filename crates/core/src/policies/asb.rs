@@ -275,6 +275,10 @@ impl ReplacementPolicy for AsbPolicy {
     fn candidate_size(&self) -> Option<usize> {
         Some(self.candidate)
     }
+
+    fn overflow_state(&self) -> Option<(Vec<PageId>, usize)> {
+        Some((self.overflow.iter().copied().collect(), self.overflow_cap))
+    }
 }
 
 #[cfg(test)]

@@ -68,6 +68,14 @@ pub trait ReplacementPolicy: Send {
     fn retained_history(&self) -> usize {
         0
     }
+
+    /// For the adaptable spatial buffer: the overflow-buffer page ids in
+    /// FIFO order (front first) together with the overflow capacity.
+    /// `None` for policies without an overflow buffer. Exposed so invariant
+    /// tests can check the 20%-capacity bound and FIFO order from outside.
+    fn overflow_state(&self) -> Option<(Vec<PageId>, usize)> {
+        None
+    }
 }
 
 /// Factory enumeration of every policy in the study.

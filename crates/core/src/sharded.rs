@@ -14,7 +14,7 @@
 //!
 //! With `shards = 1` and a single-threaded access trace, the pool runs the
 //! exact same code path as a sequential [`BufferManager`]
-//! ([`BufferManager::read_through_with`]), so hit, miss and eviction counts
+//! ([`BufferManager::read_via`]), so hit, miss and eviction counts
 //! are bit-identical to the paper's measurement vehicle. With more shards
 //! each shard is a smaller, independent buffer of the same policy; the
 //! paper's self-tuning applies per shard.
@@ -25,10 +25,11 @@
 //! locks, and allocation is two-phase (store write lock to obtain the id,
 //! release, then shard lock to admit), so no cycle exists.
 
-use crate::manager::{BufferManager, BufferStats};
+use crate::manager::{BufferManager, BufferStats, StoreIo};
 use crate::policy::PolicyKind;
 use asb_storage::{
     AccessContext, ConcurrentPageStore, IoStats, Page, PageId, PageMeta, PageStore, Result,
+    RetryPolicy,
 };
 use bytes::Bytes;
 use parking_lot::{Mutex, RwLock};
@@ -49,6 +50,22 @@ fn splitmix64(mut x: u64) -> u64 {
 struct Inner<S> {
     store: RwLock<S>,
     shards: Vec<Mutex<BufferManager>>,
+}
+
+/// Per-operation [`StoreIo`] over the pool's store lock: fetches take the
+/// shared lock (misses overlap), write-backs take the exclusive lock. The
+/// caller already holds the owning shard's mutex, so `shard → store` lock
+/// order is preserved.
+struct PoolIo<'a, S>(&'a RwLock<S>);
+
+impl<S: ConcurrentPageStore> StoreIo for PoolIo<'_, S> {
+    fn fetch(&mut self, id: PageId, ctx: AccessContext) -> Result<Page> {
+        self.0.read().read_shared(id, ctx)
+    }
+
+    fn store(&mut self, page: &Page) -> Result<()> {
+        self.0.write().write(page.clone())
+    }
 }
 
 /// A cloneable, thread-safe, lock-striped buffer pool.
@@ -151,20 +168,51 @@ impl<S: ConcurrentPageStore> ShardedBuffer<S> {
     }
 
     /// Reads a page; a miss fetches from the store under a shared lock, so
-    /// misses in different shards proceed in parallel.
+    /// misses in different shards proceed in parallel. Transient store
+    /// faults are retried under each shard's [`RetryPolicy`], and a
+    /// checksum-corrupted frame is evicted and re-fetched instead of served.
     pub fn read(&self, id: PageId, ctx: AccessContext) -> Result<Page> {
         let mut shard = self.inner.shards[self.shard_of(id)].lock();
-        shard.read_through_with(id, ctx, |id, ctx| {
-            self.inner.store.read().read_shared(id, ctx)
-        })
+        shard.read_via(&mut PoolIo(&self.inner.store), id, ctx)
     }
 
     /// Writes a page through its shard (write-through: the store is updated
     /// under the exclusive lock, any resident copy is refreshed).
     pub fn write(&self, page: Page) -> Result<()> {
         let mut shard = self.inner.shards[self.shard_of(page.id)].lock();
-        let mut store = self.inner.store.write();
-        shard.write_through(&mut *store, page)
+        shard.write_via(&mut PoolIo(&self.inner.store), page)
+    }
+
+    /// Writes a page into its shard only, deferring the store write to
+    /// eviction or [`flush`](ShardedBuffer::flush) (write-back caching).
+    pub fn write_buffered(&self, page: Page) -> Result<()> {
+        let mut shard = self.inner.shards[self.shard_of(page.id)].lock();
+        shard.write_buffered_via(&mut PoolIo(&self.inner.store), page)
+    }
+
+    /// Writes every dirty frame in every shard back to the store.
+    pub fn flush(&self) -> Result<()> {
+        for shard in &self.inner.shards {
+            shard.lock().flush_via(&mut PoolIo(&self.inner.store))?;
+        }
+        Ok(())
+    }
+
+    /// Number of dirty frames across all shards.
+    pub fn dirty_count(&self) -> usize {
+        self.inner
+            .shards
+            .iter()
+            .map(|s| s.lock().dirty_count())
+            .sum()
+    }
+
+    /// Sets the retry policy applied to transient store faults in every
+    /// shard.
+    pub fn set_retry_policy(&self, retry: RetryPolicy) {
+        for shard in &self.inner.shards {
+            shard.lock().set_retry_policy(retry);
+        }
     }
 
     /// Allocates a page in the store and admits it to its shard.
@@ -176,7 +224,7 @@ impl<S: ConcurrentPageStore> ShardedBuffer<S> {
         let id = self.inner.store.write().allocate(meta, payload.clone())?;
         let page = Page::new(id, meta, payload)?;
         let mut shard = self.inner.shards[self.shard_of(id)].lock();
-        shard.admit_allocated(page)?;
+        shard.admit_allocated_via(page, &mut PoolIo(&self.inner.store))?;
         Ok(id)
     }
 

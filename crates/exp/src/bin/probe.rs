@@ -143,7 +143,13 @@ fn main() -> ExitCode {
             spec,
         })
         .collect();
-    let results = run_cells(scale, seed, threads, &cells);
+    let results = match run_cells(scale, seed, threads, &cells) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("error: experiment failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
     let base = results[0]; // cells[0] is LRU, the paper's baseline
     for (p, r) in policies.iter().zip(&results) {
         println!(
@@ -160,14 +166,17 @@ fn main() -> ExitCode {
     }
 
     if shards > 0 {
-        sharded_replay(
+        if let Err(e) = sharded_replay(
             &dataset,
             spec,
             seed,
             buffer_pages.max(shards),
             shards,
             threads.max(2),
-        );
+        ) {
+            eprintln!("error: sharded replay failed: {e}");
+            return ExitCode::FAILURE;
+        }
     }
     ExitCode::SUCCESS
 }
@@ -181,27 +190,40 @@ fn sharded_replay(
     capacity: usize,
     shards: usize,
     threads: usize,
-) {
+) -> asb_storage::Result<()> {
     let queries = spec.generate(dataset, 2_000, seed ^ 0x0051_5e75);
     for policy in [PolicyKind::Lru, PolicyKind::Asb] {
-        let tree = RTree::bulk_load(DiskManager::new(), dataset.items()).expect("bulk load");
+        let tree = RTree::bulk_load(DiskManager::new(), dataset.items())?;
         let snap = tree.snapshot();
         let pool = ShardedBuffer::new(tree.into_store(), policy, capacity, shards);
         pool.reset_io_stats();
         let started = std::time::Instant::now();
-        std::thread::scope(|s| {
-            for t in 0..threads {
-                let pool = pool.clone();
-                let queries = &queries;
-                s.spawn(move || {
-                    let mut view = RTree::attach(pool, snap);
-                    view.seed_query_counter((t as u64) << 32);
-                    for q in queries.iter().skip(t).step_by(threads) {
-                        view.execute(q).expect("viewport query");
-                    }
-                });
-            }
+        let worker_results = std::thread::scope(|s| {
+            let handles: Vec<_> = (0..threads)
+                .map(|t| {
+                    let pool = pool.clone();
+                    let queries = &queries;
+                    s.spawn(move || -> asb_storage::Result<()> {
+                        let mut view = RTree::attach(pool, snap);
+                        view.seed_query_counter((t as u64) << 32);
+                        for q in queries.iter().skip(t).step_by(threads) {
+                            view.execute(q)?;
+                        }
+                        Ok(())
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| match h.join() {
+                    Ok(r) => r,
+                    Err(payload) => std::panic::resume_unwind(payload),
+                })
+                .collect::<Vec<_>>()
         });
+        for r in worker_results {
+            r?;
+        }
         let elapsed = started.elapsed();
         let stats = pool.stats();
         let io = pool.io_stats();
@@ -214,4 +236,5 @@ fn sharded_replay(
             io.reads,
         );
     }
+    Ok(())
 }

@@ -112,7 +112,13 @@ fn main() -> ExitCode {
     let mut all = Vec::new();
     for &id in &args.figures {
         let started = std::time::Instant::now();
-        let tables = figure(id, &mut lab);
+        let tables = match figure(id, &mut lab) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("error: figure {id} failed: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
         eprintln!(
             "# figure {id}: {} table(s) in {:.1?}",
             tables.len(),
@@ -125,8 +131,13 @@ fn main() -> ExitCode {
     }
     for name in &args.extensions {
         let started = std::time::Instant::now();
-        let tables = extension(name, config.scale, config.seed)
-            .expect("extension names validated during parsing");
+        let tables = match extension(name, config.scale, config.seed) {
+            Ok(t) => t.expect("extension names validated during parsing"),
+            Err(e) => {
+                eprintln!("error: extension {name} failed: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
         eprintln!(
             "# extension {name}: {} table(s) in {:.1?}",
             tables.len(),

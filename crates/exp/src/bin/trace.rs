@@ -1,0 +1,229 @@
+//! `trace` — record and replay access traces.
+//!
+//! ```text
+//! trace record --out PATH [--db 1|2] [--scale tiny|small|medium|large|paper]
+//!              [--seed S] [--set NAME] [--queries N]
+//! trace replay PATH [--policy lru|fifo|clock|lru-2|slru|asb] [--capacity N]
+//!              [--shards M] [--fault-seed S] [--fault-rate R]
+//! ```
+//!
+//! `record` runs one workload unbuffered and writes its logical access
+//! sequence; `replay` pushes a recorded trace through a buffer
+//! configuration and prints the resulting statistics. With `--fault-rate`
+//! the replay runs against a fault-injecting store (chaos profile:
+//! transient faults, corruption, latency spikes) under the default retry
+//! policy and additionally reports what was injected and absorbed.
+
+use asb_core::PolicyKind;
+use asb_exp::Trace;
+use asb_geom::SpatialCriterion;
+use asb_storage::{FaultConfig, RetryPolicy};
+use asb_workload::{DatasetKind, Distribution, QueryKind, QuerySetSpec, Scale};
+use std::process::ExitCode;
+
+fn spec_by_name(name: &str) -> Option<QuerySetSpec> {
+    let (dist, rest) = if let Some(r) = name.strip_prefix("IND-") {
+        (Distribution::Independent, r)
+    } else if let Some(r) = name.strip_prefix("INT-") {
+        (Distribution::Intensified, r)
+    } else if let Some(r) = name.strip_prefix("ID-") {
+        (Distribution::Identical, r)
+    } else if let Some(r) = name.strip_prefix("U-") {
+        (Distribution::Uniform, r)
+    } else if let Some(r) = name.strip_prefix("S-") {
+        (Distribution::Similar, r)
+    } else {
+        return None;
+    };
+    let kind = match rest {
+        "P" => QueryKind::Point,
+        "W" => QueryKind::ObjectWindow,
+        w => QueryKind::Window {
+            ex: w.strip_prefix("W-")?.parse().ok()?,
+        },
+    };
+    Some(QuerySetSpec { dist, kind })
+}
+
+fn policy_by_name(name: &str) -> Option<PolicyKind> {
+    Some(match name {
+        "lru" => PolicyKind::Lru,
+        "fifo" => PolicyKind::Fifo,
+        "clock" => PolicyKind::Clock,
+        "lru-2" => PolicyKind::LruK { k: 2 },
+        "slru" => PolicyKind::Slru {
+            candidate_fraction: 0.25,
+            criterion: SpatialCriterion::Area,
+        },
+        "asb" => PolicyKind::Asb,
+        _ => return None,
+    })
+}
+
+fn run() -> Result<(), String> {
+    let mut args = std::env::args().skip(1);
+    match args.next().as_deref() {
+        Some("record") => record(args),
+        Some("replay") => replay(args),
+        Some("--help") | Some("-h") | None => {
+            println!(
+                "trace — record and replay access traces\n\n\
+                 Usage:\n  trace record --out PATH [--db 1|2] [--scale NAME] [--seed S] \
+                 [--set NAME] [--queries N]\n  trace replay PATH [--policy NAME] \
+                 [--capacity N] [--shards M] [--fault-seed S] [--fault-rate R]"
+            );
+            Ok(())
+        }
+        Some(other) => Err(format!("unknown subcommand {other:?} (try --help)")),
+    }
+}
+
+fn record(mut it: impl Iterator<Item = String>) -> Result<(), String> {
+    let mut out = None;
+    let mut db = DatasetKind::Mainland;
+    let mut scale = Scale::Tiny;
+    let mut seed = 42u64;
+    let mut set = "U-W-33".to_string();
+    let mut queries = 200usize;
+    while let Some(arg) = it.next() {
+        let mut next = || it.next().ok_or(format!("{arg} needs a value"));
+        match arg.as_str() {
+            "--out" => out = Some(next()?),
+            "--db" => {
+                db = match next()?.as_str() {
+                    "1" => DatasetKind::Mainland,
+                    "2" => DatasetKind::World,
+                    o => return Err(format!("unknown db {o}")),
+                }
+            }
+            "--scale" => {
+                scale = match next()?.as_str() {
+                    "tiny" => Scale::Tiny,
+                    "small" => Scale::Small,
+                    "medium" => Scale::Medium,
+                    "large" => Scale::Large,
+                    "paper" => Scale::Paper,
+                    o => return Err(format!("unknown scale {o}")),
+                }
+            }
+            "--seed" => seed = next()?.parse().map_err(|e| format!("bad seed: {e}"))?,
+            "--set" => set = next()?,
+            "--queries" => {
+                queries = next()?.parse().map_err(|e| format!("bad count: {e}"))?;
+            }
+            o => return Err(format!("unknown argument {o}")),
+        }
+    }
+    let out = out.ok_or("record needs --out PATH")?;
+    let spec = spec_by_name(&set).ok_or(format!("unknown query set {set}"))?;
+    let trace = Trace::record(db, scale, seed, spec, queries).map_err(|e| e.to_string())?;
+    trace.save(&out).map_err(|e| format!("{out}: {e}"))?;
+    eprintln!(
+        "# recorded {} accesses over {} pages ({}) to {out}",
+        trace.accesses.len(),
+        trace.pages.len(),
+        trace.label
+    );
+    Ok(())
+}
+
+fn replay(mut it: impl Iterator<Item = String>) -> Result<(), String> {
+    let mut path = None;
+    let mut policy = PolicyKind::Asb;
+    let mut capacity = 32usize;
+    let mut shards = 0usize;
+    let mut fault_seed = 1u64;
+    let mut fault_rate = 0.0f64;
+    while let Some(arg) = it.next() {
+        let mut next = || it.next().ok_or(format!("{arg} needs a value"));
+        match arg.as_str() {
+            "--policy" => {
+                let v = next()?;
+                policy = policy_by_name(&v).ok_or(format!("unknown policy {v}"))?;
+            }
+            "--capacity" => {
+                capacity = next()?.parse().map_err(|e| format!("bad capacity: {e}"))?;
+            }
+            "--shards" => shards = next()?.parse().map_err(|e| format!("bad shards: {e}"))?,
+            "--fault-seed" => {
+                fault_seed = next()?.parse().map_err(|e| format!("bad seed: {e}"))?;
+            }
+            "--fault-rate" => {
+                fault_rate = next()?.parse().map_err(|e| format!("bad rate: {e}"))?;
+            }
+            o if path.is_none() && !o.starts_with('-') => path = Some(arg),
+            o => return Err(format!("unknown argument {o}")),
+        }
+    }
+    let path = path.ok_or("replay needs a trace file path")?;
+    let trace = Trace::load(&path)?;
+    eprintln!(
+        "# {path}: {} ({} pages, {} accesses)",
+        trace.label,
+        trace.pages.len(),
+        trace.accesses.len()
+    );
+    if fault_rate > 0.0 {
+        let out = trace
+            .replay_with_faults(
+                policy,
+                capacity,
+                FaultConfig::chaos(fault_seed, fault_rate),
+                RetryPolicy::default(),
+            )
+            .map_err(|e| e.to_string())?;
+        println!(
+            "policy={policy:?} capacity={capacity} faults=chaos(seed={fault_seed}, rate={fault_rate})\n\
+             logical={} hits={} misses={} retries={} corruptions={} give_ups={} wrong_payloads={}\n\
+             injected: read_faults={} write_faults={} corruptions={} spikes={}",
+            out.stats.logical_reads,
+            out.stats.hits,
+            out.stats.misses,
+            out.stats.retries,
+            out.stats.corruptions,
+            out.give_ups,
+            out.wrong_payloads,
+            out.fault_stats.read_faults,
+            out.fault_stats.write_faults,
+            out.fault_stats.corruptions,
+            out.fault_stats.latency_spikes,
+        );
+        return Ok(());
+    }
+    let out = if shards > 0 {
+        trace.replay_sharded(policy, capacity, shards)
+    } else {
+        trace.replay_sequential(policy, capacity)
+    }
+    .map_err(|e| e.to_string())?;
+    println!(
+        "policy={policy:?} capacity={capacity} shards={}\n\
+         logical={} hits={} misses={} hit%={:.2} physical_reads={} random={} sequential={} sim_ms={:.1}",
+        shards.max(1),
+        out.stats.logical_reads,
+        out.stats.hits,
+        out.stats.misses,
+        100.0 * out.stats.hit_ratio(),
+        out.physical_reads,
+        out.io.random_reads,
+        out.io.sequential_reads,
+        out.io.simulated_ms,
+    );
+    if !out.candidate_trajectory.is_empty() {
+        let last = out.candidate_trajectory.last().copied().unwrap_or(0);
+        let max = out.candidate_trajectory.iter().max().copied().unwrap_or(0);
+        let min = out.candidate_trajectory.iter().min().copied().unwrap_or(0);
+        println!("candidate set: final={last} min={min} max={max}");
+    }
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

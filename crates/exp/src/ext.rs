@@ -16,7 +16,7 @@ use asb_core::{BufferManager, PolicyKind, SpatialCriterion};
 use asb_geom::Point;
 use asb_quadtree::{QuadConfig, QuadTree};
 use asb_rtree::RTree;
-use asb_storage::{DiskManager, ObjectRecord, ObjectStore};
+use asb_storage::{DiskManager, ObjectRecord, ObjectStore, Result};
 use asb_workload::{Dataset, DatasetKind, QueryKind, QuerySetSpec, Scale};
 use asb_zbtree::ZBTree;
 use bytes::Bytes;
@@ -47,7 +47,7 @@ fn query_sets() -> Vec<QuerySetSpec> {
 /// With object pages in the access stream, LRU-T's "drop object pages
 /// first" rule becomes observable (in the tree-only figures LRU-T degrades
 /// to LRU-P).
-pub fn ext_object_pages(scale: Scale, seed: u64) -> FigureTable {
+pub fn ext_object_pages(scale: Scale, seed: u64) -> Result<FigureTable> {
     let dataset = Dataset::generate(DatasetKind::Mainland, scale, seed);
     // Build object pages in item (≈ spatial) order, then the tree on top of
     // the same simulated disk, then connect the leaf entries.
@@ -61,10 +61,9 @@ pub fn ext_object_pages(scale: Scale, seed: u64) -> FigureTable {
             payload: Bytes::from(vec![0u8; dataset.payload_len(it.id)]),
         })
         .collect();
-    let objects = ObjectStore::build(&mut disk, &records).expect("object store");
-    let mut tree = RTree::bulk_load(disk, dataset.items()).expect("bulk load");
-    tree.assign_object_pages(|id| objects.page_of(id))
-        .expect("assign object pages");
+    let objects = ObjectStore::build(&mut disk, &records)?;
+    let mut tree = RTree::bulk_load(disk, dataset.items())?;
+    tree.assign_object_pages(|id| objects.page_of(id))?;
 
     let pages = tree.page_count();
     let buffer_pages = ((pages as f64) * 0.047).round() as usize;
@@ -82,7 +81,7 @@ pub fn ext_object_pages(scale: Scale, seed: u64) -> FigureTable {
             tree.set_buffer(BufferManager::with_policy(policy, buffer_pages));
             tree.store_mut().reset_stats();
             for q in queries {
-                tree.execute_fetching_objects(q).expect("query");
+                tree.execute_fetching_objects(q)?;
             }
             let reads = tree.store().stats().reads;
             tree.take_buffer();
@@ -99,7 +98,7 @@ pub fn ext_object_pages(scale: Scale, seed: u64) -> FigureTable {
             points,
         });
     }
-    FigureTable {
+    Ok(FigureTable {
         id: "ext-object-pages".into(),
         title: format!(
             "Full access path incl. object pages, database 1, 4.7% buffer, scale {scale:?}"
@@ -107,12 +106,12 @@ pub fn ext_object_pages(scale: Scale, seed: u64) -> FigureTable {
         x_label: "query set".into(),
         y_label: "gain vs LRU [%]".into(),
         series,
-    }
+    })
 }
 
 /// Gain vs LRU of the spatial policy A, LRU-2 and ASB on three different
 /// spatial access methods over the same dataset and uniform window queries.
-pub fn ext_cross_sam(scale: Scale, seed: u64) -> FigureTable {
+pub fn ext_cross_sam(scale: Scale, seed: u64) -> Result<FigureTable> {
     let dataset = Dataset::generate(DatasetKind::Mainland, scale, seed);
     let queries = QuerySetSpec::uniform_windows(33).generate(&dataset, 1500, seed ^ 0x5A11);
     let centers: Vec<(u64, Point)> = dataset
@@ -128,22 +127,22 @@ pub fn ext_cross_sam(scale: Scale, seed: u64) -> FigureTable {
     ];
 
     // One closure per SAM: build, then return per-policy disk accesses.
-    let run_all =
-        |label: &str, mut run: Box<dyn FnMut(PolicyKind) -> u64>| -> (String, Vec<(String, f64)>) {
-            let lru = run(PolicyKind::Lru);
-            let mut points = vec![];
-            for (p, name) in contenders {
-                let reads = run(p);
-                points.push((
-                    format!("{label}/{name}"),
-                    (lru as f64 / reads as f64 - 1.0) * 100.0,
-                ));
-            }
-            (label.to_string(), points)
-        };
+    type PolicyRun<'a> = Box<dyn FnMut(PolicyKind) -> Result<u64> + 'a>;
+    let run_all = |label: &str, mut run: PolicyRun| -> Result<(String, Vec<(String, f64)>)> {
+        let lru = run(PolicyKind::Lru)?;
+        let mut points = vec![];
+        for (p, name) in contenders {
+            let reads = run(p)?;
+            points.push((
+                format!("{label}/{name}"),
+                (lru as f64 / reads as f64 - 1.0) * 100.0,
+            ));
+        }
+        Ok((label.to_string(), points))
+    };
 
     // R*-tree.
-    let mut rtree = RTree::bulk_load(DiskManager::new(), dataset.items()).expect("rtree");
+    let mut rtree = RTree::bulk_load(DiskManager::new(), dataset.items())?;
     let rtree_buffer = ((rtree.page_count() as f64) * 0.047).round().max(8.0) as usize;
     let queries_r = queries.clone();
     let (_, rtree_points) = run_all(
@@ -152,20 +151,19 @@ pub fn ext_cross_sam(scale: Scale, seed: u64) -> FigureTable {
             rtree.set_buffer(BufferManager::with_policy(policy, rtree_buffer));
             rtree.store_mut().reset_stats();
             for q in &queries_r {
-                rtree.execute(q).expect("query");
+                rtree.execute(q)?;
             }
             let reads = rtree.store().stats().reads;
             rtree.take_buffer();
-            reads
+            Ok(reads)
         }),
-    );
+    )?;
 
     // Quadtree (same MBR data).
     let mut quad =
-        QuadTree::with_config(DiskManager::new(), dataset.bounds(), QuadConfig::default())
-            .expect("quadtree");
+        QuadTree::with_config(DiskManager::new(), dataset.bounds(), QuadConfig::default())?;
     for it in dataset.items() {
-        quad.insert(*it).expect("insert");
+        quad.insert(*it)?;
     }
     let quad_buffer = ((quad.page_count() as f64) * 0.047).round().max(8.0) as usize;
     let queries_q = queries.clone();
@@ -175,17 +173,17 @@ pub fn ext_cross_sam(scale: Scale, seed: u64) -> FigureTable {
             quad.set_buffer(BufferManager::with_policy(policy, quad_buffer));
             quad.store_mut().reset_stats();
             for q in &queries_q {
-                quad.execute(q).expect("query");
+                quad.execute(q)?;
             }
             let reads = quad.store().stats().reads;
             quad.take_buffer();
-            reads
+            Ok(reads)
         }),
-    );
+    )?;
 
     // Z-order B+-tree (indexes object centers; same windows,
     // point-in-window semantics).
-    let mut zb = ZBTree::bulk_load(DiskManager::new(), dataset.bounds(), &centers).expect("zbtree");
+    let mut zb = ZBTree::bulk_load(DiskManager::new(), dataset.bounds(), &centers)?;
     let zb_buffer = ((zb.page_count() as f64) * 0.047).round().max(8.0) as usize;
     let queries_z = queries;
     let (_, zb_points) = run_all(
@@ -194,13 +192,13 @@ pub fn ext_cross_sam(scale: Scale, seed: u64) -> FigureTable {
             zb.set_buffer(BufferManager::with_policy(policy, zb_buffer));
             zb.store_mut().reset_stats();
             for q in &queries_z {
-                zb.execute(q).expect("query");
+                zb.execute(q)?;
             }
             let reads = zb.store().stats().reads;
             zb.take_buffer();
-            reads
+            Ok(reads)
         }),
-    );
+    )?;
 
     // One series per contender, one x-position per SAM.
     let mut series = Vec::new();
@@ -215,7 +213,7 @@ pub fn ext_cross_sam(scale: Scale, seed: u64) -> FigureTable {
             points,
         });
     }
-    FigureTable {
+    Ok(FigureTable {
         id: "ext-cross-sam".into(),
         title: format!(
             "Replacement policies across spatial access methods, U-W-33, 4.7% buffers, scale {scale:?}"
@@ -223,13 +221,13 @@ pub fn ext_cross_sam(scale: Scale, seed: u64) -> FigureTable {
         x_label: "spatial access method".into(),
         y_label: "gain vs LRU [%]".into(),
         series,
-    }
+    })
 }
 
 /// Future work 3: continuously moving objects. A fraction of the objects
 /// moves every round (delete + re-insert at the new location) while window
 /// queries keep arriving; policies are compared on total disk reads.
-pub fn ext_moving_objects(scale: Scale, seed: u64) -> FigureTable {
+pub fn ext_moving_objects(scale: Scale, seed: u64) -> Result<FigureTable> {
     let dataset = Dataset::generate(DatasetKind::Mainland, scale, seed);
     let items = dataset.items();
     let queries = QuerySetSpec::uniform_windows(100).generate(&dataset, 400, seed ^ 0x30B1);
@@ -242,7 +240,7 @@ pub fn ext_moving_objects(scale: Scale, seed: u64) -> FigureTable {
         (PolicyKind::Spatial(SpatialCriterion::Area), "A"),
         (PolicyKind::Asb, "ASB"),
     ] {
-        let mut tree = RTree::bulk_load(DiskManager::new(), items).expect("bulk load");
+        let mut tree = RTree::bulk_load(DiskManager::new(), items)?;
         let buffer_pages = ((tree.page_count() as f64) * 0.047).round().max(8.0) as usize;
         tree.set_buffer(BufferManager::with_policy(policy, buffer_pages));
         tree.store_mut().reset_stats();
@@ -265,15 +263,13 @@ pub fn ext_moving_objects(scale: Scale, seed: u64) -> FigureTable {
                 );
                 // Delete wherever the object currently is; tolerate the
                 // object having been moved before (delete by both shapes).
-                let deleted = tree.delete(it.id, &it.mbr).expect("delete")
-                    || tree.delete(it.id, &moved).expect("delete moved");
+                let deleted = tree.delete(it.id, &it.mbr)? || tree.delete(it.id, &moved)?;
                 if deleted {
-                    tree.insert(asb_geom::SpatialItem::new(it.id, moved))
-                        .expect("insert");
+                    tree.insert(asb_geom::SpatialItem::new(it.id, moved))?;
                 }
             }
             mover = (mover + 1009) % items.len();
-            tree.execute(q).expect("query");
+            tree.execute(q)?;
         }
         let reads = tree.store().stats().reads;
         let gain = if policy == PolicyKind::Lru {
@@ -287,7 +283,7 @@ pub fn ext_moving_objects(scale: Scale, seed: u64) -> FigureTable {
             points: vec![("moving".into(), gain), ("reads".into(), reads as f64)],
         });
     }
-    FigureTable {
+    Ok(FigureTable {
         id: "ext-moving".into(),
         title: format!(
             "Moving-object workload (updates + queries), database 1, 4.7% buffer, scale {scale:?}"
@@ -295,22 +291,24 @@ pub fn ext_moving_objects(scale: Scale, seed: u64) -> FigureTable {
         x_label: "metric".into(),
         y_label: "gain vs LRU [%] / raw reads".into(),
         series,
-    }
+    })
 }
 
-/// Runs an extension experiment by name.
-pub fn extension(name: &str, scale: Scale, seed: u64) -> Option<Vec<FigureTable>> {
-    match name {
-        "object-pages" => Some(vec![ext_object_pages(scale, seed)]),
-        "cross-sam" => Some(vec![ext_cross_sam(scale, seed)]),
-        "moving" => Some(vec![ext_moving_objects(scale, seed)]),
+/// Runs an extension experiment by name. `Ok(None)` means the name is
+/// unknown; a storage or query failure during a known experiment is an
+/// `Err`.
+pub fn extension(name: &str, scale: Scale, seed: u64) -> Result<Option<Vec<FigureTable>>> {
+    Ok(match name {
+        "object-pages" => Some(vec![ext_object_pages(scale, seed)?]),
+        "cross-sam" => Some(vec![ext_cross_sam(scale, seed)?]),
+        "moving" => Some(vec![ext_moving_objects(scale, seed)?]),
         "all" => Some(vec![
-            ext_object_pages(scale, seed),
-            ext_cross_sam(scale, seed),
-            ext_moving_objects(scale, seed),
+            ext_object_pages(scale, seed)?,
+            ext_cross_sam(scale, seed)?,
+            ext_moving_objects(scale, seed)?,
         ]),
         _ => None,
-    }
+    })
 }
 
 /// Names accepted by [`extension`].
@@ -325,7 +323,7 @@ mod tests {
 
     #[test]
     fn object_pages_experiment_runs() {
-        let table = ext_object_pages(Scale::Tiny, 5);
+        let table = ext_object_pages(Scale::Tiny, 5).unwrap();
         assert_eq!(table.series.len(), 6);
         // LRU baseline is zero by construction.
         for (_, v) in &table.series[0].points {
@@ -335,7 +333,7 @@ mod tests {
 
     #[test]
     fn cross_sam_experiment_runs() {
-        let table = ext_cross_sam(Scale::Tiny, 5);
+        let table = ext_cross_sam(Scale::Tiny, 5).unwrap();
         assert_eq!(table.series.len(), 3);
         for s in &table.series {
             assert_eq!(s.points.len(), 3, "one point per SAM");
@@ -344,13 +342,13 @@ mod tests {
 
     #[test]
     fn moving_objects_experiment_runs() {
-        let table = ext_moving_objects(Scale::Tiny, 5);
+        let table = ext_moving_objects(Scale::Tiny, 5).unwrap();
         assert_eq!(table.series.len(), 4);
     }
 
     #[test]
     fn extension_dispatch() {
-        assert!(extension("cross-sam", Scale::Tiny, 1).is_some());
-        assert!(extension("nope", Scale::Tiny, 1).is_none());
+        assert!(extension("cross-sam", Scale::Tiny, 1).unwrap().is_some());
+        assert!(extension("nope", Scale::Tiny, 1).unwrap().is_none());
     }
 }

@@ -3,6 +3,7 @@
 use crate::lab::{Lab, BUFFER_FRACS};
 use crate::report::{FigureTable, Series};
 use asb_core::{PolicyKind, SpatialCriterion};
+use asb_storage::Result;
 use asb_workload::{DatasetKind, QueryKind, QuerySetSpec, Scale};
 
 /// The data figures of the paper (4–9 are the policy studies, 12–14 the
@@ -85,38 +86,37 @@ fn gain_series(
     frac: f64,
     sets: &[QuerySetSpec],
     name: &str,
-) -> Series {
-    Series {
-        name: name.to_string(),
-        points: sets
-            .iter()
-            .map(|s| (s.name(), lab.gain(kind, policy, frac, *s)))
-            .collect(),
+) -> Result<Series> {
+    let mut points = Vec::with_capacity(sets.len());
+    for s in sets {
+        points.push((s.name(), lab.gain(kind, policy, frac, *s)?));
     }
+    Ok(Series {
+        name: name.to_string(),
+        points,
+    })
 }
 
 /// Figure 4: gain of LRU-P over LRU — both databases, uniform and
 /// intensified families, all five buffer sizes.
-pub fn fig4(lab: &mut Lab) -> Vec<FigureTable> {
+pub fn fig4(lab: &mut Lab) -> Result<Vec<FigureTable>> {
     let mut tables = Vec::new();
     for (db, db_name) in DB_BOTH {
         for (sets, dist_name) in [
             (uniform_family(), "uniform"),
             (intensified_family(), "intensified"),
         ] {
-            let series = BUFFER_FRACS
-                .iter()
-                .map(|&frac| {
-                    gain_series(
-                        lab,
-                        db,
-                        PolicyKind::LruP,
-                        frac,
-                        &sets,
-                        &format!("{:.1}%", frac * 100.0),
-                    )
-                })
-                .collect();
+            let mut series = Vec::with_capacity(BUFFER_FRACS.len());
+            for &frac in &BUFFER_FRACS {
+                series.push(gain_series(
+                    lab,
+                    db,
+                    PolicyKind::LruP,
+                    frac,
+                    &sets,
+                    &format!("{:.1}%", frac * 100.0),
+                )?);
+            }
             tables.push(FigureTable {
                 id: "fig4".into(),
                 title: format!("LRU-P gain vs LRU, {dist_name} distribution, {db_name}"),
@@ -126,68 +126,69 @@ pub fn fig4(lab: &mut Lab) -> Vec<FigureTable> {
             });
         }
     }
-    tables
+    Ok(tables)
 }
 
 /// Figure 5: gain of LRU-K (K = 2, 3, 5) over LRU on database 1.
-pub fn fig5(lab: &mut Lab) -> Vec<FigureTable> {
+pub fn fig5(lab: &mut Lab) -> Result<Vec<FigureTable>> {
     let sets = mixed_sets();
-    SMALL_LARGE
-        .iter()
-        .map(|&(frac, frac_name)| FigureTable {
+    let mut tables = Vec::new();
+    for &(frac, frac_name) in &SMALL_LARGE {
+        let mut series = Vec::new();
+        for k in [2usize, 3, 5] {
+            series.push(gain_series(
+                lab,
+                DatasetKind::Mainland,
+                PolicyKind::LruK { k },
+                frac,
+                &sets,
+                &format!("LRU-{k}"),
+            )?);
+        }
+        tables.push(FigureTable {
             id: "fig5".into(),
             title: format!("LRU-K gain vs LRU, database 1, {frac_name}"),
             x_label: "query set".into(),
             y_label: "gain vs LRU [%]".into(),
-            series: [2usize, 3, 5]
-                .iter()
-                .map(|&k| {
-                    gain_series(
-                        lab,
-                        DatasetKind::Mainland,
-                        PolicyKind::LruK { k },
-                        frac,
-                        &sets,
-                        &format!("LRU-{k}"),
-                    )
-                })
-                .collect(),
-        })
-        .collect()
+            series,
+        });
+    }
+    Ok(tables)
 }
 
 /// Figure 6: the five spatial criteria relative to criterion A (A = 100 %),
 /// database 1, 0.3 % and 4.7 % buffers.
-pub fn fig6(lab: &mut Lab) -> Vec<FigureTable> {
+pub fn fig6(lab: &mut Lab) -> Result<Vec<FigureTable>> {
     let sets = mixed_sets();
-    [(0.003, "0.3% buffer"), (0.047, "4.7% buffer")]
-        .iter()
-        .map(|&(frac, frac_name)| FigureTable {
+    let mut tables = Vec::new();
+    for &(frac, frac_name) in &[(0.003, "0.3% buffer"), (0.047, "4.7% buffer")] {
+        let mut series = Vec::new();
+        for &c in SpatialCriterion::ALL.iter() {
+            let mut points = Vec::with_capacity(sets.len());
+            for s in &sets {
+                let v = lab.relative(
+                    DatasetKind::Mainland,
+                    PolicyKind::Spatial(SpatialCriterion::Area),
+                    PolicyKind::Spatial(c),
+                    frac,
+                    *s,
+                )?;
+                points.push((s.name(), v));
+            }
+            series.push(Series {
+                name: c.short_name().into(),
+                points,
+            });
+        }
+        tables.push(FigureTable {
             id: "fig6".into(),
             title: format!("Spatial criteria, accesses relative to A, database 1, {frac_name}"),
             x_label: "query set".into(),
             y_label: "disk accesses relative to A [%]".into(),
-            series: SpatialCriterion::ALL
-                .iter()
-                .map(|&c| Series {
-                    name: c.short_name().into(),
-                    points: sets
-                        .iter()
-                        .map(|s| {
-                            let v = lab.relative(
-                                DatasetKind::Mainland,
-                                PolicyKind::Spatial(SpatialCriterion::Area),
-                                PolicyKind::Spatial(c),
-                                frac,
-                                *s,
-                            );
-                            (s.name(), v)
-                        })
-                        .collect(),
-                })
-                .collect(),
-        })
-        .collect()
+            series,
+        });
+    }
+    Ok(tables)
 }
 
 /// The three contenders of Figures 7–9.
@@ -204,32 +205,33 @@ fn comparison_figure(
     id: &str,
     dist_name: &str,
     sets: &[QuerySetSpec],
-) -> Vec<FigureTable> {
+) -> Result<Vec<FigureTable>> {
     let mut tables = Vec::new();
     for (db, db_name) in DB_BOTH {
         for (frac, frac_name) in SMALL_LARGE {
+            let mut series = Vec::new();
+            for &(p, name) in contenders().iter() {
+                series.push(gain_series(lab, db, p, frac, sets, name)?);
+            }
             tables.push(FigureTable {
                 id: id.into(),
                 title: format!("Gain vs LRU, {dist_name}, {db_name}, {frac_name}"),
                 x_label: "query set".into(),
                 y_label: "gain vs LRU [%]".into(),
-                series: contenders()
-                    .iter()
-                    .map(|&(p, name)| gain_series(lab, db, p, frac, sets, name))
-                    .collect(),
+                series,
             });
         }
     }
-    tables
+    Ok(tables)
 }
 
 /// Figure 7: LRU-P vs A vs LRU-2, uniform distribution.
-pub fn fig7(lab: &mut Lab) -> Vec<FigureTable> {
+pub fn fig7(lab: &mut Lab) -> Result<Vec<FigureTable>> {
     comparison_figure(lab, "fig7", "uniform distribution", &uniform_family())
 }
 
 /// Figure 8: identical and similar distributions.
-pub fn fig8(lab: &mut Lab) -> Vec<FigureTable> {
+pub fn fig8(lab: &mut Lab) -> Result<Vec<FigureTable>> {
     let mut sets = vec![
         QuerySetSpec::identical_points(),
         QuerySetSpec::identical_windows(),
@@ -239,7 +241,7 @@ pub fn fig8(lab: &mut Lab) -> Vec<FigureTable> {
 }
 
 /// Figure 9: independent and intensified distributions.
-pub fn fig9(lab: &mut Lab) -> Vec<FigureTable> {
+pub fn fig9(lab: &mut Lab) -> Result<Vec<FigureTable>> {
     let mut sets = family(QuerySetSpec::independent);
     sets.extend(intensified_family());
     comparison_figure(
@@ -251,7 +253,7 @@ pub fn fig9(lab: &mut Lab) -> Vec<FigureTable> {
 }
 
 /// Figure 12: pure A vs the static combinations SLRU 50 % and SLRU 25 %.
-pub fn fig12(lab: &mut Lab) -> Vec<FigureTable> {
+pub fn fig12(lab: &mut Lab) -> Result<Vec<FigureTable>> {
     let sets = mixed_sets();
     let policies = [
         (PolicyKind::Spatial(SpatialCriterion::Area), "A"),
@@ -270,23 +272,32 @@ pub fn fig12(lab: &mut Lab) -> Vec<FigureTable> {
             "SLRU 25%",
         ),
     ];
-    SMALL_LARGE
-        .iter()
-        .map(|&(frac, frac_name)| FigureTable {
+    let mut tables = Vec::new();
+    for &(frac, frac_name) in &SMALL_LARGE {
+        let mut series = Vec::new();
+        for &(p, name) in policies.iter() {
+            series.push(gain_series(
+                lab,
+                DatasetKind::Mainland,
+                p,
+                frac,
+                &sets,
+                name,
+            )?);
+        }
+        tables.push(FigureTable {
             id: "fig12".into(),
             title: format!("Static candidate sets, database 1, {frac_name}"),
             x_label: "query set".into(),
             y_label: "gain vs LRU [%]".into(),
-            series: policies
-                .iter()
-                .map(|&(p, name)| gain_series(lab, DatasetKind::Mainland, p, frac, &sets, name))
-                .collect(),
-        })
-        .collect()
+            series,
+        });
+    }
+    Ok(tables)
 }
 
 /// Figure 13: A, SLRU 25 %, ASB and LRU-2 against LRU on both databases.
-pub fn fig13(lab: &mut Lab) -> Vec<FigureTable> {
+pub fn fig13(lab: &mut Lab) -> Result<Vec<FigureTable>> {
     let sets = mixed_sets();
     let policies = [
         (PolicyKind::Spatial(SpatialCriterion::Area), "A"),
@@ -303,32 +314,33 @@ pub fn fig13(lab: &mut Lab) -> Vec<FigureTable> {
     let mut tables = Vec::new();
     for (db, db_name) in DB_BOTH {
         for (frac, frac_name) in SMALL_LARGE {
+            let mut series = Vec::new();
+            for &(p, name) in policies.iter() {
+                series.push(gain_series(lab, db, p, frac, &sets, name)?);
+            }
             tables.push(FigureTable {
                 id: "fig13".into(),
                 title: format!("A, SLRU, ASB, LRU-2 vs LRU, {db_name}, {frac_name}"),
                 x_label: "query set".into(),
                 y_label: "gain vs LRU [%]".into(),
-                series: policies
-                    .iter()
-                    .map(|&(p, name)| gain_series(lab, db, p, frac, &sets, name))
-                    .collect(),
+                series,
             });
         }
     }
-    tables
+    Ok(tables)
 }
 
 /// Figure 14: candidate-set size over a concatenated INT-W-33 ∥ U-W-33 ∥
 /// S-W-33 workload, sampled and bucket-averaged.
-pub fn fig14(lab: &mut Lab) -> Vec<FigureTable> {
+pub fn fig14(lab: &mut Lab) -> Result<Vec<FigureTable>> {
     let specs = [
         QuerySetSpec::intensified(w(33)),
         QuerySetSpec::uniform_windows(33),
         QuerySetSpec::similar(w(33)),
     ];
     let frac = 0.047;
-    let trace = lab.candidate_trace(DatasetKind::Mainland, frac, &specs);
-    let bounds = lab.phase_boundaries(DatasetKind::Mainland, &specs);
+    let trace = lab.candidate_trace(DatasetKind::Mainland, frac, &specs)?;
+    let bounds = lab.phase_boundaries(DatasetKind::Mainland, &specs)?;
     // Average the trace into ~60 buckets to keep the table readable.
     let buckets = 60usize.min(trace.len().max(1));
     let per = trace.len().div_ceil(buckets).max(1);
@@ -343,18 +355,22 @@ pub fn fig14(lab: &mut Lab) -> Vec<FigureTable> {
         };
         points.push((format!("q{idx} [{phase}]"), avg));
     }
-    vec![FigureTable {
+    Ok(vec![FigureTable {
         id: "fig14".into(),
         title: "ASB candidate-set size, mixed workload INT-W-33 | U-W-33 | S-W-33, database 1, 4.7% buffer"
             .into(),
         x_label: "query index [phase]".into(),
         y_label: "candidate-set size [pages]".into(),
         series: vec![Series { name: "candidate set".into(), points }],
-    }]
+    }])
 }
 
 /// Runs one figure by id (one of [`FIGURE_IDS`]).
-pub fn figure(id: u8, lab: &mut Lab) -> Vec<FigureTable> {
+///
+/// # Panics
+/// Panics if `id` names an illustration figure with no data (1–3, 10, 11);
+/// storage or query failures during the runs are returned as errors.
+pub fn figure(id: u8, lab: &mut Lab) -> Result<Vec<FigureTable>> {
     match id {
         4 => fig4(lab),
         5 => fig5(lab),
@@ -370,12 +386,13 @@ pub fn figure(id: u8, lab: &mut Lab) -> Vec<FigureTable> {
 }
 
 /// Runs every data figure.
-pub fn all_figures(config: FigureConfig) -> Vec<FigureTable> {
+pub fn all_figures(config: FigureConfig) -> Result<Vec<FigureTable>> {
     let mut lab = Lab::new(config.scale, config.seed);
-    FIGURE_IDS
-        .iter()
-        .flat_map(|&id| figure(id, &mut lab))
-        .collect()
+    let mut tables = Vec::new();
+    for &id in FIGURE_IDS.iter() {
+        tables.extend(figure(id, &mut lab)?);
+    }
+    Ok(tables)
 }
 
 #[cfg(test)]
@@ -391,7 +408,7 @@ mod tests {
     #[test]
     fn fig14_trace_has_three_phases() {
         let mut lab = Lab::new(Scale::Tiny, 7);
-        let tables = fig14(&mut lab);
+        let tables = fig14(&mut lab).unwrap();
         assert_eq!(tables.len(), 1);
         let points = &tables[0].series[0].points;
         assert!(points.iter().any(|(l, _)| l.contains("[INT]")));
@@ -402,7 +419,7 @@ mod tests {
     #[test]
     fn fig6_baseline_is_100_percent() {
         let mut lab = Lab::new(Scale::Tiny, 7);
-        let tables = fig6(&mut lab);
+        let tables = fig6(&mut lab).unwrap();
         for t in &tables {
             let a = t
                 .series

@@ -3,7 +3,7 @@
 use asb_core::{BufferManager, PolicyKind};
 use asb_geom::Query;
 use asb_rtree::RTree;
-use asb_storage::{DiskManager, IoStats};
+use asb_storage::{DiskManager, IoStats, Result};
 use asb_workload::{Dataset, DatasetKind, QuerySetSpec, Scale};
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
@@ -56,16 +56,15 @@ struct TreeHarness {
 }
 
 impl TreeHarness {
-    fn build(kind: DatasetKind, scale: Scale, seed: u64) -> Self {
+    fn build(kind: DatasetKind, scale: Scale, seed: u64) -> Result<Self> {
         let dataset = Dataset::generate(kind, scale, seed);
-        let tree = RTree::bulk_load(DiskManager::new(), dataset.items())
-            .expect("bulk load of a generated dataset cannot fail");
+        let tree = RTree::bulk_load(DiskManager::new(), dataset.items())?;
         let pages = tree.page_count();
-        TreeHarness {
+        Ok(TreeHarness {
             tree,
             dataset,
             pages,
-        }
+        })
     }
 
     fn buffer_pages(&self, frac: f64) -> usize {
@@ -102,49 +101,53 @@ impl Lab {
     }
 
     /// Page count of the (lazily built) tree for `kind`.
-    pub fn tree_pages(&mut self, kind: DatasetKind) -> usize {
-        self.harness(kind).pages
+    pub fn tree_pages(&mut self, kind: DatasetKind) -> Result<usize> {
+        Ok(self.harness(kind)?.pages)
     }
 
-    fn harness(&mut self, kind: DatasetKind) -> &mut TreeHarness {
-        let (scale, seed) = (self.scale, self.seed);
-        self.harnesses
-            .entry(kind)
-            .or_insert_with(|| TreeHarness::build(kind, scale, seed))
+    fn harness(&mut self, kind: DatasetKind) -> Result<&mut TreeHarness> {
+        if !self.harnesses.contains_key(&kind) {
+            let h = TreeHarness::build(kind, self.scale, self.seed)?;
+            self.harnesses.insert(kind, h);
+        }
+        Ok(self
+            .harnesses
+            .get_mut(&kind)
+            .expect("harness was just inserted"))
     }
 
     /// The queries of a set (generated once, shared by every policy so all
     /// runs see the identical sequence).
-    pub fn queries(&mut self, kind: DatasetKind, spec: QuerySetSpec) -> Vec<Query> {
+    pub fn queries(&mut self, kind: DatasetKind, spec: QuerySetSpec) -> Result<Vec<Query>> {
         let key = (kind, spec.name());
         if let Some(q) = self.query_sets.get(&key) {
-            return q.clone();
+            return Ok(q.clone());
         }
-        let count = self.calibrate_count(kind, spec);
+        let count = self.calibrate_count(kind, spec)?;
         let seed = self.seed;
-        let h = self.harness(kind);
+        let h = self.harness(kind)?;
         let queries = spec.generate(&h.dataset, count, seed ^ 0x0051_5e75);
         self.query_sets.insert(key, queries.clone());
-        queries
+        Ok(queries)
     }
 
     /// Implements the paper's sizing rule: enough queries that the largest
     /// buffer sees ~15× its size in disk accesses. Estimated from a probe
     /// of 32 queries against the unbuffered tree.
-    fn calibrate_count(&mut self, kind: DatasetKind, spec: QuerySetSpec) -> usize {
+    fn calibrate_count(&mut self, kind: DatasetKind, spec: QuerySetSpec) -> Result<usize> {
         let seed = self.seed;
-        let h = self.harness(kind);
+        let h = self.harness(kind)?;
         let target = 15.0 * h.pages as f64 * LARGEST_BUFFER_FRAC;
         let probe = spec.generate(&h.dataset, 32, seed ^ 0xCA11_B0B0);
         h.tree.store_mut().reset_stats();
         for q in &probe {
-            h.tree.execute(q).expect("probe query");
+            h.tree.execute(q)?;
         }
         let per_query = h.tree.store().stats().reads as f64 / probe.len() as f64;
         // A buffer absorbs roughly half the accesses of the unbuffered run;
         // aim a bit high rather than low.
         let count = (target / (per_query.max(1.0) * 0.4)).ceil() as usize;
-        count.clamp(300, 30_000)
+        Ok(count.clamp(300, 30_000))
     }
 
     /// Runs (or returns the cached result of) one experiment cell.
@@ -154,20 +157,20 @@ impl Lab {
         policy: PolicyKind,
         frac: f64,
         spec: QuerySetSpec,
-    ) -> RunResult {
+    ) -> Result<RunResult> {
         let key = format!("{kind:?}|{policy:?}|{frac}|{}", spec.name());
         if let Some(r) = self.runs.get(&key) {
-            return *r;
+            return Ok(*r);
         }
-        let queries = self.queries(kind, spec);
-        let h = self.harness(kind);
+        let queries = self.queries(kind, spec)?;
+        let h = self.harness(kind)?;
         let buffer_pages = h.buffer_pages(frac);
         h.tree
             .set_buffer(BufferManager::with_policy(policy, buffer_pages));
         h.tree.store_mut().reset_stats();
         let mut result_objects = 0u64;
         for q in &queries {
-            result_objects += h.tree.execute(q).expect("query execution").len() as u64;
+            result_objects += h.tree.execute(q)?.len() as u64;
         }
         let io = h.tree.store().stats();
         let buf = h.tree.take_buffer().expect("buffer was just attached");
@@ -183,7 +186,7 @@ impl Lab {
             buffer_pages,
         };
         self.runs.insert(key, result);
-        result
+        Ok(result)
     }
 
     /// Gain of `policy` over plain LRU in percent (positive = fewer disk
@@ -194,14 +197,14 @@ impl Lab {
         policy: PolicyKind,
         frac: f64,
         spec: QuerySetSpec,
-    ) -> f64 {
-        let base = self.run(kind, PolicyKind::Lru, frac, spec);
-        let run = self.run(kind, policy, frac, spec);
+    ) -> Result<f64> {
+        let base = self.run(kind, PolicyKind::Lru, frac, spec)?;
+        let run = self.run(kind, policy, frac, spec)?;
         debug_assert_eq!(
             run.result_objects, base.result_objects,
             "buffering must not change query answers"
         );
-        run.gain_over(&base)
+        Ok(run.gain_over(&base))
     }
 
     /// Disk accesses of `policy` relative to `base` in percent
@@ -213,10 +216,10 @@ impl Lab {
         policy: PolicyKind,
         frac: f64,
         spec: QuerySetSpec,
-    ) -> f64 {
-        let base_run = self.run(kind, base, frac, spec);
-        let run = self.run(kind, policy, frac, spec);
-        run.relative_to(&base_run)
+    ) -> Result<f64> {
+        let base_run = self.run(kind, base, frac, spec)?;
+        let run = self.run(kind, policy, frac, spec)?;
+        Ok(run.relative_to(&base_run))
     }
 
     /// Runs a concatenation of query sets through one ASB buffer and
@@ -227,23 +230,23 @@ impl Lab {
         kind: DatasetKind,
         frac: f64,
         specs: &[QuerySetSpec],
-    ) -> Vec<(usize, usize)> {
+    ) -> Result<Vec<(usize, usize)>> {
         let all_queries: Vec<(usize, Query)> = {
             let mut qs = Vec::new();
             for (phase, spec) in specs.iter().enumerate() {
-                for q in self.queries(kind, *spec) {
+                for q in self.queries(kind, *spec)? {
                     qs.push((phase, q));
                 }
             }
             qs
         };
-        let h = self.harness(kind);
+        let h = self.harness(kind)?;
         let buffer_pages = h.buffer_pages(frac);
         h.tree
             .set_buffer(BufferManager::with_policy(PolicyKind::Asb, buffer_pages));
         let mut trace = Vec::with_capacity(all_queries.len());
         for (i, (_phase, q)) in all_queries.iter().enumerate() {
-            h.tree.execute(q).expect("query execution");
+            h.tree.execute(q)?;
             let size = h
                 .tree
                 .buffer()
@@ -252,18 +255,22 @@ impl Lab {
             trace.push((i, size));
         }
         h.tree.take_buffer();
-        trace
+        Ok(trace)
     }
 
     /// Phase boundaries (query indices) for a concatenated trace.
-    pub fn phase_boundaries(&mut self, kind: DatasetKind, specs: &[QuerySetSpec]) -> Vec<usize> {
+    pub fn phase_boundaries(
+        &mut self,
+        kind: DatasetKind,
+        specs: &[QuerySetSpec],
+    ) -> Result<Vec<usize>> {
         let mut bounds = Vec::with_capacity(specs.len());
         let mut acc = 0usize;
         for spec in specs {
-            acc += self.queries(kind, *spec).len();
+            acc += self.queries(kind, *spec)?.len();
             bounds.push(acc);
         }
-        bounds
+        Ok(bounds)
     }
 }
 
@@ -280,8 +287,12 @@ mod tests {
     fn runs_are_cached() {
         let mut lab = lab();
         let spec = QuerySetSpec::uniform_windows(33);
-        let a = lab.run(DatasetKind::Mainland, PolicyKind::Lru, 0.02, spec);
-        let b = lab.run(DatasetKind::Mainland, PolicyKind::Lru, 0.02, spec);
+        let a = lab
+            .run(DatasetKind::Mainland, PolicyKind::Lru, 0.02, spec)
+            .unwrap();
+        let b = lab
+            .run(DatasetKind::Mainland, PolicyKind::Lru, 0.02, spec)
+            .unwrap();
         assert_eq!(a, b);
         assert_eq!(lab.runs.len(), 1);
     }
@@ -290,7 +301,9 @@ mod tests {
     fn answers_are_policy_independent() {
         let mut lab = lab();
         let spec = QuerySetSpec::uniform_windows(100);
-        let base = lab.run(DatasetKind::Mainland, PolicyKind::Lru, 0.02, spec);
+        let base = lab
+            .run(DatasetKind::Mainland, PolicyKind::Lru, 0.02, spec)
+            .unwrap();
         for policy in [
             PolicyKind::Fifo,
             PolicyKind::LruP,
@@ -298,7 +311,7 @@ mod tests {
             PolicyKind::Spatial(SpatialCriterion::Area),
             PolicyKind::Asb,
         ] {
-            let r = lab.run(DatasetKind::Mainland, policy, 0.02, spec);
+            let r = lab.run(DatasetKind::Mainland, policy, 0.02, spec).unwrap();
             assert_eq!(r.result_objects, base.result_objects, "{policy:?}");
             assert_eq!(r.logical_reads, base.logical_reads, "{policy:?}");
         }
@@ -311,8 +324,12 @@ mod tests {
         // The tiny tree has ~70 pages; pick fractions that produce clearly
         // different buffer sizes (the paper's 0.3%/4.7% both round to the
         // 4-page floor at this scale).
-        let small = lab.run(DatasetKind::Mainland, PolicyKind::Lru, 0.05, spec);
-        let large = lab.run(DatasetKind::Mainland, PolicyKind::Lru, 0.5, spec);
+        let small = lab
+            .run(DatasetKind::Mainland, PolicyKind::Lru, 0.05, spec)
+            .unwrap();
+        let large = lab
+            .run(DatasetKind::Mainland, PolicyKind::Lru, 0.5, spec)
+            .unwrap();
         assert!(large.buffer_pages > small.buffer_pages);
         assert!(large.disk_accesses < small.disk_accesses);
     }
@@ -321,7 +338,9 @@ mod tests {
     fn gain_of_lru_over_itself_is_zero() {
         let mut lab = lab();
         let spec = QuerySetSpec::uniform_points();
-        let g = lab.gain(DatasetKind::Mainland, PolicyKind::Lru, 0.02, spec);
+        let g = lab
+            .gain(DatasetKind::Mainland, PolicyKind::Lru, 0.02, spec)
+            .unwrap();
         assert_eq!(g, 0.0);
     }
 
@@ -329,12 +348,14 @@ mod tests {
     fn query_volume_respects_the_papers_rule() {
         let mut lab = lab();
         let spec = QuerySetSpec::uniform_windows(33);
-        let r = lab.run(
-            DatasetKind::Mainland,
-            PolicyKind::Lru,
-            LARGEST_BUFFER_FRAC,
-            spec,
-        );
+        let r = lab
+            .run(
+                DatasetKind::Mainland,
+                PolicyKind::Lru,
+                LARGEST_BUFFER_FRAC,
+                spec,
+            )
+            .unwrap();
         // "about 10 to 20 times higher than the buffer size" — allow slack
         // for the calibration heuristic (clamping dominates at tiny scale).
         assert!(
@@ -352,10 +373,12 @@ mod tests {
             QuerySetSpec::uniform_windows(33),
             QuerySetSpec::intensified(asb_workload::QueryKind::Window { ex: 33 }),
         ];
-        let trace = lab.candidate_trace(DatasetKind::Mainland, 0.047, &specs);
-        let bounds = lab.phase_boundaries(DatasetKind::Mainland, &specs);
+        let trace = lab
+            .candidate_trace(DatasetKind::Mainland, 0.047, &specs)
+            .unwrap();
+        let bounds = lab.phase_boundaries(DatasetKind::Mainland, &specs).unwrap();
         assert_eq!(trace.len(), *bounds.last().unwrap());
-        let pages = lab.tree_pages(DatasetKind::Mainland);
+        let pages = lab.tree_pages(DatasetKind::Mainland).unwrap();
         let main_cap = (pages as f64 * 0.047).round() as usize; // upper bound
         for &(_, size) in &trace {
             assert!(size >= 1 && size <= main_cap);

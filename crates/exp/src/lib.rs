@@ -30,9 +30,11 @@ mod figures;
 mod lab;
 pub mod parallel;
 mod report;
+mod trace;
 
 pub use ext::{ext_cross_sam, ext_moving_objects, ext_object_pages, extension, EXTENSIONS};
 pub use figures::{all_figures, figure, FigureConfig, FIGURE_IDS};
 pub use lab::{Lab, RunResult, BUFFER_FRACS, LARGEST_BUFFER_FRAC};
 pub use parallel::{run_cells, ExperimentCell};
 pub use report::{FigureTable, Series};
+pub use trace::{FaultReplayOutcome, ReplayOutcome, Trace};

@@ -13,6 +13,7 @@
 
 use crate::lab::{Lab, RunResult};
 use asb_core::PolicyKind;
+use asb_storage::Result;
 use asb_workload::{DatasetKind, QuerySetSpec, Scale};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
@@ -37,6 +38,10 @@ pub struct ExperimentCell {
 /// its own `Lab` for the same `(scale, seed)` and pulls cells from a shared
 /// queue. Results are deterministic either way.
 ///
+/// # Errors
+/// Returns the first storage error raised by any cell (in cell order);
+/// remaining cells may or may not have run.
+///
 /// # Panics
 /// Panics if `threads == 0`, or if a worker thread panics (experiment
 /// failures propagate rather than producing partial figures).
@@ -45,18 +50,20 @@ pub fn run_cells(
     seed: u64,
     threads: usize,
     cells: &[ExperimentCell],
-) -> Vec<RunResult> {
+) -> Result<Vec<RunResult>> {
     assert!(threads >= 1, "need at least one worker thread");
     if threads == 1 || cells.len() <= 1 {
         let mut lab = Lab::new(scale, seed);
-        return cells
-            .iter()
-            .map(|c| lab.run(c.db, c.policy, c.frac, c.spec))
-            .collect();
+        let mut out = Vec::with_capacity(cells.len());
+        for c in cells {
+            out.push(lab.run(c.db, c.policy, c.frac, c.spec)?);
+        }
+        return Ok(out);
     }
 
     let next = AtomicUsize::new(0);
-    let slots: Vec<Mutex<Option<RunResult>>> = cells.iter().map(|_| Mutex::new(None)).collect();
+    let slots: Vec<Mutex<Option<Result<RunResult>>>> =
+        cells.iter().map(|_| Mutex::new(None)).collect();
     std::thread::scope(|s| {
         for _ in 0..threads.min(cells.len()) {
             s.spawn(|| {
@@ -109,15 +116,15 @@ mod tests {
     #[test]
     fn parallel_results_equal_sequential_results() {
         let cells = cells();
-        let sequential = run_cells(Scale::Tiny, 42, 1, &cells);
-        let parallel = run_cells(Scale::Tiny, 42, 3, &cells);
+        let sequential = run_cells(Scale::Tiny, 42, 1, &cells).unwrap();
+        let parallel = run_cells(Scale::Tiny, 42, 3, &cells).unwrap();
         assert_eq!(parallel, sequential);
     }
 
     #[test]
     fn results_come_back_in_cell_order() {
         let cells = cells();
-        let results = run_cells(Scale::Tiny, 42, 2, &cells);
+        let results = run_cells(Scale::Tiny, 42, 2, &cells).unwrap();
         assert_eq!(results.len(), cells.len());
         // LRU is its own baseline: gain over itself is zero.
         let lru = results[0];

@@ -25,6 +25,53 @@ pub enum StorageError {
     NotPinned(PageId),
     /// A buffer was configured with zero capacity.
     ZeroCapacity,
+    /// A read failed transiently (e.g. a simulated device timeout). The
+    /// operation is safe to retry.
+    TransientRead(PageId),
+    /// A write failed transiently. The operation is safe to retry.
+    TransientWrite(PageId),
+    /// The device region holding the page has failed permanently; retrying
+    /// cannot help.
+    DeviceFailed(PageId),
+    /// A page arrived whose payload does not match its recorded checksum.
+    /// Retryable: a re-read may deliver an undamaged copy.
+    ChecksumMismatch {
+        /// The offending page.
+        id: PageId,
+        /// Checksum the page claims (recorded at creation).
+        expected: u64,
+        /// Checksum actually computed over the delivered payload.
+        actual: u64,
+    },
+    /// A retried operation gave up: the retry policy's attempt budget is
+    /// exhausted. `last` is the failure of the final attempt.
+    RetriesExhausted {
+        /// The page the operation targeted.
+        id: PageId,
+        /// Number of attempts made (including the first).
+        attempts: u32,
+        /// The error of the last attempt.
+        last: Box<StorageError>,
+    },
+    /// A dirty page had to be evicted on a path with no write access to the
+    /// backing store (e.g. a fetch-only read path).
+    WritebackUnavailable(PageId),
+}
+
+impl StorageError {
+    /// Whether retrying the failed operation may succeed.
+    ///
+    /// Transient read/write faults clear on their own, and a checksum
+    /// mismatch may have damaged only the copy in flight; everything else is
+    /// either a logic error or a permanent device failure.
+    pub fn is_transient(&self) -> bool {
+        matches!(
+            self,
+            StorageError::TransientRead(_)
+                | StorageError::TransientWrite(_)
+                | StorageError::ChecksumMismatch { .. }
+        )
+    }
 }
 
 impl std::fmt::Display for StorageError {
@@ -42,6 +89,31 @@ impl std::fmt::Display for StorageError {
             }
             StorageError::NotPinned(id) => write!(f, "page {id} is not pinned"),
             StorageError::ZeroCapacity => write!(f, "buffer capacity must be at least one page"),
+            StorageError::TransientRead(id) => {
+                write!(f, "transient fault reading page {id} (retryable)")
+            }
+            StorageError::TransientWrite(id) => {
+                write!(f, "transient fault writing page {id} (retryable)")
+            }
+            StorageError::DeviceFailed(id) => {
+                write!(f, "device region of page {id} failed permanently")
+            }
+            StorageError::ChecksumMismatch {
+                id,
+                expected,
+                actual,
+            } => write!(
+                f,
+                "page {id} checksum mismatch: expected {expected:#018x}, got {actual:#018x}"
+            ),
+            StorageError::RetriesExhausted { id, attempts, last } => write!(
+                f,
+                "gave up on page {id} after {attempts} attempt(s); last error: {last}"
+            ),
+            StorageError::WritebackUnavailable(id) => write!(
+                f,
+                "dirty page {id} needs a write-back but this path has no store write access"
+            ),
         }
     }
 }
@@ -74,5 +146,40 @@ mod tests {
     fn error_is_std_error() {
         fn assert_err<E: std::error::Error>() {}
         assert_err::<StorageError>();
+    }
+
+    #[test]
+    fn transience_classification() {
+        let id = PageId::new(3);
+        assert!(StorageError::TransientRead(id).is_transient());
+        assert!(StorageError::TransientWrite(id).is_transient());
+        assert!(StorageError::ChecksumMismatch {
+            id,
+            expected: 1,
+            actual: 2
+        }
+        .is_transient());
+        assert!(!StorageError::DeviceFailed(id).is_transient());
+        assert!(!StorageError::PageNotFound(id).is_transient());
+        assert!(!StorageError::RetriesExhausted {
+            id,
+            attempts: 3,
+            last: Box::new(StorageError::TransientRead(id)),
+        }
+        .is_transient());
+        assert!(!StorageError::WritebackUnavailable(id).is_transient());
+    }
+
+    #[test]
+    fn give_up_error_carries_the_last_failure() {
+        let id = PageId::new(9);
+        let err = StorageError::RetriesExhausted {
+            id,
+            attempts: 4,
+            last: Box::new(StorageError::TransientRead(id)),
+        };
+        let msg = err.to_string();
+        assert!(msg.contains("4 attempt"));
+        assert!(msg.contains("transient fault reading page P9"));
     }
 }

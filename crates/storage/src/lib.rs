@@ -31,14 +31,20 @@
 
 mod disk;
 mod error;
+mod fault;
 mod objects;
 mod page;
+mod recording;
+mod retry;
 mod store;
 
 pub use disk::{DiskManager, DiskProfile, IoStats};
 pub use error::StorageError;
+pub use fault::{FaultConfig, FaultStats, FaultyStore};
 pub use objects::{decode_object_page, ObjectRecord, ObjectStore};
-pub use page::{Page, PageId, PageMeta, PageType, PAGE_HEADER_SIZE, PAGE_SIZE};
+pub use page::{page_checksum, Page, PageId, PageMeta, PageType, PAGE_HEADER_SIZE, PAGE_SIZE};
+pub use recording::RecordingStore;
+pub use retry::RetryPolicy;
 pub use store::{AccessContext, ConcurrentPageStore, PageStore, QueryId};
 
 /// Convenience alias used across the workspace.

@@ -159,10 +159,28 @@ impl PageMeta {
     }
 }
 
-/// A page: identifier, metadata and payload.
+/// FNV-1a 64-bit hash of a payload — the per-page checksum format.
+///
+/// Chosen for being dependency-free, deterministic across platforms and
+/// cheap on the short payloads of the simulated disk; this is an
+/// error-*detection* code for the fault-injection layer, not a
+/// cryptographic digest.
+pub fn page_checksum(payload: &[u8]) -> u64 {
+    let mut hash = 0xcbf2_9ce4_8422_2325u64;
+    for &byte in payload {
+        hash ^= u64::from(byte);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    hash
+}
+
+/// A page: identifier, metadata, payload and a payload checksum.
 ///
 /// The payload is a [`Bytes`] value, so cloning a page (for handing copies
-/// out of the buffer) is O(1) and allocation-free.
+/// out of the buffer) is O(1) and allocation-free. The checksum is computed
+/// once in [`Page::new`] and travels with every clone; a copy whose payload
+/// was damaged in flight (or in a buffer frame) no longer satisfies
+/// [`Page::verify_checksum`], which is how the buffer detects corruption.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Page {
     /// The page's identity on disk.
@@ -171,18 +189,53 @@ pub struct Page {
     pub meta: PageMeta,
     /// Serialized content, at most [`PAGE_SIZE`] bytes.
     pub payload: Bytes,
+    /// FNV-1a over the payload at construction time.
+    checksum: u64,
 }
 
 impl Page {
     /// Creates a page, validating the payload size.
     pub fn new(id: PageId, meta: PageMeta, payload: Bytes) -> crate::Result<Self> {
+        let checksum = page_checksum(&payload);
+        Page::with_checksum(id, meta, payload, checksum)
+    }
+
+    /// Creates a page with an explicit checksum instead of computing one.
+    ///
+    /// This exists for layers that *transport* pages rather than create
+    /// them: deserializers carrying a stored checksum forward, and the
+    /// fault-injection store, which damages a payload while preserving the
+    /// original checksum so the corruption stays detectable downstream.
+    pub fn with_checksum(
+        id: PageId,
+        meta: PageMeta,
+        payload: Bytes,
+        checksum: u64,
+    ) -> crate::Result<Self> {
         if payload.len() > PAGE_SIZE {
             return Err(crate::StorageError::PageOverflow {
                 id,
                 len: payload.len(),
             });
         }
-        Ok(Page { id, meta, payload })
+        Ok(Page {
+            id,
+            meta,
+            payload,
+            checksum,
+        })
+    }
+
+    /// The checksum recorded when the page was created.
+    #[inline]
+    pub fn checksum(&self) -> u64 {
+        self.checksum
+    }
+
+    /// Whether the payload still matches the recorded checksum.
+    #[inline]
+    pub fn verify_checksum(&self) -> bool {
+        page_checksum(&self.payload) == self.checksum
     }
 
     /// Maximum number of fixed-size entries a page payload can hold after
@@ -262,6 +315,42 @@ mod tests {
         assert!(b.is_successor_of(&a));
         assert!(!a.is_successor_of(&b));
         assert!(!a.is_successor_of(&a));
+    }
+
+    #[test]
+    fn checksum_is_deterministic_and_payload_sensitive() {
+        assert_eq!(page_checksum(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(page_checksum(b"abc"), page_checksum(b"abc"));
+        assert_ne!(page_checksum(b"abc"), page_checksum(b"abd"));
+    }
+
+    #[test]
+    fn fresh_pages_verify() {
+        let meta = PageMeta::data(SpatialStats::EMPTY);
+        let p = Page::new(PageId::new(3), meta, Bytes::from_static(b"payload")).unwrap();
+        assert!(p.verify_checksum());
+        assert_eq!(p.checksum(), page_checksum(b"payload"));
+        assert!(p.clone().verify_checksum());
+    }
+
+    #[test]
+    fn preserved_checksum_exposes_tampered_payload() {
+        let meta = PageMeta::data(SpatialStats::EMPTY);
+        let p = Page::new(PageId::new(3), meta, Bytes::from_static(b"payload")).unwrap();
+        let tampered =
+            Page::with_checksum(p.id, p.meta, Bytes::from_static(b"grabled"), p.checksum())
+                .unwrap();
+        assert!(!tampered.verify_checksum());
+        // An honestly rebuilt page verifies again.
+        let rebuilt = Page::new(p.id, p.meta, Bytes::from_static(b"grabled")).unwrap();
+        assert!(rebuilt.verify_checksum());
+    }
+
+    #[test]
+    fn with_checksum_still_rejects_oversized_payload() {
+        let meta = PageMeta::data(SpatialStats::EMPTY);
+        let big = Bytes::from(vec![0u8; PAGE_SIZE + 1]);
+        assert!(Page::with_checksum(PageId::new(0), meta, big, 0).is_err());
     }
 
     #[test]

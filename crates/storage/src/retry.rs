@@ -1,0 +1,117 @@
+//! Bounded-retry policy for transient storage faults.
+//!
+//! The buffer layer in `asb-core` consults a [`RetryPolicy`] whenever a
+//! fetch or write-back fails with a [transient](crate::StorageError::is_transient)
+//! error: the operation is re-attempted up to a bounded number of times with
+//! exponential backoff, and a final failure is surfaced as the typed
+//! give-up error [`StorageError::RetriesExhausted`](crate::StorageError::RetriesExhausted).
+//!
+//! The disk in this workspace is simulated, so backoff does not sleep;
+//! the waiting time a real deployment would spend is *accounted* (in
+//! simulated milliseconds) alongside the disk's own timing model.
+
+use serde::{Deserialize, Serialize};
+
+/// Retry schedule for transient storage faults.
+///
+/// `max_attempts` counts every try including the first, so `1` means "no
+/// retries" and `4` means "one try plus up to three retries". Backoff before
+/// retry `n` (1-based) is `base_backoff_ms * backoff_multiplier^(n-1)`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RetryPolicy {
+    /// Total attempt budget (≥ 1; zero is treated as 1).
+    pub max_attempts: u32,
+    /// Simulated backoff before the first retry, in milliseconds.
+    pub base_backoff_ms: f64,
+    /// Multiplier applied to the backoff after every failed retry.
+    pub backoff_multiplier: f64,
+}
+
+impl Default for RetryPolicy {
+    /// Four attempts with 0.5 ms → 1 ms → 2 ms backoff: bounded, and small
+    /// next to the ~10 ms random-access cost of the simulated disk.
+    fn default() -> Self {
+        RetryPolicy {
+            max_attempts: 4,
+            base_backoff_ms: 0.5,
+            backoff_multiplier: 2.0,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// A policy that never retries: every transient fault is surfaced
+    /// immediately (wrapped in the give-up error after the single attempt).
+    pub fn none() -> Self {
+        RetryPolicy {
+            max_attempts: 1,
+            base_backoff_ms: 0.0,
+            backoff_multiplier: 1.0,
+        }
+    }
+
+    /// The effective attempt budget (at least 1).
+    pub fn attempts(&self) -> u32 {
+        self.max_attempts.max(1)
+    }
+
+    /// Simulated backoff in milliseconds before retry number
+    /// `failed_attempts` (the number of attempts that have already failed;
+    /// zero yields no backoff).
+    pub fn backoff_ms(&self, failed_attempts: u32) -> f64 {
+        if failed_attempts == 0 {
+            return 0.0;
+        }
+        self.base_backoff_ms * self.backoff_multiplier.powi(failed_attempts as i32 - 1)
+    }
+
+    /// Total simulated backoff if every retry of the budget is used.
+    pub fn worst_case_backoff_ms(&self) -> f64 {
+        (1..self.attempts()).map(|n| self.backoff_ms(n)).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_budget_is_bounded() {
+        let r = RetryPolicy::default();
+        assert_eq!(r.attempts(), 4);
+        assert_eq!(r.backoff_ms(0), 0.0);
+        assert_eq!(r.backoff_ms(1), 0.5);
+        assert_eq!(r.backoff_ms(2), 1.0);
+        assert_eq!(r.backoff_ms(3), 2.0);
+        assert_eq!(r.worst_case_backoff_ms(), 3.5);
+    }
+
+    #[test]
+    fn none_never_retries() {
+        let r = RetryPolicy::none();
+        assert_eq!(r.attempts(), 1);
+        assert_eq!(r.worst_case_backoff_ms(), 0.0);
+    }
+
+    #[test]
+    fn zero_attempts_means_one() {
+        let r = RetryPolicy {
+            max_attempts: 0,
+            ..RetryPolicy::default()
+        };
+        assert_eq!(r.attempts(), 1);
+    }
+
+    #[test]
+    fn backoff_grows_exponentially() {
+        let r = RetryPolicy {
+            max_attempts: 5,
+            base_backoff_ms: 1.0,
+            backoff_multiplier: 3.0,
+        };
+        assert_eq!(r.backoff_ms(1), 1.0);
+        assert_eq!(r.backoff_ms(2), 3.0);
+        assert_eq!(r.backoff_ms(3), 9.0);
+        assert_eq!(r.worst_case_backoff_ms(), 1.0 + 3.0 + 9.0 + 27.0);
+    }
+}

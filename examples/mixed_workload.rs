@@ -22,8 +22,12 @@ fn main() {
     ];
 
     println!("mixed workload: INT-W-33 | U-W-33 | S-W-33 through one ASB buffer\n");
-    let trace = lab.candidate_trace(DatasetKind::Mainland, 0.047, &specs);
-    let bounds = lab.phase_boundaries(DatasetKind::Mainland, &specs);
+    let trace = lab
+        .candidate_trace(DatasetKind::Mainland, 0.047, &specs)
+        .expect("candidate trace");
+    let bounds = lab
+        .phase_boundaries(DatasetKind::Mainland, &specs)
+        .expect("phase boundaries");
 
     // Sparkline over ~100 buckets.
     let max = trace.iter().map(|&(_, s)| s).max().unwrap_or(1) as f64;

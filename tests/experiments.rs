@@ -28,7 +28,7 @@ fn asb_never_loses_to_lru() {
     ];
     for db in [DatasetKind::Mainland, DatasetKind::World] {
         for spec in sets {
-            let gain = lab.gain(db, PolicyKind::Asb, 0.047, spec);
+            let gain = lab.gain(db, PolicyKind::Asb, 0.047, spec).unwrap();
             assert!(
                 gain > -2.0,
                 "ASB lost to LRU on {db:?}/{} ({gain:.1}%)",
@@ -48,18 +48,20 @@ fn spatial_a_wins_on_uniform() {
         QuerySetSpec::uniform_points(),
         QuerySetSpec::uniform_windows(100),
     ] {
-        let gain = lab.gain(DatasetKind::Mainland, a, 0.047, spec);
+        let gain = lab.gain(DatasetKind::Mainland, a, 0.047, spec).unwrap();
         assert!(
             gain > 5.0,
             "A should win on {} (got {gain:.1}%)",
             spec.name()
         );
-        let lru2 = lab.gain(
-            DatasetKind::Mainland,
-            PolicyKind::LruK { k: 2 },
-            0.047,
-            spec,
-        );
+        let lru2 = lab
+            .gain(
+                DatasetKind::Mainland,
+                PolicyKind::LruK { k: 2 },
+                0.047,
+                spec,
+            )
+            .unwrap();
         assert!(
             gain > lru2,
             "A ({gain:.1}%) should beat LRU-2 ({lru2:.1}%) on uniform"
@@ -74,18 +76,22 @@ fn spatial_a_wins_on_uniform() {
 fn spatial_a_collapses_on_intensified() {
     let mut lab = small_lab();
     let spec = QuerySetSpec::intensified(QueryKind::Point);
-    let a = lab.gain(
-        DatasetKind::Mainland,
-        PolicyKind::Spatial(SpatialCriterion::Area),
-        0.047,
-        spec,
-    );
-    let lru2 = lab.gain(
-        DatasetKind::Mainland,
-        PolicyKind::LruK { k: 2 },
-        0.047,
-        spec,
-    );
+    let a = lab
+        .gain(
+            DatasetKind::Mainland,
+            PolicyKind::Spatial(SpatialCriterion::Area),
+            0.047,
+            spec,
+        )
+        .unwrap();
+    let lru2 = lab
+        .gain(
+            DatasetKind::Mainland,
+            PolicyKind::LruK { k: 2 },
+            0.047,
+            spec,
+        )
+        .unwrap();
     assert!(a < 0.0, "A should lose on INT-P (got {a:.1}%)");
     assert!(lru2 > 5.0, "LRU-2 should gain on INT-P (got {lru2:.1}%)");
 }
@@ -108,9 +114,13 @@ fn slru_moderates_spatial_extremes() {
 
     // Where A loses (intensified), both SLRUs must do better than A.
     let spec = QuerySetSpec::intensified(QueryKind::Point);
-    let ga = lab.gain(DatasetKind::Mainland, a, 0.047, spec);
-    let g25 = lab.gain(DatasetKind::Mainland, slru25, 0.047, spec);
-    let g50 = lab.gain(DatasetKind::Mainland, slru50, 0.047, spec);
+    let ga = lab.gain(DatasetKind::Mainland, a, 0.047, spec).unwrap();
+    let g25 = lab
+        .gain(DatasetKind::Mainland, slru25, 0.047, spec)
+        .unwrap();
+    let g50 = lab
+        .gain(DatasetKind::Mainland, slru50, 0.047, spec)
+        .unwrap();
     assert!(
         g25 > ga && g50 > ga,
         "SLRU must soften A's loss: A={ga:.1} 25%={g25:.1} 50%={g50:.1}"
@@ -126,8 +136,10 @@ fn slru_moderates_spatial_extremes() {
 
     // Where A wins big (uniform), SLRU keeps part of the gain.
     let spec = QuerySetSpec::uniform_windows(100);
-    let ga = lab.gain(DatasetKind::Mainland, a, 0.047, spec);
-    let g25 = lab.gain(DatasetKind::Mainland, slru25, 0.047, spec);
+    let ga = lab.gain(DatasetKind::Mainland, a, 0.047, spec).unwrap();
+    let g25 = lab
+        .gain(DatasetKind::Mainland, slru25, 0.047, spec)
+        .unwrap();
     assert!(
         g25 > 0.0 && g25 < ga + 1.0,
         "SLRU shifts A toward LRU: A={ga:.1} 25%={g25:.1}"
@@ -140,24 +152,30 @@ fn slru_moderates_spatial_extremes() {
 fn lru_k_is_insensitive_to_k() {
     let mut lab = small_lab();
     let spec = QuerySetSpec::identical_points();
-    let g2 = lab.gain(
-        DatasetKind::Mainland,
-        PolicyKind::LruK { k: 2 },
-        0.047,
-        spec,
-    );
-    let g3 = lab.gain(
-        DatasetKind::Mainland,
-        PolicyKind::LruK { k: 3 },
-        0.047,
-        spec,
-    );
-    let g5 = lab.gain(
-        DatasetKind::Mainland,
-        PolicyKind::LruK { k: 5 },
-        0.047,
-        spec,
-    );
+    let g2 = lab
+        .gain(
+            DatasetKind::Mainland,
+            PolicyKind::LruK { k: 2 },
+            0.047,
+            spec,
+        )
+        .unwrap();
+    let g3 = lab
+        .gain(
+            DatasetKind::Mainland,
+            PolicyKind::LruK { k: 3 },
+            0.047,
+            spec,
+        )
+        .unwrap();
+    let g5 = lab
+        .gain(
+            DatasetKind::Mainland,
+            PolicyKind::LruK { k: 5 },
+            0.047,
+            spec,
+        )
+        .unwrap();
     assert!((g2 - g3).abs() < 6.0, "LRU-2 {g2:.1} vs LRU-3 {g3:.1}");
     assert!((g2 - g5).abs() < 6.0, "LRU-2 {g2:.1} vs LRU-5 {g5:.1}");
 }
@@ -171,8 +189,10 @@ fn asb_retunes_across_phases() {
         QuerySetSpec::intensified(QueryKind::Window { ex: 33 }),
         QuerySetSpec::uniform_windows(33),
     ];
-    let trace = lab.candidate_trace(DatasetKind::Mainland, 0.047, &specs);
-    let bounds = lab.phase_boundaries(DatasetKind::Mainland, &specs);
+    let trace = lab
+        .candidate_trace(DatasetKind::Mainland, 0.047, &specs)
+        .unwrap();
+    let bounds = lab.phase_boundaries(DatasetKind::Mainland, &specs).unwrap();
     let phase_avg = |range: std::ops::Range<usize>| {
         let slice = &trace[range];
         slice.iter().map(|&(_, s)| s as f64).sum::<f64>() / slice.len() as f64

@@ -1,0 +1,192 @@
+//! Golden-trace regression tests.
+//!
+//! `tests/golden/` holds one small recorded access trace per database plus
+//! `expected.json`, the exact replay outcome of every `(trace, policy)`
+//! pair. Replays are bit-for-bit deterministic, so any drift in the buffer
+//! stack — hit accounting, eviction order, ASB adaptation, the sharded
+//! pool's read path — shows up as an exact-equality failure here.
+//!
+//! To re-bless after an *intentional* behaviour change:
+//!
+//! ```text
+//! ASB_BLESS_GOLDEN=1 cargo test --test golden_trace -- --test-threads 1
+//! ```
+//!
+//! and commit the regenerated files with a note on why the numbers moved.
+
+use asb::buffer::{PolicyKind, SpatialCriterion};
+use asb::exp::Trace;
+use asb::workload::{DatasetKind, QuerySetSpec, Scale};
+use serde::{Deserialize, Serialize};
+use std::path::{Path, PathBuf};
+
+/// Buffer capacity used for every golden replay.
+const CAPACITY: usize = 12;
+/// Recording parameters: seed and query volume of the committed traces.
+const SEED: u64 = 42;
+const QUERIES: usize = 120;
+
+fn golden_dir() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/golden")
+}
+
+fn databases() -> [(&'static str, DatasetKind); 2] {
+    [
+        ("mainland", DatasetKind::Mainland),
+        ("world", DatasetKind::World),
+    ]
+}
+
+fn policies() -> [(&'static str, PolicyKind); 4] {
+    [
+        ("lru", PolicyKind::Lru),
+        ("lru-2", PolicyKind::LruK { k: 2 }),
+        (
+            "slru",
+            PolicyKind::Slru {
+                candidate_fraction: 0.25,
+                criterion: SpatialCriterion::Area,
+            },
+        ),
+        ("asb", PolicyKind::Asb),
+    ]
+}
+
+/// One expected replay outcome, flattened for stable JSON.
+#[derive(Debug, PartialEq, Serialize, Deserialize)]
+struct GoldenRecord {
+    trace: String,
+    policy: String,
+    logical_reads: u64,
+    hits: u64,
+    misses: u64,
+    evictions: u64,
+    physical_reads: u64,
+    random_reads: u64,
+    sequential_reads: u64,
+    /// Final ASB candidate-set size (0 for non-ASB policies).
+    candidate_final: u64,
+}
+
+fn record_of(
+    trace_name: &str,
+    policy_name: &str,
+    trace: &Trace,
+    policy: PolicyKind,
+) -> GoldenRecord {
+    let out = trace
+        .replay_sequential(policy, CAPACITY)
+        .expect("golden replay");
+    GoldenRecord {
+        trace: trace_name.to_string(),
+        policy: policy_name.to_string(),
+        logical_reads: out.stats.logical_reads,
+        hits: out.stats.hits,
+        misses: out.stats.misses,
+        evictions: out.stats.evictions,
+        physical_reads: out.physical_reads,
+        random_reads: out.io.random_reads,
+        sequential_reads: out.io.sequential_reads,
+        candidate_final: out.candidate_trajectory.last().copied().unwrap_or(0) as u64,
+    }
+}
+
+fn blessing() -> bool {
+    std::env::var("ASB_BLESS_GOLDEN").is_ok_and(|v| v == "1")
+}
+
+fn load_trace(name: &str, db: DatasetKind) -> Trace {
+    let path = golden_dir().join(format!("{name}.trace"));
+    if blessing() {
+        let t = Trace::record(
+            db,
+            Scale::Tiny,
+            SEED,
+            QuerySetSpec::uniform_windows(33),
+            QUERIES,
+        )
+        .expect("record golden trace");
+        std::fs::create_dir_all(golden_dir()).expect("golden dir");
+        t.save(&path).expect("write golden trace");
+        return t;
+    }
+    Trace::load(&path).unwrap_or_else(|e| {
+        panic!("{e}\n(run with ASB_BLESS_GOLDEN=1 to regenerate the golden files)")
+    })
+}
+
+/// The committed traces must be exactly what recording produces today:
+/// recording is deterministic, so a re-record equals the checked-in file.
+#[test]
+fn recording_reproduces_the_committed_traces() {
+    if blessing() {
+        return; // load_trace rewrites the files in the other tests
+    }
+    for (name, db) in databases() {
+        let committed = load_trace(name, db);
+        let fresh = Trace::record(
+            db,
+            Scale::Tiny,
+            SEED,
+            QuerySetSpec::uniform_windows(33),
+            QUERIES,
+        )
+        .expect("record");
+        assert_eq!(fresh, committed, "{name}: recording drifted");
+    }
+}
+
+/// Every `(trace, policy)` replay must match the committed expectations
+/// exactly — and the one-shard sharded pool must match the sequential
+/// buffer on the same trace.
+#[test]
+fn replays_match_expected_json() {
+    let expected_path = golden_dir().join("expected.json");
+    let mut actual = Vec::new();
+    for (name, db) in databases() {
+        let trace = load_trace(name, db);
+        for (pname, policy) in policies() {
+            let rec = record_of(name, pname, &trace, policy);
+
+            // Sequential and one-shard sharded replays must agree exactly.
+            let seq = trace.replay_sequential(policy, CAPACITY).expect("replay");
+            let sharded = trace.replay_sharded(policy, CAPACITY, 1).expect("replay");
+            assert_eq!(sharded.stats, seq.stats, "{name}/{pname}: shard drift");
+            assert_eq!(
+                sharded.physical_reads, seq.physical_reads,
+                "{name}/{pname}: shard I/O drift"
+            );
+
+            actual.push(rec);
+        }
+    }
+    if blessing() {
+        let json = serde_json::to_string_pretty(&actual).expect("serialize");
+        std::fs::write(&expected_path, json).expect("write expected.json");
+        return;
+    }
+    let json = std::fs::read_to_string(&expected_path).unwrap_or_else(|e| {
+        panic!(
+            "{}: {e}\n(run with ASB_BLESS_GOLDEN=1 to regenerate)",
+            expected_path.display()
+        )
+    });
+    let expected: Vec<GoldenRecord> = serde_json::from_str(&json).expect("parse expected.json");
+    assert_eq!(
+        actual, expected,
+        "replay outcomes drifted from tests/golden/expected.json"
+    );
+}
+
+/// The golden traces replay identically across repeated runs (no hidden
+/// global state in the buffer stack).
+#[test]
+fn replay_is_idempotent() {
+    let (name, db) = databases()[0];
+    let trace = load_trace(name, db);
+    for (_, policy) in policies() {
+        let a = trace.replay_sequential(policy, CAPACITY).expect("replay");
+        let b = trace.replay_sequential(policy, CAPACITY).expect("replay");
+        assert_eq!(a, b);
+    }
+}

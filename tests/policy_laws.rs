@@ -157,3 +157,115 @@ fn runs_are_deterministic() {
         assert_eq!(a, b, "{policy:?} must be deterministic");
     }
 }
+
+// ---------------------------------------------------------------------------
+// ASB adaptation invariants (paper §4.2), under arbitrary access sequences
+// and under injected faults.
+// ---------------------------------------------------------------------------
+
+/// The paper's sizing rules, recomputed independently of the policy code.
+fn asb_bounds(capacity: usize) -> (usize, usize, usize) {
+    let overflow_cap = ((capacity as f64 * 0.2).round() as usize).min(capacity - 1);
+    let main_cap = capacity - overflow_cap;
+    let step = ((main_cap as f64 * 0.01).round() as usize).max(1);
+    (main_cap, overflow_cap, step)
+}
+
+/// Asserts the per-access ASB invariants over one trace; returns the final
+/// candidate size. `prev` threads the candidate size across calls.
+fn check_asb_invariants(
+    buf: &asb::buffer::BufferManager,
+    capacity: usize,
+    prev: &mut Option<usize>,
+    prev_overflow: &mut Vec<PageId>,
+) -> Result<(), TestCaseError> {
+    let (main_cap, overflow_cap, step) = asb_bounds(capacity);
+    let c = buf.candidate_size().expect("ASB exposes a candidate size");
+    prop_assert!(
+        (1..=main_cap).contains(&c),
+        "candidate size {c} outside [1, {main_cap}]"
+    );
+    if let Some(p) = *prev {
+        let delta = c.abs_diff(p);
+        prop_assert!(
+            delta <= step,
+            "candidate moved by {delta} > step {step} in one access"
+        );
+    }
+    *prev = Some(c);
+
+    let (overflow, cap) = buf.overflow_state().expect("ASB exposes its overflow");
+    prop_assert_eq!(cap, overflow_cap, "overflow capacity drifted");
+    prop_assert!(
+        overflow.len() <= overflow_cap,
+        "overflow holds {} > cap {}",
+        overflow.len(),
+        overflow_cap
+    );
+    // FIFO shape: surviving pages keep their relative order, and pages new
+    // to the overflow only ever appear behind all survivors.
+    let survivors: Vec<PageId> = prev_overflow
+        .iter()
+        .copied()
+        .filter(|id| overflow.contains(id))
+        .collect();
+    prop_assert!(
+        overflow.starts_with(&survivors),
+        "overflow violated FIFO order: {prev_overflow:?} -> {overflow:?}"
+    );
+    *prev_overflow = overflow;
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// The candidate set stays within the paper's bounds and never moves by
+    /// more than one adaptation step per access; the overflow buffer never
+    /// exceeds its 20% capacity and behaves as a FIFO.
+    #[test]
+    fn asb_adaptation_invariants_hold(
+        trace in prop::collection::vec((0usize..40, 0u64..10), 1..400),
+        capacity in 5usize..30,
+    ) {
+        let (mut disk, ids) = build_disk(40);
+        let mut buf = BufferManager::with_policy(PolicyKind::Asb, capacity);
+        let mut prev = None;
+        let mut prev_overflow = Vec::new();
+        for &(slot, q) in &trace {
+            buf.read_through(&mut disk, ids[slot], AccessContext::query(QueryId::new(q)))
+                .expect("read");
+            check_asb_invariants(&buf, capacity, &mut prev, &mut prev_overflow)?;
+        }
+    }
+
+    /// The same invariants hold while the store injects transient faults,
+    /// corruption and latency spikes: robustness must not bend the paper's
+    /// adaptation rules.
+    #[test]
+    fn asb_invariants_survive_injected_faults(
+        trace in prop::collection::vec((0usize..40, 0u64..10), 1..300),
+        capacity in 5usize..30,
+        fault_seed in 0u64..1000,
+    ) {
+        use asb::storage::{FaultConfig, FaultyStore, RetryPolicy, StorageError};
+        let (disk, ids) = build_disk(40);
+        let mut store = FaultyStore::new(disk, FaultConfig::chaos(fault_seed, 0.1));
+        let mut buf = BufferManager::with_policy(PolicyKind::Asb, capacity);
+        buf.set_retry_policy(RetryPolicy {
+            max_attempts: 6,
+            base_backoff_ms: 0.1,
+            backoff_multiplier: 2.0,
+        });
+        let mut prev = None;
+        let mut prev_overflow = Vec::new();
+        for &(slot, q) in &trace {
+            match buf.read_through(&mut store, ids[slot], AccessContext::query(QueryId::new(q))) {
+                Ok(page) => prop_assert!(page.verify_checksum(), "corrupt page served"),
+                Err(StorageError::RetriesExhausted { .. }) => {} // give-up is allowed
+                Err(other) => return Err(TestCaseError::fail(format!("unexpected: {other:?}"))),
+            }
+            check_asb_invariants(&buf, capacity, &mut prev, &mut prev_overflow)?;
+        }
+    }
+}
