@@ -1,7 +1,7 @@
 use crate::policy::{PolicyKind, ReplacementPolicy};
 use asb_storage::{
-    page_checksum, AccessContext, Page, PageId, PageMeta, PageStore, Result, RetryPolicy,
-    StorageError,
+    page_checksum, AccessContext, Lsn, Page, PageId, PageMeta, PageStore, Result, RetryPolicy,
+    SharedWal, StorageError,
 };
 use bytes::Bytes;
 use serde::{Deserialize, Serialize};
@@ -9,10 +9,16 @@ use std::collections::HashMap;
 
 /// Logical access statistics of a [`BufferManager`].
 ///
-/// With the write-through design, `misses` equals the number of physical
-/// disk reads caused through this buffer — the paper's "number of disk
-/// accesses". The robustness counters (`retries`, `corruptions`,
-/// `failed_evictions`, `writebacks`) stay zero on a fault-free store.
+/// The buffer is a write-back cache: reads miss into the store, and
+/// buffered writes ([`BufferManager::write_buffered`]) only mark a frame
+/// dirty, deferring the store write to eviction or flush. On a fault-free
+/// read-only workload `misses` equals the number of physical disk reads
+/// caused through this buffer — the paper's "number of disk accesses" —
+/// but on faulty stores retried fetches re-read without re-counting a
+/// miss, so physical reads can exceed `misses`. The robustness counters
+/// (`retries`, `corruptions`, `failed_evictions`) stay zero on a
+/// fault-free store, and the durability counters (`wal_appends`,
+/// `checkpoints`) stay zero unless a write-ahead log is attached.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct BufferStats {
     /// Total page requests served.
@@ -32,6 +38,10 @@ pub struct BufferStats {
     pub failed_evictions: u64,
     /// Dirty pages successfully written back (evictions and flushes).
     pub writebacks: u64,
+    /// Page images appended to the attached write-ahead log.
+    pub wal_appends: u64,
+    /// Checkpoint records appended to the attached write-ahead log.
+    pub checkpoints: u64,
 }
 
 impl BufferStats {
@@ -58,6 +68,8 @@ impl std::ops::Add for BufferStats {
             corruptions: self.corruptions + rhs.corruptions,
             failed_evictions: self.failed_evictions + rhs.failed_evictions,
             writebacks: self.writebacks + rhs.writebacks,
+            wal_appends: self.wal_appends + rhs.wal_appends,
+            checkpoints: self.checkpoints + rhs.checkpoints,
         }
     }
 }
@@ -134,6 +146,10 @@ struct Frame {
     pins: u32,
     /// The frame holds changes not yet written to the backing store.
     dirty: bool,
+    /// LSN of the oldest WAL image covering unwritten changes of this
+    /// frame; `None` when clean or when no WAL is attached. Checkpoints
+    /// take the minimum over dirty frames as their redo horizon.
+    rec_lsn: Option<Lsn>,
 }
 
 /// A buffer (page cache) of fixed capacity with a pluggable replacement
@@ -142,8 +158,15 @@ struct Frame {
 /// The manager does not own a disk; compose it with any
 /// [`PageStore`] via [`read_through`](BufferManager::read_through) /
 /// [`write_through`](BufferManager::write_through), or wrap the pair in a
-/// [`BufferedStore`]. All writes are write-through: the underlying store is
-/// always current and evictions never perform I/O.
+/// [`BufferedStore`]. Writes come in two flavours:
+/// [`write_through`](BufferManager::write_through) updates the store
+/// immediately, while [`write_buffered`](BufferManager::write_buffered)
+/// only marks the frame dirty and defers the store write to eviction or
+/// [`flush`](BufferManager::flush) (write-back caching). With a
+/// write-ahead log attached ([`attach_wal`](BufferManager::attach_wal)),
+/// every write appends a full-page image to the log *before* the buffer
+/// or store changes, so a crash between dirtying and write-back loses
+/// nothing (see `asb_storage::Wal`).
 ///
 /// ```
 /// use asb_core::{BufferManager, PolicyKind};
@@ -175,6 +198,14 @@ pub struct BufferManager {
     retry: RetryPolicy,
     /// Simulated milliseconds spent backing off before retries.
     backoff_ms: f64,
+    /// Optional write-ahead log making buffered writes durable.
+    wal: Option<SharedWal>,
+    /// Append a checkpoint automatically every N image appends (`None`
+    /// disables). Only meaningful for a buffer owning its WAL exclusively;
+    /// shards of a pool must checkpoint pool-wide instead.
+    checkpoint_interval: Option<u64>,
+    /// Image appends since the last checkpoint (for the auto-interval).
+    appends_since_checkpoint: u64,
 }
 
 impl std::fmt::Debug for BufferManager {
@@ -205,6 +236,9 @@ impl BufferManager {
             tick: 0,
             retry: RetryPolicy::default(),
             backoff_ms: 0.0,
+            wal: None,
+            checkpoint_interval: None,
+            appends_since_checkpoint: 0,
         }
     }
 
@@ -259,6 +293,100 @@ impl BufferManager {
     /// retries (the disk's own timing model does not include these).
     pub fn simulated_backoff_ms(&self) -> f64 {
         self.backoff_ms
+    }
+
+    /// Attaches a write-ahead log: from now on every write (buffered or
+    /// through) appends a full-page image to `wal` before the buffer or
+    /// store changes, making buffered writes crash-durable.
+    ///
+    /// Attach *before* dirtying frames — changes buffered earlier were
+    /// never logged, so no recovery can restore them. The shards of a
+    /// `ShardedBuffer` all share one log (see `ShardedBuffer::attach_wal`).
+    pub fn attach_wal(&mut self, wal: SharedWal) {
+        self.wal = Some(wal);
+    }
+
+    /// Detaches the write-ahead log, returning it. Later writes are no
+    /// longer logged (and thus not crash-durable).
+    pub fn detach_wal(&mut self) -> Option<SharedWal> {
+        self.wal.take()
+    }
+
+    /// The attached write-ahead log, if any.
+    pub fn wal(&self) -> Option<&SharedWal> {
+        self.wal.as_ref()
+    }
+
+    /// Appends a checkpoint automatically after every `interval` image
+    /// appends (`None` disables). Only for a buffer that owns its WAL
+    /// exclusively: a shard of a pool must never checkpoint alone, because
+    /// its local dirty set does not bound the redo work of its siblings.
+    pub fn set_checkpoint_interval(&mut self, interval: Option<u64>) {
+        self.checkpoint_interval = match interval {
+            Some(0) => None,
+            other => other,
+        };
+    }
+
+    /// The minimum `rec_lsn` over dirty frames: the LSN redo must start
+    /// from for this buffer's unwritten changes. `None` when no dirty
+    /// frame carries a logged change.
+    pub fn min_rec_lsn(&self) -> Option<Lsn> {
+        self.frames
+            .values()
+            .filter(|f| f.dirty)
+            .filter_map(|f| f.rec_lsn)
+            .min()
+    }
+
+    /// Appends a fuzzy checkpoint to the attached WAL and prunes log
+    /// segments that no longer bound recovery. The checkpoint does **not**
+    /// flush: it records where redo must start
+    /// ([`min_rec_lsn`](BufferManager::min_rec_lsn), or the log's next LSN
+    /// when nothing is dirty).
+    ///
+    /// Fails with [`StorageError::WalUnavailable`] when no WAL is
+    /// attached.
+    pub fn checkpoint(&mut self) -> Result<Lsn> {
+        self.checkpoint_from(None)
+    }
+
+    /// [`checkpoint`](BufferManager::checkpoint) with an explicit redo
+    /// horizon. A buffer pool passes the minimum `rec_lsn` across **all**
+    /// its shards, since they share one log and one recovery.
+    pub fn checkpoint_from(&mut self, redo_override: Option<Lsn>) -> Result<Lsn> {
+        let wal = self.wal.clone().ok_or(StorageError::WalUnavailable)?;
+        let mut wal = wal.lock();
+        let redo_from = redo_override
+            .or_else(|| self.min_rec_lsn())
+            .unwrap_or_else(|| wal.next_lsn());
+        let lsn = wal.append_checkpoint(redo_from)?;
+        wal.prune_before(redo_from);
+        self.stats.checkpoints += 1;
+        self.appends_since_checkpoint = 0;
+        Ok(lsn)
+    }
+
+    /// Appends `page`'s image to the attached WAL (no-op without one),
+    /// returning the image's LSN.
+    fn wal_append(&mut self, page: &Page) -> Result<Option<Lsn>> {
+        let Some(wal) = self.wal.clone() else {
+            return Ok(None);
+        };
+        let lsn = wal.lock().append_image(page)?;
+        self.stats.wal_appends += 1;
+        self.appends_since_checkpoint += 1;
+        Ok(Some(lsn))
+    }
+
+    /// Runs the auto-interval checkpoint if one is due.
+    fn maybe_auto_checkpoint(&mut self) -> Result<()> {
+        if let Some(interval) = self.checkpoint_interval {
+            if self.wal.is_some() && self.appends_since_checkpoint >= interval {
+                self.checkpoint()?;
+            }
+        }
+        Ok(())
     }
 
     /// Number of resident frames holding changes not yet written back.
@@ -376,7 +504,7 @@ impl BufferManager {
         }
         self.stats.misses += 1;
         let page = self.fetch_with_retry(io, id, ctx)?;
-        self.admit_frame(page.clone(), ctx, false, io)?;
+        self.admit_frame(page.clone(), ctx, false, None, io)?;
         Ok(page)
     }
 
@@ -455,15 +583,18 @@ impl BufferManager {
     }
 
     /// [`write_through`](BufferManager::write_through) via an explicit
-    /// [`StoreIo`].
+    /// [`StoreIo`]. With a WAL attached the page image is logged before
+    /// the store write, so a torn store write is repairable by redo.
     pub fn write_via<IO: StoreIo + ?Sized>(&mut self, io: &mut IO, page: Page) -> Result<()> {
+        self.wal_append(&page)?;
         self.store_with_retry(io, &page)?;
         if let Some(frame) = self.frames.get_mut(&page.id) {
             frame.page = page.clone();
             frame.dirty = false;
+            frame.rec_lsn = None;
             self.policy.on_update(&page);
         }
-        Ok(())
+        self.maybe_auto_checkpoint()
     }
 
     /// Writes a page into the buffer only, deferring the store write to
@@ -477,25 +608,36 @@ impl BufferManager {
     }
 
     /// [`write_buffered`](BufferManager::write_buffered) via an explicit
-    /// [`StoreIo`] (only used if admission must evict).
+    /// [`StoreIo`] (only used if admission must evict). With a WAL
+    /// attached the page image is appended *before* the frame is dirtied
+    /// (WAL-before-write-back): the append is the commit point, and a
+    /// crash any time after it cannot lose the update.
     pub fn write_buffered_via<IO: StoreIo + ?Sized>(
         &mut self,
         io: &mut IO,
         page: Page,
     ) -> Result<()> {
+        let lsn = self.wal_append(&page)?;
         if let Some(frame) = self.frames.get_mut(&page.id) {
             frame.page = page.clone();
             frame.dirty = true;
+            // The oldest unwritten change keeps its LSN: redo must start
+            // there, not at the latest image.
+            frame.rec_lsn = frame.rec_lsn.or(lsn);
             self.policy.on_update(&page);
-            return Ok(());
+            return self.maybe_auto_checkpoint();
         }
         self.tick += 1;
-        self.admit_frame(page, AccessContext::default(), true, io)
+        self.admit_frame(page, AccessContext::default(), true, lsn, io)?;
+        self.maybe_auto_checkpoint()
     }
 
     /// Writes every dirty frame back to the store (in page-id order, for
-    /// determinism), clearing the dirty marks. Transient faults are retried;
-    /// the first permanent failure aborts the flush.
+    /// determinism), clearing the dirty marks. Transient faults are
+    /// retried. A permanent failure does **not** abort the flush: every
+    /// dirty frame is attempted, failed ones stay resident and dirty, and
+    /// the failures surface as one aggregated
+    /// [`StorageError::FlushIncomplete`] naming every failed page.
     pub fn flush<S: PageStore>(&mut self, inner: &mut S) -> Result<()> {
         self.flush_via(inner)
     }
@@ -509,17 +651,27 @@ impl BufferManager {
             .map(|(&id, _)| id)
             .collect();
         dirty.sort_unstable();
+        let mut failures = Vec::new();
         for id in dirty {
             let Some(page) = self.frames.get(&id).map(|f| f.page.clone()) else {
                 continue;
             };
-            self.store_with_retry(io, &page)?;
-            self.stats.writebacks += 1;
-            if let Some(frame) = self.frames.get_mut(&id) {
-                frame.dirty = false;
+            match self.store_with_retry(io, &page) {
+                Ok(()) => {
+                    self.stats.writebacks += 1;
+                    if let Some(frame) = self.frames.get_mut(&id) {
+                        frame.dirty = false;
+                        frame.rec_lsn = None;
+                    }
+                }
+                Err(e) => failures.push((id, Box::new(e))),
             }
         }
-        Ok(())
+        if failures.is_empty() {
+            Ok(())
+        } else {
+            Err(StorageError::FlushIncomplete { failures })
+        }
     }
 
     /// Allocates a page in `inner` and admits it to the buffer (a freshly
@@ -533,7 +685,7 @@ impl BufferManager {
         let id = inner.allocate(meta, payload.clone())?;
         let page = Page::new(id, meta, payload)?;
         self.tick += 1;
-        self.admit_frame(page, AccessContext::default(), false, inner)?;
+        self.admit_frame(page, AccessContext::default(), false, None, inner)?;
         Ok(id)
     }
 
@@ -560,7 +712,7 @@ impl BufferManager {
         io: &mut IO,
     ) -> Result<()> {
         self.tick += 1;
-        self.admit_frame(page, AccessContext::default(), false, io)
+        self.admit_frame(page, AccessContext::default(), false, None, io)
     }
 
     /// Frees a page in `inner` and drops any buffered copy.
@@ -620,6 +772,7 @@ impl BufferManager {
         page: Page,
         ctx: AccessContext,
         dirty: bool,
+        rec_lsn: Option<Lsn>,
         io: &mut IO,
     ) -> Result<()> {
         if self.frames.len() >= self.capacity {
@@ -632,6 +785,7 @@ impl BufferManager {
                 page,
                 pins: 0,
                 dirty,
+                rec_lsn,
             },
         );
         Ok(())
@@ -747,6 +901,7 @@ mod tests {
     use super::*;
     use asb_geom::SpatialStats;
     use asb_storage::DiskManager;
+    use std::sync::Arc;
 
     fn meta() -> PageMeta {
         PageMeta::data(SpatialStats::EMPTY)
@@ -1035,5 +1190,178 @@ mod tests {
     #[should_panic(expected = "capacity")]
     fn zero_capacity_panics() {
         let _ = BufferManager::with_policy(PolicyKind::Lru, 0);
+    }
+
+    #[test]
+    fn flush_attempts_every_frame_and_aggregates_failures() {
+        use asb_storage::{FaultConfig, FaultyStore};
+        let (disk, mut buf, ids) = setup(8, 4);
+        let mut store = FaultyStore::new(disk, FaultConfig::reliable());
+        for (i, &id) in ids.iter().enumerate() {
+            let page = Page::new(id, meta(), Bytes::from(vec![0xf0 + i as u8])).unwrap();
+            buf.write_buffered(&mut store, page).unwrap();
+        }
+        store.mark_permanent(ids[1]);
+        store.mark_permanent(ids[2]);
+        let err = buf.flush(&mut store).unwrap_err();
+        let StorageError::FlushIncomplete { failures } = err else {
+            panic!("expected FlushIncomplete, got {err:?}");
+        };
+        let failed: Vec<PageId> = failures.iter().map(|(id, _)| *id).collect();
+        assert_eq!(failed, vec![ids[1], ids[2]], "both failed pages named");
+        // The healthy frames were written back despite the failures...
+        assert_eq!(buf.stats().writebacks, 2);
+        assert_eq!(
+            store.inner().peek(ids[0]).unwrap().payload.as_ref(),
+            &[0xf0]
+        );
+        assert_eq!(
+            store.inner().peek(ids[3]).unwrap().payload.as_ref(),
+            &[0xf3]
+        );
+        // ...and the failed ones stay resident and dirty for a later retry.
+        assert_eq!(buf.dirty_count(), 2);
+        store.heal(ids[1]);
+        store.heal(ids[2]);
+        buf.flush(&mut store).unwrap();
+        assert_eq!(buf.dirty_count(), 0);
+        assert_eq!(
+            store.inner().peek(ids[2]).unwrap().payload.as_ref(),
+            &[0xf2]
+        );
+    }
+
+    #[test]
+    fn buffered_writes_append_to_the_wal_before_the_store_changes() {
+        use asb_storage::{Wal, WalConfig, WalRecord};
+        let (mut disk, mut buf, ids) = setup(4, 2);
+        let wal = Wal::shared(WalConfig::default());
+        buf.attach_wal(wal.clone());
+        let page = Page::new(ids[0], meta(), Bytes::from_static(b"logged")).unwrap();
+        buf.write_buffered(&mut disk, page.clone()).unwrap();
+        // The image is durable in the log while the store is still stale.
+        assert_ne!(disk.peek(ids[0]).unwrap().payload.as_ref(), b"logged");
+        let (records, torn) = wal.lock().scan();
+        assert_eq!(torn, 0);
+        assert_eq!(
+            records,
+            vec![WalRecord::Image {
+                lsn: asb_storage::Lsn(0),
+                page
+            }]
+        );
+        assert_eq!(buf.stats().wal_appends, 1);
+        assert_eq!(buf.min_rec_lsn(), Some(asb_storage::Lsn(0)));
+        // Write-back clears the redo horizon.
+        buf.flush(&mut disk).unwrap();
+        assert_eq!(buf.min_rec_lsn(), None);
+    }
+
+    #[test]
+    fn rec_lsn_keeps_the_oldest_unwritten_image() {
+        use asb_storage::{Wal, WalConfig};
+        let (mut disk, mut buf, ids) = setup(4, 1);
+        buf.attach_wal(Wal::shared(WalConfig::default()));
+        for round in 0..3u8 {
+            let page = Page::new(ids[0], meta(), Bytes::from(vec![round])).unwrap();
+            buf.write_buffered(&mut disk, page).unwrap();
+        }
+        // Three images logged, but redo must start at the first one.
+        assert_eq!(buf.stats().wal_appends, 3);
+        assert_eq!(buf.min_rec_lsn(), Some(asb_storage::Lsn(0)));
+    }
+
+    #[test]
+    fn checkpoint_records_the_dirty_horizon_and_counts() {
+        use asb_storage::{Wal, WalConfig, WalRecord};
+        let (mut disk, mut buf, ids) = setup(4, 2);
+        let wal = Wal::shared(WalConfig::default());
+        buf.attach_wal(wal.clone());
+        // Nothing dirty: the checkpoint's horizon is the log head.
+        let first = buf.checkpoint().unwrap();
+        buf.write_buffered(
+            &mut disk,
+            Page::new(ids[0], meta(), Bytes::from_static(b"a")).unwrap(),
+        )
+        .unwrap();
+        let second = buf.checkpoint().unwrap();
+        let (records, _) = wal.lock().scan();
+        assert_eq!(
+            records[0],
+            WalRecord::Checkpoint {
+                lsn: first,
+                redo_from: asb_storage::Lsn(0)
+            },
+            "an all-clean checkpoint's horizon is the log head"
+        );
+        assert_eq!(
+            records[2],
+            WalRecord::Checkpoint {
+                lsn: second,
+                redo_from: asb_storage::Lsn(1)
+            },
+            "a dirty frame pins the horizon at its rec_lsn"
+        );
+        assert_eq!(buf.stats().checkpoints, 2);
+    }
+
+    #[test]
+    fn checkpoint_without_wal_is_a_typed_error() {
+        let (_, mut buf, _) = setup(2, 0);
+        assert_eq!(buf.checkpoint().unwrap_err(), StorageError::WalUnavailable);
+    }
+
+    #[test]
+    fn auto_checkpoint_interval_fires_every_n_appends() {
+        use asb_storage::{Wal, WalConfig};
+        let (mut disk, mut buf, ids) = setup(8, 4);
+        buf.attach_wal(Wal::shared(WalConfig::default()));
+        buf.set_checkpoint_interval(Some(3));
+        for round in 0..9u8 {
+            let id = ids[round as usize % ids.len()];
+            let page = Page::new(id, meta(), Bytes::from(vec![round])).unwrap();
+            buf.write_buffered(&mut disk, page).unwrap();
+        }
+        assert_eq!(buf.stats().wal_appends, 9);
+        assert_eq!(buf.stats().checkpoints, 3);
+        // Interval zero disables.
+        buf.set_checkpoint_interval(Some(0));
+        for round in 0..4u8 {
+            let page = Page::new(ids[0], meta(), Bytes::from(vec![round])).unwrap();
+            buf.write_buffered(&mut disk, page).unwrap();
+        }
+        assert_eq!(buf.stats().checkpoints, 3);
+    }
+
+    #[test]
+    fn write_through_logs_an_image_for_torn_write_repair() {
+        use asb_storage::{Wal, WalConfig};
+        let (mut disk, mut buf, ids) = setup(4, 1);
+        let wal = Wal::shared(WalConfig::default());
+        buf.attach_wal(wal.clone());
+        let page = Page::new(ids[0], meta(), Bytes::from_static(b"through")).unwrap();
+        buf.write_through(&mut disk, page).unwrap();
+        assert_eq!(buf.stats().wal_appends, 1);
+        assert_eq!(wal.lock().stats().image_appends, 1);
+        assert_eq!(disk.peek(ids[0]).unwrap().payload.as_ref(), b"through");
+    }
+
+    #[test]
+    fn detach_wal_stops_logging() {
+        use asb_storage::{Wal, WalConfig};
+        let (mut disk, mut buf, ids) = setup(4, 1);
+        let wal = Wal::shared(WalConfig::default());
+        buf.attach_wal(wal.clone());
+        assert!(buf.wal().is_some());
+        let detached = buf.detach_wal().expect("wal was attached");
+        assert!(Arc::ptr_eq(&detached, &wal));
+        assert!(buf.wal().is_none());
+        buf.write_buffered(
+            &mut disk,
+            Page::new(ids[0], meta(), Bytes::from_static(b"x")).unwrap(),
+        )
+        .unwrap();
+        assert_eq!(buf.stats().wal_appends, 0);
+        assert_eq!(wal.lock().len_bytes(), 0);
     }
 }

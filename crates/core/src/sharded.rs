@@ -22,14 +22,18 @@
 //! # Lock order
 //!
 //! `shard mutex → store lock`, everywhere. A thread never holds two shard
-//! locks, and allocation is two-phase (store write lock to obtain the id,
-//! release, then shard lock to admit), so no cycle exists.
+//! locks — with one exception: [`ShardedBuffer::checkpoint`] locks *all*
+//! shards in ascending index order (a fixed total order, so no cycle) to
+//! take a consistent pool-wide dirty snapshot. Allocation is two-phase
+//! (store write lock to obtain the id, release, then shard lock to
+//! admit), so no cycle exists. The shared WAL mutex is only ever taken
+//! while holding a shard lock and is never held across a store operation.
 
 use crate::manager::{BufferManager, BufferStats, StoreIo};
 use crate::policy::PolicyKind;
 use asb_storage::{
-    AccessContext, ConcurrentPageStore, IoStats, Page, PageId, PageMeta, PageStore, Result,
-    RetryPolicy,
+    AccessContext, ConcurrentPageStore, IoStats, Lsn, Page, PageId, PageMeta, PageStore, Result,
+    RetryPolicy, SharedWal, StorageError,
 };
 use bytes::Bytes;
 use parking_lot::{Mutex, RwLock};
@@ -190,12 +194,53 @@ impl<S: ConcurrentPageStore> ShardedBuffer<S> {
         shard.write_buffered_via(&mut PoolIo(&self.inner.store), page)
     }
 
-    /// Writes every dirty frame in every shard back to the store.
+    /// Writes every dirty frame in every shard back to the store. Every
+    /// shard is attempted even if an earlier one fails; per-page failures
+    /// are aggregated across shards into one
+    /// [`StorageError::FlushIncomplete`], and failed frames stay resident
+    /// and dirty in their shard.
     pub fn flush(&self) -> Result<()> {
+        let mut failures = Vec::new();
         for shard in &self.inner.shards {
-            shard.lock().flush_via(&mut PoolIo(&self.inner.store))?;
+            match shard.lock().flush_via(&mut PoolIo(&self.inner.store)) {
+                Ok(()) => {}
+                Err(StorageError::FlushIncomplete { failures: f }) => failures.extend(f),
+                Err(e) => return Err(e),
+            }
         }
-        Ok(())
+        if failures.is_empty() {
+            Ok(())
+        } else {
+            Err(StorageError::FlushIncomplete { failures })
+        }
+    }
+
+    /// Attaches one shared write-ahead log to every shard: all buffered
+    /// writes across the pool append to the same log, forming one global
+    /// LSN sequence (see `BufferManager::attach_wal`).
+    ///
+    /// Do **not** enable per-shard auto-checkpointing on a pool — a shard's
+    /// local dirty set does not bound its siblings' redo work. Use
+    /// [`checkpoint`](ShardedBuffer::checkpoint), which snapshots all
+    /// shards.
+    pub fn attach_wal(&self, wal: SharedWal) {
+        for shard in &self.inner.shards {
+            shard.lock().attach_wal(wal.clone());
+        }
+    }
+
+    /// Appends one pool-wide fuzzy checkpoint to the shared WAL.
+    ///
+    /// All shard locks are taken in ascending index order (the one place
+    /// the pool holds more than one shard lock — a fixed total order, so
+    /// deadlock-free) to compute the minimum `rec_lsn` over *every* dirty
+    /// frame in the pool; the checkpoint record is appended through shard
+    /// 0 while the snapshot is still held, so no write can slip under the
+    /// recorded horizon.
+    pub fn checkpoint(&self) -> Result<Lsn> {
+        let mut guards: Vec<_> = self.inner.shards.iter().map(|s| s.lock()).collect();
+        let redo = guards.iter().filter_map(|g| g.min_rec_lsn()).min();
+        guards[0].checkpoint_from(redo)
     }
 
     /// Number of dirty frames across all shards.
@@ -517,6 +562,90 @@ mod tests {
         assert_eq!(pool.resident(), 0);
         assert_eq!(pool.stats(), BufferStats::default());
         assert_eq!(pool.io_stats(), IoStats::default());
+    }
+
+    #[test]
+    fn pool_flush_aggregates_failures_across_shards() {
+        use asb_storage::{FaultConfig, FaultyStore};
+        let (disk, ids) = disk_with_pages(16);
+        let store = FaultyStore::new(disk, FaultConfig::reliable());
+        let pool = ShardedBuffer::new(store, PolicyKind::Lru, 16, 4);
+        for (i, &id) in ids.iter().enumerate() {
+            pool.write_buffered(Page::new(id, meta(), Bytes::from(vec![i as u8])).unwrap())
+                .unwrap();
+        }
+        // Fail two pages routed to different shards.
+        let (a, b) = {
+            let mut picked: Vec<PageId> = Vec::new();
+            for &id in &ids {
+                if picked
+                    .iter()
+                    .all(|&p| pool.shard_of(p) != pool.shard_of(id))
+                {
+                    picked.push(id);
+                }
+                if picked.len() == 2 {
+                    break;
+                }
+            }
+            (picked[0], picked[1])
+        };
+        pool.with_store(|s| {
+            s.mark_permanent(a);
+            s.mark_permanent(b);
+        });
+        let err = pool.flush().unwrap_err();
+        let StorageError::FlushIncomplete { failures } = err else {
+            panic!("expected FlushIncomplete, got {err:?}");
+        };
+        let mut failed: Vec<PageId> = failures.iter().map(|(id, _)| *id).collect();
+        failed.sort_unstable();
+        let mut expected = vec![a, b];
+        expected.sort_unstable();
+        assert_eq!(failed, expected, "failures from every shard are collected");
+        assert_eq!(pool.dirty_count(), 2);
+        // Every healthy page reached the store despite the failing shards.
+        pool.with_store(|s| {
+            for (i, &id) in ids.iter().enumerate() {
+                if id != a && id != b {
+                    assert_eq!(s.inner().peek(id).unwrap().payload.as_ref(), &[i as u8]);
+                }
+            }
+        });
+    }
+
+    #[test]
+    fn pool_checkpoint_covers_every_shards_dirty_frames() {
+        use asb_storage::{Wal, WalConfig, WalRecord};
+        let (disk, ids) = disk_with_pages(16);
+        let pool = ShardedBuffer::new(disk, PolicyKind::Lru, 16, 4);
+        let wal = Wal::shared(WalConfig::default());
+        pool.attach_wal(wal.clone());
+        for (i, &id) in ids.iter().enumerate() {
+            pool.write_buffered(Page::new(id, meta(), Bytes::from(vec![i as u8])).unwrap())
+                .unwrap();
+        }
+        let ckpt = pool.checkpoint().unwrap();
+        let (records, _) = wal.lock().scan();
+        let Some(WalRecord::Checkpoint { lsn, redo_from }) = records.last() else {
+            panic!("checkpoint record must be last");
+        };
+        assert_eq!(*lsn, ckpt);
+        assert_eq!(
+            *redo_from,
+            Lsn(0),
+            "the horizon is the pool-wide oldest dirty image, not one shard's"
+        );
+        assert_eq!(pool.stats().checkpoints, 1);
+        assert_eq!(pool.stats().wal_appends, ids.len() as u64);
+        // After a full flush the next checkpoint points past the log head.
+        pool.flush().unwrap();
+        pool.checkpoint().unwrap();
+        let (records, _) = wal.lock().scan();
+        let Some(WalRecord::Checkpoint { redo_from, .. }) = records.last() else {
+            panic!("checkpoint record must be last");
+        };
+        assert_eq!(redo_from.0, ids.len() as u64 + 1);
     }
 
     #[test]

@@ -25,6 +25,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod crash;
 mod ext;
 mod figures;
 mod lab;
@@ -32,6 +33,7 @@ pub mod parallel;
 mod report;
 mod trace;
 
+pub use crash::{crash_sweep, CrashConfig, CrashDivergence, CrashSweepReport};
 pub use ext::{ext_cross_sam, ext_moving_objects, ext_object_pages, extension, EXTENSIONS};
 pub use figures::{all_figures, figure, FigureConfig, FIGURE_IDS};
 pub use lab::{Lab, RunResult, BUFFER_FRACS, LARGEST_BUFFER_FRAC};

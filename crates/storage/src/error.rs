@@ -56,6 +56,21 @@ pub enum StorageError {
     /// A dirty page had to be evicted on a path with no write access to the
     /// backing store (e.g. a fetch-only read path).
     WritebackUnavailable(PageId),
+    /// The simulated process was killed at an injected crash point. Every
+    /// subsequent operation on the crashed store (or its write-ahead log)
+    /// reports this error; only durable state — the disk image and the log
+    /// bytes written so far — survives for recovery.
+    Crashed,
+    /// An operation required an attached write-ahead log, but the buffer
+    /// has none (see `BufferManager::attach_wal` in `asb-core`).
+    WalUnavailable,
+    /// A flush attempted every dirty frame, but one or more write-backs
+    /// failed permanently. The listed pages stay resident and dirty; all
+    /// other dirty frames were written back successfully.
+    FlushIncomplete {
+        /// `(page, error)` for every frame whose write-back failed.
+        failures: Vec<(PageId, Box<StorageError>)>,
+    },
 }
 
 impl StorageError {
@@ -114,6 +129,22 @@ impl std::fmt::Display for StorageError {
                 f,
                 "dirty page {id} needs a write-back but this path has no store write access"
             ),
+            StorageError::Crashed => {
+                write!(
+                    f,
+                    "simulated process kill: the store is no longer reachable"
+                )
+            }
+            StorageError::WalUnavailable => {
+                write!(f, "operation requires an attached write-ahead log")
+            }
+            StorageError::FlushIncomplete { failures } => {
+                write!(f, "flush left {} dirty frame(s) behind:", failures.len())?;
+                for (id, err) in failures {
+                    write!(f, " [{id}: {err}]")?;
+                }
+                Ok(())
+            }
         }
     }
 }
@@ -168,6 +199,32 @@ mod tests {
         }
         .is_transient());
         assert!(!StorageError::WritebackUnavailable(id).is_transient());
+        assert!(!StorageError::Crashed.is_transient());
+        assert!(!StorageError::WalUnavailable.is_transient());
+        assert!(!StorageError::FlushIncomplete {
+            failures: vec![(id, Box::new(StorageError::DeviceFailed(id)))]
+        }
+        .is_transient());
+    }
+
+    #[test]
+    fn flush_incomplete_names_every_failed_page() {
+        let err = StorageError::FlushIncomplete {
+            failures: vec![
+                (
+                    PageId::new(4),
+                    Box::new(StorageError::DeviceFailed(PageId::new(4))),
+                ),
+                (
+                    PageId::new(9),
+                    Box::new(StorageError::TransientWrite(PageId::new(9))),
+                ),
+            ],
+        };
+        let msg = err.to_string();
+        assert!(msg.contains("2 dirty frame(s)"));
+        assert!(msg.contains("P4"));
+        assert!(msg.contains("P9"));
     }
 
     #[test]

@@ -29,6 +29,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod crash;
 mod disk;
 mod error;
 mod fault;
@@ -37,7 +38,11 @@ mod page;
 mod recording;
 mod retry;
 mod store;
+mod wal;
 
+pub use crash::{
+    torn_page, CrashClock, CrashEvent, CrashMode, CrashOp, CrashPlan, CrashableStore, WriteFate,
+};
 pub use disk::{DiskManager, DiskProfile, IoStats};
 pub use error::StorageError;
 pub use fault::{FaultConfig, FaultStats, FaultyStore};
@@ -46,6 +51,7 @@ pub use page::{page_checksum, Page, PageId, PageMeta, PageType, PAGE_HEADER_SIZE
 pub use recording::RecordingStore;
 pub use retry::RetryPolicy;
 pub use store::{AccessContext, ConcurrentPageStore, PageStore, QueryId};
+pub use wal::{Lsn, RecoveryReport, SharedWal, Wal, WalConfig, WalRecord, WalStats};
 
 /// Convenience alias used across the workspace.
 pub type Result<T> = std::result::Result<T, StorageError>;

@@ -1,0 +1,110 @@
+//! `RecordingStore` behaviour: toggling, draining, and the placement
+//! rule its module docs prescribe — the recorder sits *below* the index
+//! and *above* the disk, never above a buffer, so the log captures the
+//! full logical access sequence rather than only the buffer's misses.
+
+use asb::buffer::{BufferManager, PolicyKind};
+use asb::geom::{Rect, SpatialStats};
+use asb::storage::{
+    AccessContext, DiskManager, PageId, PageMeta, PageStore, QueryId, RecordingStore,
+};
+use bytes::Bytes;
+
+fn build_disk(pages: u64) -> (DiskManager, Vec<PageId>) {
+    let mut disk = DiskManager::new();
+    let ids = (0..pages)
+        .map(|i| {
+            let r = Rect::new(0.0, 0.0, (i % 5) as f64 + 0.5, (i % 3) as f64 + 0.5);
+            disk.allocate(
+                PageMeta::data(SpatialStats::from_rects(&[r])),
+                Bytes::from(vec![i as u8; 16]),
+            )
+            .expect("allocate")
+        })
+        .collect();
+    (disk, ids)
+}
+
+fn ctx(q: u64) -> AccessContext {
+    AccessContext::query(QueryId::new(q))
+}
+
+/// The recording toggle brackets the workload of interest: reads made
+/// while recording is off (bulk load, warm-up) never enter the log, and
+/// re-enabling resumes logging without losing what came before.
+#[test]
+fn toggling_brackets_the_recorded_window() {
+    let (disk, ids) = build_disk(6);
+    let mut store = RecordingStore::new(disk);
+    assert!(store.is_recording(), "recording starts enabled");
+
+    store.set_recording(false);
+    for (i, &id) in ids.iter().enumerate() {
+        store.read(id, ctx(i as u64)).expect("warm-up read");
+    }
+    assert_eq!(store.log_len(), 0, "warm-up reads are not logged");
+
+    store.set_recording(true);
+    store.read(ids[2], ctx(100)).expect("read");
+    store.set_recording(false);
+    store.read(ids[3], ctx(101)).expect("read");
+    store.set_recording(true);
+    store.read(ids[4], ctx(102)).expect("read");
+
+    let log = store.take_log();
+    assert_eq!(
+        log,
+        vec![(ids[2], QueryId::new(100)), (ids[4], QueryId::new(102)),],
+        "only reads inside the recording window appear, in order"
+    );
+}
+
+/// `take_log` drains: two drains never return the same access twice, so
+/// a long run can be captured in chunks.
+#[test]
+fn draining_the_log_captures_in_chunks() {
+    let (disk, ids) = build_disk(4);
+    let mut store = RecordingStore::new(disk);
+    store.read(ids[0], ctx(0)).expect("read");
+    store.read(ids[1], ctx(1)).expect("read");
+    let first = store.take_log();
+    assert_eq!(first.len(), 2);
+    assert_eq!(store.log_len(), 0, "the drain empties the log");
+
+    store.read(ids[2], ctx(2)).expect("read");
+    let second = store.take_log();
+    assert_eq!(second, vec![(ids[2], QueryId::new(2))]);
+    assert!(store.take_log().is_empty(), "nothing is returned twice");
+}
+
+/// Placement matters: a recorder *below* a buffer sees only the misses,
+/// which is exactly why traces are recorded unbuffered. This test pins
+/// the failure mode the module docs warn about — re-reading a resident
+/// page leaves no trace in an under-buffer log.
+#[test]
+fn a_recorder_below_a_buffer_sees_only_misses() {
+    let (disk, ids) = build_disk(8);
+    let mut store = RecordingStore::new(disk);
+    let mut buf = BufferManager::with_policy(PolicyKind::Lru, 4);
+
+    // Touch two pages, then re-touch them while still resident.
+    for (q, &id) in [ids[0], ids[1], ids[0], ids[1], ids[0]].iter().enumerate() {
+        buf.read_through(&mut store, id, ctx(q as u64))
+            .expect("read");
+    }
+    let stats = buf.stats();
+    assert_eq!(stats.logical_reads, 5);
+    assert_eq!(stats.misses, 2);
+
+    let log = store.take_log();
+    assert_eq!(
+        log.len() as u64,
+        stats.misses,
+        "the under-buffer recorder logged only the physical reads"
+    );
+    assert_eq!(
+        log.iter().map(|(id, _)| *id).collect::<Vec<_>>(),
+        vec![ids[0], ids[1]],
+        "hits left no trace — 3 of 5 logical accesses are missing"
+    );
+}
