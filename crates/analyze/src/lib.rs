@@ -1,0 +1,952 @@
+//! `asb-analyze` — workspace invariant lints.
+//!
+//! A dependency-free, source-level lint pass enforcing repo-specific rules
+//! that clippy cannot express (see [`RULES`] for the catalog). The design
+//! trades parsing fidelity for zero dependencies: a line-oriented scanner
+//! with a comment/string stripper and a brace-depth tracker is enough for
+//! every rule here, because the rules target *tokens that should not appear
+//! at all* (outside justified spots) rather than deep syntactic structure.
+//!
+//! ## Anatomy of a rule
+//!
+//! Each rule implements one check over a [`PreparedFile`]: the file split
+//! into [`Line`]s, each carrying the code text with string/char literals
+//! blanked and comments removed, the comment text itself (rules look for
+//! justification markers there), and whether the line sits inside a
+//! `#[cfg(test)]` region. Violations carry `file:line` and a message; the
+//! driver subtracts the allowlist (`crates/analyze/allowlist.txt`) and the
+//! remainder is fatal.
+//!
+//! Adding a rule: add a variant to [`RULES`], implement its check in
+//! [`check_file`], document it in `DESIGN.md` §11, and give it an `explain`
+//! entry — the `explain` text is the contract reviewers hold the rule to.
+
+use std::fmt;
+use std::path::{Path, PathBuf};
+
+/// Identifier, summary and rationale of one lint rule.
+pub struct Rule {
+    /// Stable id used in diagnostics and the allowlist (e.g. `no-panic`).
+    pub id: &'static str,
+    /// One-line summary shown by `list`.
+    pub summary: &'static str,
+    /// Full rationale shown by `explain`.
+    pub explain: &'static str,
+}
+
+/// The rule catalog.
+pub const RULES: &[Rule] = &[
+    Rule {
+        id: "no-panic",
+        summary: "no unwrap()/expect()/panic! in asb-core and asb-storage non-test code",
+        explain: "\
+Buffer and storage code sits under every index and experiment; a panic
+there takes down the whole process where a typed StorageError would have
+been retried, surfaced, or measured. Non-test code in crates/core and
+crates/storage must return typed errors instead of calling .unwrap(),
+.expect(), panic!, unreachable!, todo! or unimplemented!.
+
+A genuinely unreachable expect is allowed when the invariant that makes it
+unreachable is written down: put a `// invariant: ...` comment on the same
+line or the line above, stating *why* the failure cannot happen (not just
+that it doesn't). assert!/debug_assert! are out of scope: they check caller
+contracts, and turning them into Results would hide caller bugs.",
+    },
+    Rule {
+        id: "sync-facade",
+        summary: "no direct parking_lot/std::sync primitive use outside the sync facade",
+        explain: "\
+All locks and atomics must come from the sync facade (asb_storage::sync,
+re-exported as asb_core::sync). The facade compiles to the parking_lot shim
+normally and to the deterministic scheduler under --cfg asb_schedule; a
+Mutex constructed directly from parking_lot or std::sync is invisible to
+the model checker, so the interleaving suite would silently not explore
+it. std::sync::Arc, mpsc and PoisonError are fine (they are not schedule
+points); the facade itself and shims/ are exempt by construction.",
+    },
+    Rule {
+        id: "relaxed-ok",
+        summary: "every Ordering::Relaxed needs a `// relaxed-ok:` justification",
+        explain: "\
+Relaxed atomics are correct only when the value is independent of all other
+memory (a lone counter or flag) — and that argument lives in the head of
+whoever wrote it unless it is written down. Each use of Ordering::Relaxed
+must carry a `// relaxed-ok: ...` comment on the same line or the line
+above stating why no ordering is needed. If the justification feels hard
+to write, the ordering is probably wrong: use Acquire/Release/SeqCst.",
+    },
+    Rule {
+        id: "wal-order",
+        summary: "WAL append must precede store write within a function that does both",
+        explain: "\
+The crash-consistency contract is write-ahead logging: a page image reaches
+the log before the store write that makes it durable, so a crash between
+the two is always recoverable. Within any single non-test function body
+that both appends to the WAL (wal_append/append_image) and writes the
+store (store_with_retry/io.store/store.write), the first WAL call must
+appear before the first store call in source order. This is a source-order
+heuristic, not a data-flow proof — the interleaving suite's WalOrderProbe
+checks the runtime property; this rule catches the obvious regression of
+reordering the calls in a refactor.",
+    },
+    Rule {
+        id: "wall-clock",
+        summary: "no Instant::now()/SystemTime outside the clock abstraction",
+        explain: "\
+Trace replay and the fault/crash harnesses reproduce runs bit-for-bit only
+if nothing in the measured path reads the wall clock: the disk model keeps
+*simulated* time precisely so results are machine-independent. Instant::now
+and SystemTime are banned outside the explicitly allowlisted measurement
+binaries (repro/probe report real elapsed time alongside simulated time,
+which is their job). If code needs time, it needs the simulated clock.",
+    },
+];
+
+/// Look up a rule by id.
+pub fn rule(id: &str) -> Option<&'static Rule> {
+    RULES.iter().find(|r| r.id == id)
+}
+
+/// One lint finding.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Violation {
+    /// Workspace-relative path of the offending file.
+    pub file: PathBuf,
+    /// 1-based line number.
+    pub line: usize,
+    /// Rule id (see [`RULES`]).
+    pub rule: &'static str,
+    /// Human-readable description of the finding.
+    pub message: String,
+    /// Whether an allowlist entry covered it.
+    pub allowed: bool,
+}
+
+impl fmt::Display for Violation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:{}: [{}] {}",
+            self.file.display(),
+            self.line,
+            self.rule,
+            self.message
+        )
+    }
+}
+
+/// A source line after preprocessing.
+#[derive(Debug, Default, Clone)]
+struct Line {
+    /// Code with comments removed and string/char contents blanked.
+    code: String,
+    /// Concatenated comment text of the line (line + block comments).
+    comment: String,
+    /// Inside a `#[cfg(test)]` item (module or function).
+    in_test: bool,
+}
+
+/// A file preprocessed for linting.
+struct PreparedFile {
+    rel_path: PathBuf,
+    lines: Vec<Line>,
+}
+
+/// Splits `source` into [`Line`]s: a small state machine over the raw text
+/// that strips comments (tracking nesting of `/* */`), blanks the contents
+/// of string/char literals (so tokens inside literals never match), and
+/// tags `#[cfg(test)]` regions by tracking the brace depth of the item the
+/// attribute applies to.
+fn prepare(source: &str) -> Vec<Line> {
+    #[derive(PartialEq)]
+    enum Mode {
+        Code,
+        LineComment,
+        BlockComment(u32),
+        Str,
+        RawStr(u32),
+        Char,
+    }
+    let mut mode = Mode::Code;
+    let mut lines: Vec<Line> = Vec::new();
+    let mut cur = Line::default();
+
+    // cfg(test) tracking: when a `#[cfg(test)]` attribute is pending, the
+    // next `{` at depth 0 of the pending item opens a test region lasting
+    // until its matching `}`.
+    let mut depth: i64 = 0;
+    let mut test_regions: Vec<i64> = Vec::new(); // depths at which a test region opened
+    let mut pending_test_attr = false;
+
+    let chars: Vec<char> = source.chars().collect();
+    let mut i = 0;
+    while i < chars.len() {
+        let c = chars[i];
+        let next = chars.get(i + 1).copied();
+        match mode {
+            Mode::Code => match c {
+                '/' if next == Some('/') => {
+                    mode = Mode::LineComment;
+                    i += 2;
+                    continue;
+                }
+                '/' if next == Some('*') => {
+                    mode = Mode::BlockComment(1);
+                    i += 2;
+                    continue;
+                }
+                '"' => {
+                    // Raw string? Look back for r/br with hashes.
+                    cur.code.push('"');
+                    mode = Mode::Str;
+                }
+                'r' | 'b' => {
+                    // Possible raw string start: r", r#", br", b"...
+                    let mut j = i;
+                    if chars[j] == 'b' && chars.get(j + 1) == Some(&'r') {
+                        j += 1;
+                    }
+                    if chars[j] == 'r' {
+                        let mut hashes = 0u32;
+                        let mut k = j + 1;
+                        while chars.get(k) == Some(&'#') {
+                            hashes += 1;
+                            k += 1;
+                        }
+                        if chars.get(k) == Some(&'"') {
+                            for _ in i..=k {
+                                cur.code.push('_');
+                            }
+                            mode = Mode::RawStr(hashes);
+                            i = k + 1;
+                            continue;
+                        }
+                    }
+                    if c == 'b' && next == Some('"') {
+                        cur.code.push_str("__");
+                        mode = Mode::Str;
+                        i += 2;
+                        continue;
+                    }
+                    cur.code.push(c);
+                }
+                '\'' => {
+                    // Char literal vs lifetime: a lifetime is '\'' followed
+                    // by an identifier NOT closed by another quote nearby.
+                    let is_char = match next {
+                        Some('\\') => true,
+                        Some(_) => {
+                            // 'x' (closing quote right after one char) or
+                            // unicode chars; lifetimes like 'a, 'static
+                            // have no closing quote after the identifier.
+                            let mut k = i + 1;
+                            while k < chars.len() && (chars[k].is_alphanumeric() || chars[k] == '_')
+                            {
+                                k += 1;
+                            }
+                            chars.get(k) == Some(&'\'') && k > i + 1 || {
+                                // single non-identifier char like ' '
+                                chars.get(i + 2) == Some(&'\'')
+                            }
+                        }
+                        None => false,
+                    };
+                    cur.code.push('\'');
+                    if is_char {
+                        mode = Mode::Char;
+                    }
+                }
+                '{' => {
+                    if pending_test_attr {
+                        test_regions.push(depth);
+                        pending_test_attr = false;
+                    }
+                    depth += 1;
+                    cur.code.push('{');
+                }
+                '}' => {
+                    depth -= 1;
+                    if test_regions.last() == Some(&depth) {
+                        test_regions.pop();
+                    }
+                    cur.code.push('}');
+                }
+                ';' => {
+                    // An attribute pending on a `use`/item ended without a
+                    // body at item depth: cancel (e.g. #[cfg(test)] use ...).
+                    if pending_test_attr && cur.code.trim_start().starts_with("use ") {
+                        pending_test_attr = false;
+                    }
+                    cur.code.push(';');
+                }
+                '\n' => {
+                    cur.in_test = cur.in_test || !test_regions.is_empty();
+                    lines.push(std::mem::take(&mut cur));
+                }
+                _ => cur.code.push(c),
+            },
+            Mode::LineComment => {
+                if c == '\n' {
+                    mode = Mode::Code;
+                    cur.in_test = cur.in_test || !test_regions.is_empty();
+                    lines.push(std::mem::take(&mut cur));
+                } else {
+                    cur.comment.push(c);
+                }
+            }
+            Mode::BlockComment(n) => {
+                if c == '*' && next == Some('/') {
+                    mode = if n == 1 {
+                        Mode::Code
+                    } else {
+                        Mode::BlockComment(n - 1)
+                    };
+                    i += 2;
+                    continue;
+                }
+                if c == '/' && next == Some('*') {
+                    mode = Mode::BlockComment(n + 1);
+                    i += 2;
+                    continue;
+                }
+                if c == '\n' {
+                    cur.in_test = cur.in_test || !test_regions.is_empty();
+                    lines.push(std::mem::take(&mut cur));
+                } else {
+                    cur.comment.push(c);
+                }
+            }
+            Mode::Str => match c {
+                '\\' => {
+                    cur.code.push('_');
+                    if next.is_some() {
+                        cur.code.push('_');
+                        i += 2;
+                        continue;
+                    }
+                }
+                '"' => {
+                    cur.code.push('"');
+                    mode = Mode::Code;
+                }
+                '\n' => {
+                    cur.in_test = cur.in_test || !test_regions.is_empty();
+                    lines.push(std::mem::take(&mut cur));
+                }
+                _ => cur.code.push('_'),
+            },
+            Mode::RawStr(hashes) => {
+                if c == '"' {
+                    let mut k = i + 1;
+                    let mut seen = 0u32;
+                    while seen < hashes && chars.get(k) == Some(&'#') {
+                        seen += 1;
+                        k += 1;
+                    }
+                    if seen == hashes {
+                        for _ in 0..(1 + hashes) {
+                            cur.code.push('_');
+                        }
+                        mode = Mode::Code;
+                        i = k;
+                        continue;
+                    }
+                }
+                if c == '\n' {
+                    cur.in_test = cur.in_test || !test_regions.is_empty();
+                    lines.push(std::mem::take(&mut cur));
+                } else {
+                    cur.code.push('_');
+                }
+            }
+            Mode::Char => match c {
+                '\\' => {
+                    cur.code.push('_');
+                    if next.is_some() {
+                        cur.code.push('_');
+                        i += 2;
+                        continue;
+                    }
+                }
+                '\'' => {
+                    cur.code.push('\'');
+                    mode = Mode::Code;
+                }
+                _ => {
+                    cur.code.push('_');
+                    // Defensive: an unterminated char (really a lifetime we
+                    // misjudged) ends at non-identifier chars.
+                    if !c.is_alphanumeric() && c != '_' {
+                        mode = Mode::Code;
+                    }
+                }
+            },
+        }
+        // Detect `#[cfg(test)]` / `#[cfg(all(test, ...))]` once the line's
+        // code has accumulated it (checked on the fly for exactness).
+        if mode == Mode::Code
+            && !pending_test_attr
+            && (cur.code.ends_with("#[cfg(test)]")
+                || cur.code.contains("#[cfg(test)]")
+                || cur.code.contains("#[cfg(all(test"))
+        {
+            pending_test_attr = true;
+        }
+        // Sticky per-line flag: a line is test code if *any* of it sat
+        // inside an open test region (checked per character, because the
+        // region may close before the line's newline is reached).
+        if !test_regions.is_empty() {
+            cur.in_test = true;
+        }
+        i += 1;
+    }
+    if !cur.code.is_empty() || !cur.comment.is_empty() {
+        cur.in_test = cur.in_test || !test_regions.is_empty();
+        lines.push(cur);
+    }
+    lines
+}
+
+/// True when line `idx` — or the comment block directly above the statement
+/// it belongs to — carries `marker` in a comment.
+///
+/// The upward walk skips continuation lines of the same multi-line
+/// statement (code lines not ending in `;`, `{` or `}`), so a justification
+/// above a wrapped method chain still counts; it stops at the previous
+/// statement boundary, so justifications never leak across statements.
+fn justified(lines: &[Line], idx: usize, marker: &str) -> bool {
+    if lines[idx].comment.contains(marker) {
+        return true;
+    }
+    let mut k = idx;
+    while k > 0 {
+        k -= 1;
+        let above = &lines[k];
+        if above.comment.contains(marker) {
+            return true;
+        }
+        let code = above.code.trim();
+        if code.is_empty() {
+            if above.comment.is_empty() {
+                return false; // blank line ends the adjacent block
+            }
+            continue; // comment-only line: keep scanning upward
+        }
+        if code.ends_with(';') || code.ends_with('{') || code.ends_with('}') {
+            return false; // previous statement boundary
+        }
+        // Continuation line of the same statement: keep walking.
+    }
+    false
+}
+
+/// Is `path` (workspace-relative, forward slashes) inside crates/core or
+/// crates/storage sources?
+fn in_hardened_crates(path: &str) -> bool {
+    path.starts_with("crates/core/src/") || path.starts_with("crates/storage/src/")
+}
+
+/// Files that *are* the facade (or re-export it): exempt from sync-facade.
+fn is_facade_file(path: &str) -> bool {
+    path == "crates/storage/src/sync.rs" || path == "crates/core/src/sync.rs"
+}
+
+const PANIC_TOKENS: &[&str] = &[
+    ".unwrap()",
+    ".expect(",
+    "panic!",
+    "unreachable!",
+    "todo!",
+    "unimplemented!",
+];
+
+const WAL_TOKENS: &[&str] = &["wal_append(", "append_image("];
+const STORE_TOKENS: &[&str] = &[
+    "store_with_retry(",
+    "io.store(",
+    "store.write(",
+    "inner.write(",
+];
+
+/// Runs every rule over one file. `rel_path` must use forward slashes.
+fn check_file(rel_path: &Path, source: &str, out: &mut Vec<Violation>) {
+    let path_str = rel_path.to_string_lossy().replace('\\', "/");
+    let lines = prepare(source);
+    let file = PreparedFile {
+        rel_path: rel_path.to_path_buf(),
+        lines,
+    };
+
+    rule_no_panic(&file, &path_str, out);
+    rule_sync_facade(&file, &path_str, out);
+    rule_relaxed_ok(&file, out);
+    rule_wal_order(&file, out);
+    rule_wall_clock(&file, out);
+}
+
+fn rule_no_panic(file: &PreparedFile, path_str: &str, out: &mut Vec<Violation>) {
+    if !in_hardened_crates(path_str) {
+        return;
+    }
+    for (idx, line) in file.lines.iter().enumerate() {
+        if line.in_test {
+            continue;
+        }
+        for tok in PANIC_TOKENS {
+            if let Some(pos) = line.code.find(tok) {
+                // `.expect(` cannot match `.expect_err(` (the token ends at
+                // `(`), but the bang macros need an identifier-boundary
+                // guard so e.g. `debug_assert!` does not contain `assert!`.
+                if !tok.starts_with('.') && pos > 0 {
+                    let before = line.code.as_bytes()[pos - 1];
+                    if before.is_ascii_alphanumeric() || before == b'_' {
+                        continue;
+                    }
+                }
+                if justified(&file.lines, idx, "invariant:") {
+                    continue;
+                }
+                out.push(Violation {
+                    file: file.rel_path.clone(),
+                    line: idx + 1,
+                    rule: "no-panic",
+                    message: format!(
+                        "`{tok}` in non-test code; return a typed error or document \
+                         the invariant with a `// invariant:` comment",
+                    ),
+                    allowed: false,
+                });
+            }
+        }
+    }
+}
+
+fn rule_sync_facade(file: &PreparedFile, path_str: &str, out: &mut Vec<Violation>) {
+    if is_facade_file(path_str) || path_str.starts_with("shims/") {
+        return;
+    }
+    for (idx, line) in file.lines.iter().enumerate() {
+        if line.in_test {
+            continue;
+        }
+        let code = &line.code;
+        let mut hit: Option<String> = None;
+        if code.contains("parking_lot") {
+            hit = Some("parking_lot".to_string());
+        } else if let Some(pos) = code.find("std::sync::") {
+            let rest = &code[pos + "std::sync::".len()..];
+            for banned in ["Mutex", "RwLock", "Condvar", "atomic", "Barrier", "Once"] {
+                if rest.starts_with(banned) {
+                    hit = Some(format!("std::sync::{banned}"));
+                    break;
+                }
+            }
+            // `use std::sync::{...}` groups: flag banned names inside.
+            if hit.is_none() && rest.starts_with('{') {
+                for banned in ["Mutex", "RwLock", "Condvar", "atomic", "Barrier", "Once"] {
+                    let inside = &rest[1..rest.find('}').unwrap_or(rest.len())];
+                    if inside
+                        .split(',')
+                        .any(|part| part.trim().starts_with(banned))
+                    {
+                        hit = Some(format!("std::sync::{{{banned}}}"));
+                        break;
+                    }
+                }
+            }
+        }
+        if let Some(what) = hit {
+            out.push(Violation {
+                file: file.rel_path.clone(),
+                line: idx + 1,
+                rule: "sync-facade",
+                message: format!(
+                    "direct `{what}` use; import locks/atomics from the sync facade \
+                     (asb_storage::sync / asb_core::sync) so the model checker sees them",
+                ),
+                allowed: false,
+            });
+        }
+    }
+}
+
+fn rule_relaxed_ok(file: &PreparedFile, out: &mut Vec<Violation>) {
+    for (idx, line) in file.lines.iter().enumerate() {
+        if line.in_test {
+            continue;
+        }
+        if line.code.contains("Ordering::Relaxed") && !justified(&file.lines, idx, "relaxed-ok:") {
+            out.push(Violation {
+                file: file.rel_path.clone(),
+                line: idx + 1,
+                rule: "relaxed-ok",
+                message: "`Ordering::Relaxed` without a `// relaxed-ok:` justification \
+                          comment on this line or the line above"
+                    .to_string(),
+                allowed: false,
+            });
+        }
+    }
+}
+
+/// Approximate function-body extraction: a line whose code contains `fn `
+/// and ends (possibly later) with `{` opens a body that closes when brace
+/// depth returns to the opening level.
+fn rule_wal_order(file: &PreparedFile, out: &mut Vec<Violation>) {
+    let lines = &file.lines;
+    let mut idx = 0;
+    while idx < lines.len() {
+        let line = &lines[idx];
+        let is_fn = !line.in_test
+            && (line.code.contains("fn ") && !line.code.trim_start().starts_with("//"));
+        if !is_fn {
+            idx += 1;
+            continue;
+        }
+        // Find the opening brace of the body (same line or a following one,
+        // skipping pure signature lines); bail out on `;` (trait method).
+        let mut depth: i64 = 0;
+        let mut body_start = None;
+        let mut j = idx;
+        'find: while j < lines.len() && j < idx + 8 {
+            for c in lines[j].code.chars() {
+                match c {
+                    '{' => {
+                        depth += 1;
+                        if depth == 1 {
+                            body_start = Some(j);
+                            break 'find;
+                        }
+                    }
+                    ';' if depth == 0 => break 'find,
+                    _ => {}
+                }
+            }
+            j += 1;
+        }
+        let Some(start) = body_start else {
+            idx += 1;
+            continue;
+        };
+        // Walk the body, recording first WAL and first store call.
+        let mut first_wal: Option<usize> = None;
+        let mut first_store: Option<usize> = None;
+        let mut d: i64 = 0;
+        let mut k = start;
+        'body: while k < lines.len() {
+            let code = &lines[k].code;
+            for tok in WAL_TOKENS {
+                if code.contains(tok) && first_wal.is_none() {
+                    first_wal = Some(k);
+                }
+            }
+            for tok in STORE_TOKENS {
+                if code.contains(tok) && first_store.is_none() {
+                    first_store = Some(k);
+                }
+            }
+            for c in code.chars() {
+                match c {
+                    '{' => d += 1,
+                    '}' => {
+                        d -= 1;
+                        if d == 0 {
+                            break 'body;
+                        }
+                    }
+                    _ => {}
+                }
+            }
+            k += 1;
+        }
+        if let (Some(w), Some(s)) = (first_wal, first_store) {
+            if s < w && !lines[idx].in_test && !justified(lines, s, "wal-order-ok:") {
+                out.push(Violation {
+                    file: file.rel_path.clone(),
+                    line: s + 1,
+                    rule: "wal-order",
+                    message: format!(
+                        "store write at line {} precedes the WAL append at line {} in the \
+                         same function; write-ahead logging requires the append first",
+                        s + 1,
+                        w + 1
+                    ),
+                    allowed: false,
+                });
+            }
+        }
+        idx = k.max(idx) + 1;
+    }
+}
+
+fn rule_wall_clock(file: &PreparedFile, out: &mut Vec<Violation>) {
+    for (idx, line) in file.lines.iter().enumerate() {
+        if line.in_test {
+            continue;
+        }
+        for tok in ["Instant::now", "SystemTime"] {
+            if line.code.contains(tok) {
+                out.push(Violation {
+                    file: file.rel_path.clone(),
+                    line: idx + 1,
+                    rule: "wall-clock",
+                    message: format!(
+                        "`{tok}` outside the clock abstraction breaks deterministic \
+                         replay; use simulated time (or allowlist a measurement binary)",
+                    ),
+                    allowed: false,
+                });
+            }
+        }
+    }
+}
+
+/// One allowlist entry: `rule path-prefix reason...`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AllowEntry {
+    /// Rule id the entry silences.
+    pub rule: String,
+    /// Workspace-relative path prefix the entry covers.
+    pub path_prefix: String,
+    /// Why the violation is acceptable (required).
+    pub reason: String,
+}
+
+/// Parses `allowlist.txt`: one entry per line, `#` comments, blank lines
+/// ignored. Returns an error message for a malformed line.
+pub fn parse_allowlist(text: &str) -> Result<Vec<AllowEntry>, String> {
+    let mut entries = Vec::new();
+    for (no, raw) in text.lines().enumerate() {
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let mut parts = line.splitn(3, char::is_whitespace);
+        let (Some(rule_id), Some(path), Some(reason)) = (parts.next(), parts.next(), parts.next())
+        else {
+            return Err(format!(
+                "allowlist line {}: expected `rule path reason...`, got `{raw}`",
+                no + 1
+            ));
+        };
+        if rule(rule_id).is_none() {
+            return Err(format!(
+                "allowlist line {}: unknown rule `{rule_id}`",
+                no + 1
+            ));
+        }
+        entries.push(AllowEntry {
+            rule: rule_id.to_string(),
+            path_prefix: path.to_string(),
+            reason: reason.trim().to_string(),
+        });
+    }
+    Ok(entries)
+}
+
+/// Marks violations covered by the allowlist.
+pub fn apply_allowlist(violations: &mut [Violation], allow: &[AllowEntry]) {
+    for v in violations.iter_mut() {
+        let path = v.file.to_string_lossy().replace('\\', "/");
+        if allow
+            .iter()
+            .any(|a| a.rule == v.rule && path.starts_with(&a.path_prefix))
+        {
+            v.allowed = true;
+        }
+    }
+}
+
+/// Which workspace files the lint pass scans: Rust sources under `crates/`,
+/// the root `src/`, `examples/` and `tests/` — never `shims/` (stand-ins
+/// for external crates play by external rules) or `target/`.
+pub fn scan_roots() -> &'static [&'static str] {
+    &["crates", "src", "examples", "tests"]
+}
+
+/// Recursively collects `.rs` files under `root/<scan roots>`, returning
+/// workspace-relative paths in sorted (deterministic) order.
+pub fn collect_files(root: &Path) -> std::io::Result<Vec<PathBuf>> {
+    fn walk(dir: &Path, out: &mut Vec<PathBuf>) -> std::io::Result<()> {
+        let mut entries: Vec<_> = std::fs::read_dir(dir)?
+            .collect::<std::io::Result<Vec<_>>>()?
+            .into_iter()
+            .map(|e| e.path())
+            .collect();
+        entries.sort();
+        for path in entries {
+            if path.is_dir() {
+                walk(&path, out)?;
+            } else if path.extension().is_some_and(|e| e == "rs") {
+                out.push(path);
+            }
+        }
+        Ok(())
+    }
+    let mut out = Vec::new();
+    for sub in scan_roots() {
+        let dir = root.join(sub);
+        if dir.is_dir() {
+            walk(&dir, &mut out)?;
+        }
+    }
+    for p in &mut out {
+        if let Ok(rel) = p.strip_prefix(root) {
+            *p = rel.to_path_buf();
+        }
+    }
+    out.sort();
+    Ok(out)
+}
+
+/// Lints the workspace at `root`. Returns all violations (allowed ones
+/// marked), or an IO/parse error message.
+pub fn check_workspace(root: &Path) -> Result<Vec<Violation>, String> {
+    let allow_path = root.join("crates/analyze/allowlist.txt");
+    let allow = if allow_path.is_file() {
+        let text = std::fs::read_to_string(&allow_path)
+            .map_err(|e| format!("reading {}: {e}", allow_path.display()))?;
+        parse_allowlist(&text)?
+    } else {
+        Vec::new()
+    };
+    let files = collect_files(root).map_err(|e| format!("scanning {}: {e}", root.display()))?;
+    let mut violations = Vec::new();
+    for rel in files {
+        let source = std::fs::read_to_string(root.join(&rel))
+            .map_err(|e| format!("reading {}: {e}", rel.display()))?;
+        check_file(&rel, &source, &mut violations);
+    }
+    apply_allowlist(&mut violations, &allow);
+    Ok(violations)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lint(path: &str, src: &str) -> Vec<Violation> {
+        let mut out = Vec::new();
+        check_file(Path::new(path), src, &mut out);
+        out
+    }
+
+    #[test]
+    fn no_panic_flags_unwrap_in_hardened_crates_only() {
+        let src = "fn f() { x.unwrap(); }\n";
+        assert_eq!(lint("crates/core/src/a.rs", src).len(), 1);
+        assert_eq!(lint("crates/storage/src/a.rs", src).len(), 1);
+        assert_eq!(lint("crates/exp/src/a.rs", src).len(), 0);
+    }
+
+    #[test]
+    fn no_panic_accepts_invariant_comments() {
+        let same = "fn f() { x.expect(\"y\"); // invariant: always present\n}\n";
+        assert!(lint("crates/core/src/a.rs", same).is_empty());
+        let above = "fn f() {\n // invariant: seeded in new()\n x.expect(\"y\");\n}\n";
+        assert!(lint("crates/core/src/a.rs", above).is_empty());
+    }
+
+    #[test]
+    fn no_panic_skips_test_code_and_strings_and_expect_err() {
+        let test_mod = "#[cfg(test)]\nmod tests {\n fn f() { x.unwrap(); }\n}\n";
+        assert!(lint("crates/core/src/a.rs", test_mod).is_empty());
+        let in_string = "fn f() { let s = \"don't .unwrap() here\"; }\n";
+        assert!(lint("crates/core/src/a.rs", in_string).is_empty());
+        let err_probe = "fn f() { let e = r.expect_err(\"must fail\"); let _ = e; }\n";
+        assert!(
+            lint("crates/core/src/a.rs", err_probe).is_empty(),
+            "expect_err is an error-path probe, not a panic on the happy path"
+        );
+    }
+
+    #[test]
+    fn sync_facade_flags_direct_primitives() {
+        let pl = "use parking_lot::Mutex;\n";
+        assert_eq!(lint("crates/core/src/a.rs", pl).len(), 1);
+        let stdm = "use std::sync::Mutex;\n";
+        assert_eq!(lint("crates/exp/src/a.rs", stdm).len(), 1);
+        let grouped = "use std::sync::{Arc, Mutex};\n";
+        assert_eq!(lint("crates/exp/src/a.rs", grouped).len(), 1);
+        let arc_only = "use std::sync::Arc;\n";
+        assert!(lint("crates/exp/src/a.rs", arc_only).is_empty());
+        let atomics = "use std::sync::atomic::{AtomicU64, Ordering};\n";
+        assert_eq!(lint("crates/exp/src/a.rs", atomics).len(), 1);
+    }
+
+    #[test]
+    fn sync_facade_exempts_the_facade_and_shims() {
+        let src = "pub use parking_lot::{Mutex, RwLock};\n";
+        assert!(lint("crates/storage/src/sync.rs", src).is_empty());
+        assert!(lint("shims/parking_lot/src/lib.rs", src).is_empty());
+    }
+
+    #[test]
+    fn relaxed_requires_justification() {
+        let bare = "fn f(a: &A) { a.n.load(Ordering::Relaxed); }\n";
+        assert_eq!(lint("crates/storage/src/a.rs", bare).len(), 1);
+        let ok = "fn f(a: &A) {\n // relaxed-ok: lone counter\n a.n.load(Ordering::Relaxed); }\n";
+        assert!(lint("crates/storage/src/a.rs", ok).is_empty());
+    }
+
+    #[test]
+    fn wal_order_flags_store_before_append() {
+        let bad = "fn w(&mut self) -> R {\n io.store(&p)?;\n self.wal_append(&p)?;\n Ok(())\n}\n";
+        let v = lint("crates/core/src/m.rs", bad);
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].rule, "wal-order");
+        let good = "fn w(&mut self) -> R {\n self.wal_append(&p)?;\n io.store(&p)?;\n Ok(())\n}\n";
+        assert!(lint("crates/core/src/m.rs", good).is_empty());
+        let only_store = "fn w(&mut self) -> R { io.store(&p) }\n";
+        assert!(lint("crates/core/src/m.rs", only_store).is_empty());
+    }
+
+    #[test]
+    fn wall_clock_flags_instant_and_systemtime() {
+        let src = "fn f() { let t = std::time::Instant::now(); }\n";
+        assert_eq!(lint("crates/exp/src/a.rs", src).len(), 1);
+        let st = "fn f() { let t = std::time::SystemTime::now(); }\n";
+        assert_eq!(lint("examples/x.rs", st).len(), 1);
+        let sim = "fn f() { let t = clock.simulated_ms(); }\n";
+        assert!(lint("crates/exp/src/a.rs", sim).is_empty());
+    }
+
+    #[test]
+    fn allowlist_parses_and_applies() {
+        let text = "# comment\nwall-clock crates/exp/src/bin/repro.rs reports real time\n";
+        let allow = parse_allowlist(text).expect("parse");
+        assert_eq!(allow.len(), 1);
+        let mut v = vec![Violation {
+            file: PathBuf::from("crates/exp/src/bin/repro.rs"),
+            line: 3,
+            rule: "wall-clock",
+            message: String::new(),
+            allowed: false,
+        }];
+        apply_allowlist(&mut v, &allow);
+        assert!(v[0].allowed);
+        assert!(parse_allowlist("bogus-rule x y\n").is_err());
+        assert!(parse_allowlist("no-panic onlytwo\n").is_err());
+    }
+
+    #[test]
+    fn block_comments_and_raw_strings_are_stripped() {
+        let src = "fn f() { /* .unwrap() in comment */ let s = r#\"panic!\"#; }\n";
+        assert!(lint("crates/core/src/a.rs", src).is_empty());
+    }
+
+    #[test]
+    fn lifetimes_do_not_open_char_literals() {
+        let src = "fn f<'a>(x: &'a str) -> &'a str { x.unwrap() }\n";
+        // The unwrap must still be seen even with lifetimes around.
+        assert_eq!(lint("crates/core/src/a.rs", src).len(), 1);
+    }
+
+    #[test]
+    fn cfg_test_region_ends_with_its_brace() {
+        let src = "#[cfg(test)]\nmod tests { fn f() { x.unwrap(); } }\nfn g() { y.unwrap(); }\n";
+        let v = lint("crates/core/src/a.rs", src);
+        assert_eq!(v.len(), 1, "only the post-module unwrap is flagged");
+        assert_eq!(v[0].line, 3);
+    }
+}

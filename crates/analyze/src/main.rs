@@ -1,0 +1,92 @@
+//! CLI driver for the workspace invariant lints.
+//!
+//! ```text
+//! cargo run -p asb-analyze -- check [--root DIR]   lint the workspace
+//! cargo run -p asb-analyze -- explain <rule>       print a rule's rationale
+//! cargo run -p asb-analyze -- list                 list all rules
+//! ```
+//!
+//! `check` exits 0 when every violation is allowlisted and 1 otherwise;
+//! there is deliberately no `--fix` — each finding needs a human to either
+//! restructure the code or write down the justification.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use asb_analyze::{check_workspace, rule, RULES};
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage: asb-analyze <command>\n\n\
+         commands:\n  \
+         check [--root DIR]   lint the workspace (exit 1 on violations)\n  \
+         explain <rule>       print a rule's full rationale\n  \
+         list                 list all rules"
+    );
+    ExitCode::from(2)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("check") => {
+            let root = match args.get(1).map(String::as_str) {
+                Some("--root") => match args.get(2) {
+                    Some(dir) => PathBuf::from(dir),
+                    None => return usage(),
+                },
+                Some(_) => return usage(),
+                None => PathBuf::from("."),
+            };
+            run_check(&root)
+        }
+        Some("explain") => match args.get(1).and_then(|id| rule(id)) {
+            Some(r) => {
+                println!("[{}] {}\n\n{}", r.id, r.summary, r.explain);
+                ExitCode::SUCCESS
+            }
+            None => {
+                eprintln!(
+                    "unknown rule; available: {}",
+                    RULES.iter().map(|r| r.id).collect::<Vec<_>>().join(", ")
+                );
+                ExitCode::from(2)
+            }
+        },
+        Some("list") => {
+            for r in RULES {
+                println!("{:12} {}", r.id, r.summary);
+            }
+            ExitCode::SUCCESS
+        }
+        _ => usage(),
+    }
+}
+
+fn run_check(root: &std::path::Path) -> ExitCode {
+    match check_workspace(root) {
+        Ok(violations) => {
+            let allowed = violations.iter().filter(|v| v.allowed).count();
+            let fatal: Vec<_> = violations.iter().filter(|v| !v.allowed).collect();
+            for v in &fatal {
+                println!("{v}");
+            }
+            println!(
+                "asb-analyze: {} violation(s), {} allowlisted, {} fatal",
+                violations.len(),
+                allowed,
+                fatal.len()
+            );
+            if fatal.is_empty() {
+                ExitCode::SUCCESS
+            } else {
+                println!("run `cargo run -p asb-analyze -- explain <rule>` for rationale");
+                ExitCode::FAILURE
+            }
+        }
+        Err(msg) => {
+            eprintln!("asb-analyze: {msg}");
+            ExitCode::from(2)
+        }
+    }
+}

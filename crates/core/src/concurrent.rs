@@ -2,7 +2,8 @@
 //!
 //! The single-threaded [`BufferManager`] is the
 //! measurement vehicle for the paper's experiments; `SharedBuffer` packages
-//! a buffer and its backing store behind a [`parking_lot::Mutex`] so
+//! a buffer and its backing store behind one mutex (from the
+//! [`crate::sync`] facade) so
 //! multi-threaded applications (e.g. a query server answering window
 //! queries from several sessions) can share one buffer pool.
 //!
@@ -15,11 +16,11 @@
 //! requests never overlap).
 
 use crate::manager::{BufferManager, BufferStats};
+use crate::sync::Mutex;
 use asb_storage::{
     AccessContext, ConcurrentPageStore, IoStats, Page, PageId, PageMeta, PageStore, Result,
 };
 use bytes::Bytes;
-use parking_lot::Mutex;
 use std::sync::Arc;
 
 struct Inner<S: PageStore> {

@@ -51,6 +51,7 @@ mod order;
 mod policies;
 mod policy;
 pub mod sharded;
+pub mod sync;
 
 pub use concurrent::SharedBuffer;
 pub use manager::{BufferManager, BufferStats, BufferedStore, StoreIo};

@@ -1187,6 +1187,48 @@ mod tests {
     }
 
     #[test]
+    fn non_transient_write_back_errors_are_not_retried() {
+        use asb_storage::{FaultConfig, FaultyStore};
+        let (disk, mut buf, ids) = setup(2, 1);
+        let mut store = FaultyStore::new(disk, FaultConfig::reliable());
+        let page = Page::new(ids[0], meta(), Bytes::from_static(b"doomed")).unwrap();
+        buf.write_buffered(&mut store, page).unwrap();
+        store.mark_permanent(ids[0]);
+        let err = buf.flush(&mut store).unwrap_err();
+        let StorageError::FlushIncomplete { failures } = err else {
+            panic!("expected FlushIncomplete, got {err:?}");
+        };
+        assert_eq!(failures.len(), 1);
+        assert_eq!(failures[0].0, ids[0]);
+        assert_eq!(
+            *failures[0].1,
+            StorageError::DeviceFailed(ids[0]),
+            "the permanent failure passes through unwrapped and unretried"
+        );
+        assert_eq!(buf.stats().retries, 0);
+    }
+
+    #[test]
+    fn zero_attempt_retry_policy_behaves_like_single_attempt() {
+        let (_, mut buf, ids) = setup(2, 1);
+        buf.set_retry_policy(asb_storage::RetryPolicy {
+            max_attempts: 0,
+            base_backoff_ms: 1.0,
+            backoff_multiplier: 2.0,
+        });
+        let mut attempts = 0;
+        let err = buf
+            .read_through_with(ids[0], ctx(), |id, _| {
+                attempts += 1;
+                Err(StorageError::TransientRead(id))
+            })
+            .unwrap_err();
+        assert_eq!(attempts, 1, "budget of zero still makes the one attempt");
+        assert_eq!(buf.stats().retries, 0);
+        assert!(matches!(err, StorageError::RetriesExhausted { .. }));
+    }
+
+    #[test]
     #[should_panic(expected = "capacity")]
     fn zero_capacity_panics() {
         let _ = BufferManager::with_policy(PolicyKind::Lru, 0);

@@ -133,10 +133,9 @@ impl ReplacementPolicy for ClockPolicy {
                 self.order.move_to_back(&hand);
                 continue;
             }
-            let bit = self
-                .referenced
-                .get_mut(&hand)
-                .expect("tracked page has a ref bit");
+            // invariant: `referenced` and `order` are updated together in
+            // on_admit/on_remove, so every page in the clock order has a bit.
+            let bit = (self.referenced.get_mut(&hand)).expect("tracked page has a ref bit");
             if *bit {
                 *bit = false;
                 self.order.move_to_back(&hand);

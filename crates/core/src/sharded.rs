@@ -31,12 +31,12 @@
 
 use crate::manager::{BufferManager, BufferStats, StoreIo};
 use crate::policy::PolicyKind;
+use crate::sync::{Mutex, RwLock};
 use asb_storage::{
     AccessContext, ConcurrentPageStore, IoStats, Lsn, Page, PageId, PageMeta, PageStore, Result,
     RetryPolicy, SharedWal, StorageError,
 };
 use bytes::Bytes;
-use parking_lot::{Mutex, RwLock};
 use std::sync::Arc;
 
 /// SplitMix64 finalizer: a fast, well-mixing hash of a page id.

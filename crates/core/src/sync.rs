@@ -1,0 +1,9 @@
+//! Synchronization facade, re-exported from `asb-storage`.
+//!
+//! The canonical facade lives in `asb_storage::sync` (storage is the lowest
+//! layer and already holds locks, e.g. `SharedWal`); this module gives the
+//! buffer-management layer the `asb_core::sync` path the rest of the
+//! workspace imports from. See `asb_storage::sync` for the design notes and
+//! the `--cfg asb_schedule` model-checking mode.
+
+pub use asb_storage::sync::*;

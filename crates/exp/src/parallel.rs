@@ -13,10 +13,9 @@
 
 use crate::lab::{Lab, RunResult};
 use asb_core::PolicyKind;
+use asb_storage::sync::{AtomicUsize, Mutex, Ordering};
 use asb_storage::Result;
 use asb_workload::{DatasetKind, QuerySetSpec, Scale};
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
 
 /// One experiment cell: the coordinates of a single figure data point.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -69,21 +68,19 @@ pub fn run_cells(
             s.spawn(|| {
                 let mut lab = Lab::new(scale, seed);
                 loop {
+                    // relaxed-ok: the cursor only hands out unique indices;
+                    // the scope join (not the counter) publishes results.
                     let i = next.fetch_add(1, Ordering::Relaxed);
                     let Some(cell) = cells.get(i) else { break };
                     let result = lab.run(cell.db, cell.policy, cell.frac, cell.spec);
-                    *slots[i].lock().expect("result slot") = Some(result);
+                    *slots[i].lock() = Some(result);
                 }
             });
         }
     });
     slots
         .into_iter()
-        .map(|m| {
-            m.into_inner()
-                .expect("result slot")
-                .expect("every cell computed")
-        })
+        .map(|m| m.into_inner().expect("every cell computed"))
         .collect()
 }
 

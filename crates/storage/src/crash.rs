@@ -29,8 +29,8 @@ use bytes::Bytes;
 
 use crate::page::{Page, PageId};
 use crate::store::{AccessContext, ConcurrentPageStore, PageStore};
+use crate::sync::Mutex;
 use crate::{IoStats, PageMeta, StorageError};
-use parking_lot::Mutex;
 
 /// What a crash leaves at the event it interrupts.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -201,6 +201,8 @@ pub fn torn_page(page: &Page) -> Page {
         page.payload.slice(0..half),
         page.checksum(),
     )
+    // invariant: the torn payload is a prefix of one that already fit in a
+    // page, so the size check cannot fail.
     .expect("a truncated payload never exceeds the page size")
 }
 

@@ -1,9 +1,9 @@
+use crate::sync::Mutex;
 use crate::{
     AccessContext, ConcurrentPageStore, Page, PageId, PageMeta, PageStore, Result, StorageError,
     PAGE_SIZE,
 };
 use bytes::Bytes;
-use parking_lot::Mutex;
 use serde::{Deserialize, Serialize};
 
 /// Timing model of the simulated disk.

@@ -13,12 +13,12 @@
 //! to replay a failing schedule bit-for-bit.
 
 use std::collections::HashSet;
-use std::sync::Mutex;
 
 use bytes::Bytes;
 
 use crate::page::{Page, PageId};
 use crate::store::{AccessContext, ConcurrentPageStore, PageStore};
+use crate::sync::Mutex;
 use crate::{IoStats, PageMeta, StorageError};
 
 /// Salts mixed into the per-operation hash so each fault kind draws an
@@ -186,7 +186,7 @@ impl<S> FaultyStore<S> {
 
     /// Counters of all faults injected so far.
     pub fn fault_stats(&self) -> FaultStats {
-        self.state.lock().expect("fault state poisoned").stats
+        self.state.lock().stats
     }
 
     /// Shared access to the wrapped store.
@@ -223,18 +223,18 @@ impl<S> FaultyStore<S> {
     /// on success so the read path can draw its corruption coin from it.
     fn gate(&self, id: PageId, write: bool) -> crate::Result<u64> {
         if self.permanent.contains(&id.raw()) {
-            let mut st = self.state.lock().expect("fault state poisoned");
+            let mut st = self.state.lock();
             st.stats.permanent_denials += 1;
             return Err(StorageError::DeviceFailed(id));
         }
         let op = {
-            let mut st = self.state.lock().expect("fault state poisoned");
+            let mut st = self.state.lock();
             let op = st.ops;
             st.ops += 1;
             op
         };
         if self.draw(op, SALT_SPIKE, self.config.latency_spike) {
-            let mut st = self.state.lock().expect("fault state poisoned");
+            let mut st = self.state.lock();
             st.stats.latency_spikes += 1;
             st.stats.injected_ms += self.config.spike_ms;
         }
@@ -244,7 +244,7 @@ impl<S> FaultyStore<S> {
             (SALT_READ, self.config.read_transient)
         };
         if self.draw(op, salt, rate) {
-            let mut st = self.state.lock().expect("fault state poisoned");
+            let mut st = self.state.lock();
             if write {
                 st.stats.write_faults += 1;
                 return Err(StorageError::TransientWrite(id));
@@ -264,6 +264,9 @@ impl<S> FaultyStore<S> {
         } else {
             payload[0] ^= 0xff;
         }
+        // invariant: the copy is the original payload with one byte flipped
+        // (or a single byte where it was empty), so it cannot exceed the
+        // page size the original already satisfied.
         Page::with_checksum(page.id, page.meta, Bytes::from(payload), page.checksum())
             .expect("flipping a byte never grows a page past the page size")
     }
@@ -272,7 +275,7 @@ impl<S> FaultyStore<S> {
     /// copy, using the corruption coin of operation `op`.
     fn deliver(&self, op: u64, page: Page) -> Page {
         if self.draw(op, SALT_CORRUPT, self.config.corrupt) {
-            let mut st = self.state.lock().expect("fault state poisoned");
+            let mut st = self.state.lock();
             st.stats.corruptions += 1;
             Self::corrupt_copy(&page)
         } else {

@@ -38,6 +38,7 @@ mod page;
 mod recording;
 mod retry;
 mod store;
+pub mod sync;
 mod wal;
 
 pub use crash::{

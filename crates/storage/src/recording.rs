@@ -10,10 +10,9 @@
 //! logical accesses), so wrap the disk, not the buffered store, and place the
 //! wrapper directly under the index: `RTree<RecordingStore<DiskManager>>`.
 
-use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::Mutex;
-
 use bytes::Bytes;
+
+use crate::sync::{AtomicBool, Mutex, Ordering};
 
 use crate::page::{Page, PageId};
 use crate::store::{AccessContext, ConcurrentPageStore, PageStore, QueryId};
@@ -39,22 +38,25 @@ impl<S> RecordingStore<S> {
     /// Turn recording on or off (e.g. off while bulk-loading, on for the
     /// workload of interest).
     pub fn set_recording(&self, on: bool) {
+        // relaxed-ok: a lone on/off flag with no data published under it;
+        // a racing read seeing the stale value only mislogs that access.
         self.enabled.store(on, Ordering::Relaxed);
     }
 
     /// Whether reads are currently being logged.
     pub fn is_recording(&self) -> bool {
+        // relaxed-ok: see `set_recording` — independent flag, no ordering.
         self.enabled.load(Ordering::Relaxed)
     }
 
     /// Drain the log, leaving it empty.
     pub fn take_log(&self) -> Vec<(PageId, QueryId)> {
-        std::mem::take(&mut *self.log.lock().expect("recording log poisoned"))
+        std::mem::take(&mut *self.log.lock())
     }
 
     /// Number of accesses recorded so far.
     pub fn log_len(&self) -> usize {
-        self.log.lock().expect("recording log poisoned").len()
+        self.log.lock().len()
     }
 
     /// Shared access to the wrapped store.
@@ -73,11 +75,9 @@ impl<S> RecordingStore<S> {
     }
 
     fn record(&self, id: PageId, ctx: AccessContext) {
+        // relaxed-ok: see `set_recording` — independent flag, no ordering.
         if self.enabled.load(Ordering::Relaxed) {
-            self.log
-                .lock()
-                .expect("recording log poisoned")
-                .push((id, ctx.query));
+            self.log.lock().push((id, ctx.query));
         }
     }
 }

@@ -62,7 +62,11 @@ impl RetryPolicy {
         if failed_attempts == 0 {
             return 0.0;
         }
-        self.base_backoff_ms * self.backoff_multiplier.powi(failed_attempts as i32 - 1)
+        // Saturate the exponent: a raw `as i32` cast wraps for counts past
+        // i32::MAX, turning a huge retry number into a *negative* exponent
+        // and collapsing the backoff to ~zero instead of growing it.
+        let exponent = i32::try_from(failed_attempts - 1).unwrap_or(i32::MAX);
+        self.base_backoff_ms * self.backoff_multiplier.powi(exponent)
     }
 
     /// Total simulated backoff if every retry of the budget is used.
@@ -100,6 +104,49 @@ mod tests {
             ..RetryPolicy::default()
         };
         assert_eq!(r.attempts(), 1);
+    }
+
+    #[test]
+    fn zero_attempts_policy_still_backs_off_sanely() {
+        let r = RetryPolicy {
+            max_attempts: 0,
+            ..RetryPolicy::default()
+        };
+        // With an effective budget of one attempt there are no retries, so
+        // the worst-case backoff sums over an empty range.
+        assert_eq!(r.worst_case_backoff_ms(), 0.0);
+        assert_eq!(r.backoff_ms(0), 0.0);
+    }
+
+    #[test]
+    fn huge_failed_attempt_counts_saturate_instead_of_wrapping() {
+        let r = RetryPolicy {
+            max_attempts: u32::MAX,
+            base_backoff_ms: 1.0,
+            backoff_multiplier: 2.0,
+        };
+        // The exponent saturates at i32::MAX: 2^huge overflows f64 to
+        // infinity, which is monotone — never the near-zero backoff a
+        // wrapped negative exponent would produce.
+        let at_limit = r.backoff_ms(i32::MAX as u32 + 1);
+        let past_limit = r.backoff_ms(u32::MAX);
+        assert!(at_limit.is_infinite() && at_limit > 0.0);
+        assert_eq!(at_limit, past_limit, "saturated exponent is stable");
+        assert!(
+            r.backoff_ms(u32::MAX) >= r.backoff_ms(40),
+            "backoff must stay monotone in the failure count"
+        );
+    }
+
+    #[test]
+    fn multiplier_one_keeps_backoff_flat_for_any_count() {
+        let r = RetryPolicy {
+            max_attempts: u32::MAX,
+            base_backoff_ms: 2.5,
+            backoff_multiplier: 1.0,
+        };
+        assert_eq!(r.backoff_ms(1), 2.5);
+        assert_eq!(r.backoff_ms(u32::MAX), 2.5);
     }
 
     #[test]

@@ -1,0 +1,98 @@
+//! Synchronization facade for the whole workspace.
+//!
+//! Every lock and atomic in `asb-storage`, `asb-core`, and `asb-exp` comes
+//! from this module (re-exported as `asb_core::sync`), never from
+//! `parking_lot` or `std::sync` directly — the `asb-analyze` sync-facade
+//! lint enforces this. Routing all synchronization through one choke point
+//! buys two things:
+//!
+//! * **Normal builds** compile to the `parking_lot` shim (no-poison locks)
+//!   and the plain std atomics — zero overhead, identical semantics.
+//! * **Model-checking builds** (`RUSTFLAGS="--cfg asb_schedule"`) compile
+//!   to the cooperative scheduler in `shims/schedule`, where every lock
+//!   acquisition and atomic operation becomes a deterministic scheduling
+//!   point. `tests/interleave.rs` uses this to enumerate bounded thread
+//!   interleavings of the sharded buffer and model-check its invariants.
+//!
+//! The facade intentionally exposes only the surface the workspace uses:
+//! `Mutex`, `RwLock`, their guards, `AtomicBool`/`AtomicU64`/`AtomicUsize`,
+//! and `Ordering`. Widen it here (and mirror in `shims/schedule`) before
+//! reaching for a primitive directly.
+
+#[cfg(not(asb_schedule))]
+pub use parking_lot::{Mutex, MutexGuard, RwLock, RwLockReadGuard, RwLockWriteGuard};
+
+#[cfg(not(asb_schedule))]
+pub use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+
+#[cfg(asb_schedule)]
+pub use schedule::sync::{
+    AtomicBool, AtomicU64, AtomicUsize, Mutex, MutexGuard, Ordering, RwLock, RwLockReadGuard,
+    RwLockWriteGuard,
+};
+
+/// Scheduler-aware thread spawning: plain `std::thread` normally, the
+/// controlled scheduler's threads under `--cfg asb_schedule` (inside an
+/// exploration; outside one they fall back to std behaviour too).
+pub mod thread {
+    #[cfg(not(asb_schedule))]
+    pub use self::fallback::{spawn, JoinHandle};
+
+    #[cfg(asb_schedule)]
+    pub use schedule::thread::{spawn, JoinHandle};
+
+    #[cfg(not(asb_schedule))]
+    mod fallback {
+        /// Handle to a spawned thread; see [`spawn`].
+        pub struct JoinHandle<T>(std::thread::JoinHandle<T>);
+
+        impl<T> JoinHandle<T> {
+            /// Waits for the thread and returns its result.
+            ///
+            /// # Panics
+            /// Panics if the joined thread panicked.
+            pub fn join(self) -> T {
+                // invariant: propagating a worker panic is join()'s
+                // documented contract — the panic, not the expect, is the
+                // failure being reported.
+                self.0.join().expect("joined thread panicked")
+            }
+        }
+
+        /// Spawns `f` on a new OS thread.
+        pub fn spawn<T, F>(f: F) -> JoinHandle<T>
+        where
+            T: Send + 'static,
+            F: FnOnce() -> T + Send + 'static,
+        {
+            JoinHandle(std::thread::spawn(f))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn facade_primitives_behave() {
+        let m = Mutex::new(0u64);
+        *m.lock() += 5;
+        assert_eq!(m.into_inner(), 5);
+
+        let l = RwLock::new(1u64);
+        *l.write() += 1;
+        assert_eq!(*l.read(), 2);
+
+        let a = AtomicU64::new(0);
+        a.fetch_add(3, Ordering::SeqCst);
+        assert_eq!(a.load(Ordering::SeqCst), 3);
+
+        let b = AtomicBool::new(false);
+        b.store(true, Ordering::SeqCst);
+        assert!(b.load(Ordering::SeqCst));
+
+        let h = thread::spawn(|| 41 + 1);
+        assert_eq!(h.join(), 42);
+    }
+}

@@ -62,8 +62,8 @@
 
 use std::sync::Arc;
 
+use crate::sync::Mutex;
 use bytes::Bytes;
-use parking_lot::Mutex;
 
 use crate::crash::{CrashClock, CrashOp, WriteFate};
 use crate::page::{page_checksum, Page, PageId, PageMeta, PageType};
@@ -312,10 +312,9 @@ impl Wal {
         frame.extend_from_slice(&page_checksum(payload).to_le_bytes());
         frame.extend_from_slice(payload);
         let lsn = Lsn(self.next_lsn);
-        let active = self
-            .segments
-            .last()
-            .expect("a WAL always has an active segment");
+        // invariant: `segments` is non-empty from construction onward —
+        // `Wal::new` seeds the first segment and sealing only ever pushes.
+        let active = (self.segments.last()).expect("a WAL always has an active segment");
         if !active.bytes.is_empty() && active.bytes.len() + frame.len() > self.config.segment_bytes
         {
             self.stats.segments_sealed += 1;
@@ -324,6 +323,7 @@ impl Wal {
                 bytes: Vec::new(),
             });
         }
+        // invariant: still non-empty — the branch above can only have pushed.
         let active = self.segments.last_mut().expect("active segment");
         match fate {
             WriteFate::Intact => {
@@ -375,8 +375,13 @@ impl Wal {
             if rest < 12 {
                 return (records, rest as u64);
             }
-            let len = u32::from_le_bytes(bytes[off..off + 4].try_into().expect("4 bytes")) as usize;
-            let sum = u64::from_le_bytes(bytes[off + 4..off + 12].try_into().expect("8 bytes"));
+            let (Some(len), Some(sum)) = (
+                le_u32(&bytes[off..off + 4]),
+                le_u64(&bytes[off + 4..off + 12]),
+            ) else {
+                return (records, rest as u64);
+            };
+            let len = len as usize;
             if rest < 12 + len {
                 return (records, rest as u64);
             }
@@ -437,6 +442,16 @@ impl Wal {
         }
         Ok(report)
     }
+}
+
+/// Little-endian decode of exactly 4 bytes; `None` on any other length.
+fn le_u32(bytes: &[u8]) -> Option<u32> {
+    Some(u32::from_le_bytes(bytes.try_into().ok()?))
+}
+
+/// Little-endian decode of exactly 8 bytes; `None` on any other length.
+fn le_u64(bytes: &[u8]) -> Option<u64> {
+    Some(u64::from_le_bytes(bytes.try_into().ok()?))
 }
 
 fn put_u32(out: &mut Vec<u8>, v: u32) {

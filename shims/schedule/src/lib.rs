@@ -1,0 +1,1072 @@
+//! Deterministic cooperative scheduler for model-checking concurrent code.
+//!
+//! This crate is the engine behind the workspace's `asb_schedule` build
+//! mode: the sync facade in `asb-storage` (re-exported as `asb_core::sync`)
+//! compiles to the [`sync`] primitives defined here, and a test scenario
+//! run under [`explore`] has every lock acquisition and atomic operation
+//! turned into a *scheduling point*. Only one controlled thread runs at a
+//! time; at every scheduling point the explorer picks which runnable thread
+//! proceeds, so repeated runs enumerate bounded thread interleavings —
+//! a loom-style model checker small enough to live in-tree and built from
+//! nothing but `std`.
+//!
+//! # How control works
+//!
+//! [`explore`] runs a scenario closure once per *schedule*. Each run spawns
+//! the closure on a fresh controlled root thread; the closure spawns more
+//! controlled threads with [`thread::spawn`]. Controlled threads park at
+//! every scheduling point (spawn, lock acquire, atomic op, join, exit) and
+//! the explorer — holding a seeded deterministic PRNG — picks the next
+//! thread among those that are *runnable* (not blocked on a held lock, a
+//! busy rwlock, or an unfinished join target). The sequence of picks is the
+//! schedule; its hash identifies the interleaving, and exploration stops
+//! once a target number of distinct schedules has been observed (or a
+//! budget of runs is exhausted).
+//!
+//! Determinism: schedule `i` of an exploration seeded `s` draws every pick
+//! from `splitmix64(s, i)`. The same seed explores the same schedules in
+//! the same order, so a failure reproduces exactly — the failing pick
+//! sequence is also written to an artifact file for CI to upload.
+//!
+//! # Outside an exploration
+//!
+//! Every primitive here falls back to plain `std` behaviour when the
+//! current thread is not controlled (no thread-local scheduler context), so
+//! a workspace compiled with `--cfg asb_schedule` still runs its ordinary
+//! tests correctly — only threads spawned inside [`explore`] are scheduled.
+//!
+//! Deadlocks are detected (no runnable thread while some are still blocked)
+//! and reported as a panic carrying the schedule trace.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::any::Any;
+use std::cell::RefCell;
+use std::collections::{HashMap, HashSet};
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicU64, Ordering as StdOrdering};
+use std::sync::{Arc, Condvar, Mutex as StdMutex, PoisonError};
+
+/// SplitMix64 step: the deterministic PRNG driving schedule choices.
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// FNV-1a over a choice trace: the schedule's identity hash.
+fn fnv1a(trace: &[u32]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for &c in trace {
+        for b in c.to_le_bytes() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x100_0000_01b3);
+        }
+    }
+    h
+}
+
+/// Source of unique ids for model-tracked locks.
+static NEXT_LOCK_ID: AtomicU64 = AtomicU64::new(0);
+
+fn fresh_lock_id() -> u64 {
+    NEXT_LOCK_ID.fetch_add(1, StdOrdering::Relaxed)
+}
+
+/// Why a parked thread cannot run yet.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Blocker {
+    /// Wants a mutex.
+    Lock(u64),
+    /// Wants shared access to a rwlock.
+    Read(u64),
+    /// Wants exclusive access to a rwlock.
+    Write(u64),
+    /// Waiting for thread `tid` to finish.
+    Join(usize),
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Status {
+    /// Parked at a pure scheduling point; can run whenever picked.
+    Ready,
+    /// Parked waiting for a resource.
+    Blocked(Blocker),
+    /// Currently executing (at most one thread at a time).
+    Running,
+    /// Body returned (or panicked); never scheduled again.
+    Done,
+}
+
+#[derive(Debug, Default)]
+struct LockState {
+    writer: bool,
+    readers: usize,
+}
+
+struct State {
+    threads: Vec<Status>,
+    locks: HashMap<u64, LockState>,
+    /// Index of the thread currently Running, if any.
+    running: Option<usize>,
+    /// The schedule so far: which thread was picked at each step.
+    trace: Vec<u32>,
+    /// Scheduling points contributed by sync primitives (not by
+    /// spawn/join/exit). Zero means the facade compiled to real locks.
+    sync_points: u64,
+    /// First panic payload raised by a controlled thread.
+    panic: Option<Box<dyn Any + Send>>,
+}
+
+struct Shared {
+    m: StdMutex<State>,
+    cv: Condvar,
+}
+
+impl Shared {
+    fn new() -> Arc<Self> {
+        Arc::new(Shared {
+            m: StdMutex::new(State {
+                threads: Vec::new(),
+                locks: HashMap::new(),
+                running: None,
+                trace: Vec::new(),
+                sync_points: 0,
+                panic: None,
+            }),
+            cv: Condvar::new(),
+        })
+    }
+}
+
+/// Per-thread scheduler handle (present only on controlled threads).
+#[derive(Clone)]
+struct Ctx {
+    shared: Arc<Shared>,
+    tid: usize,
+}
+
+thread_local! {
+    static CTX: RefCell<Option<Ctx>> = const { RefCell::new(None) };
+}
+
+fn current_ctx() -> Option<Ctx> {
+    CTX.with(|c| c.borrow().clone())
+}
+
+impl Ctx {
+    /// Parks the calling thread at a scheduling point and blocks until the
+    /// explorer picks it again. `status` is `Ready` for a pure yield or
+    /// `Blocked` when a resource is wanted — the explorer performs the
+    /// grant bookkeeping before waking the thread.
+    fn park(&self, status: Status, is_sync_point: bool) {
+        let mut st = self.shared.m.lock().unwrap_or_else(PoisonError::into_inner);
+        st.threads[self.tid] = status;
+        st.running = None;
+        if is_sync_point {
+            st.sync_points += 1;
+        }
+        self.shared.cv.notify_all();
+        while st.threads[self.tid] != Status::Running {
+            st = self
+                .shared
+                .cv
+                .wait(st)
+                .unwrap_or_else(PoisonError::into_inner);
+        }
+    }
+
+    /// Releases a model lock (mutex or rwlock-writer). Never blocks.
+    fn release_write(&self, id: u64) {
+        let mut st = self.shared.m.lock().unwrap_or_else(PoisonError::into_inner);
+        if let Some(l) = st.locks.get_mut(&id) {
+            l.writer = false;
+        }
+        self.shared.cv.notify_all();
+    }
+
+    /// Releases one shared (reader) hold of a model rwlock. Never blocks.
+    fn release_read(&self, id: u64) {
+        let mut st = self.shared.m.lock().unwrap_or_else(PoisonError::into_inner);
+        if let Some(l) = st.locks.get_mut(&id) {
+            l.readers = l.readers.saturating_sub(1);
+        }
+        self.shared.cv.notify_all();
+    }
+}
+
+/// Marks the calling thread's next action as a scheduling point if it is
+/// controlled; no-op otherwise.
+fn yield_point() {
+    if let Some(ctx) = current_ctx() {
+        ctx.park(Status::Ready, true);
+    }
+}
+
+/// Registers and starts a controlled thread running `f`. The thread parks
+/// immediately and runs only when the explorer schedules it.
+fn spawn_controlled<T, F>(shared: &Arc<Shared>, slot: Arc<StdMutex<Option<T>>>, f: F) -> usize
+where
+    T: Send + 'static,
+    F: FnOnce() -> T + Send + 'static,
+{
+    let tid = {
+        let mut st = shared.m.lock().unwrap_or_else(PoisonError::into_inner);
+        st.threads.push(Status::Ready);
+        st.threads.len() - 1
+    };
+    let shared = Arc::clone(shared);
+    std::thread::spawn(move || {
+        let ctx = Ctx {
+            shared: Arc::clone(&shared),
+            tid,
+        };
+        CTX.with(|c| *c.borrow_mut() = Some(ctx));
+        // Wait to be scheduled for the first time.
+        {
+            let mut st = shared.m.lock().unwrap_or_else(PoisonError::into_inner);
+            while st.threads[tid] != Status::Running {
+                st = shared.cv.wait(st).unwrap_or_else(PoisonError::into_inner);
+            }
+        }
+        let outcome = catch_unwind(AssertUnwindSafe(f));
+        let mut st = shared.m.lock().unwrap_or_else(PoisonError::into_inner);
+        match outcome {
+            Ok(value) => {
+                *slot.lock().unwrap_or_else(PoisonError::into_inner) = Some(value);
+            }
+            Err(payload) => {
+                if st.panic.is_none() {
+                    st.panic = Some(payload);
+                }
+            }
+        }
+        st.threads[tid] = Status::Done;
+        st.running = None;
+        shared.cv.notify_all();
+    });
+    tid
+}
+
+/// Whether a parked thread could run right now.
+fn is_runnable(st: &State, tid: usize) -> bool {
+    match st.threads[tid] {
+        Status::Ready => true,
+        Status::Blocked(Blocker::Lock(id)) | Status::Blocked(Blocker::Write(id)) => {
+            match st.locks.get(&id) {
+                Some(l) => !l.writer && l.readers == 0,
+                None => true,
+            }
+        }
+        Status::Blocked(Blocker::Read(id)) => match st.locks.get(&id) {
+            Some(l) => !l.writer,
+            None => true,
+        },
+        Status::Blocked(Blocker::Join(target)) => st.threads[target] == Status::Done,
+        Status::Running | Status::Done => false,
+    }
+}
+
+/// Runs one schedule to completion: repeatedly waits for the running
+/// thread to park, then picks and grants the next runnable thread.
+fn drive_schedule(shared: &Arc<Shared>, mut rng: u64) -> Result<Vec<u32>, Box<dyn Any + Send>> {
+    loop {
+        let mut st = shared.m.lock().unwrap_or_else(PoisonError::into_inner);
+        while st.running.is_some() {
+            st = shared.cv.wait(st).unwrap_or_else(PoisonError::into_inner);
+        }
+        if let Some(payload) = st.panic.take() {
+            return Err(payload);
+        }
+        let runnable: Vec<usize> = (0..st.threads.len())
+            .filter(|&t| is_runnable(&st, t))
+            .collect();
+        if runnable.is_empty() {
+            if st.threads.iter().all(|&t| t == Status::Done) {
+                return Ok(std::mem::take(&mut st.trace));
+            }
+            let blocked: Vec<usize> = (0..st.threads.len())
+                .filter(|&t| matches!(st.threads[t], Status::Blocked(_)))
+                .collect();
+            return Err(Box::new(format!(
+                "deadlock: threads {blocked:?} blocked with no runnable thread (trace: {:?})",
+                st.trace
+            )));
+        }
+        let pick = runnable[(splitmix64(&mut rng) % runnable.len() as u64) as usize];
+        // Grant the resource the picked thread was waiting for.
+        match st.threads[pick] {
+            Status::Blocked(Blocker::Lock(id)) | Status::Blocked(Blocker::Write(id)) => {
+                st.locks.entry(id).or_default().writer = true;
+            }
+            Status::Blocked(Blocker::Read(id)) => {
+                st.locks.entry(id).or_default().readers += 1;
+            }
+            _ => {}
+        }
+        st.trace.push(pick as u32);
+        st.threads[pick] = Status::Running;
+        st.running = Some(pick);
+        shared.cv.notify_all();
+    }
+}
+
+/// Exploration parameters. See [`explore`].
+#[derive(Debug, Clone)]
+pub struct ExploreConfig {
+    /// Scenario name (used in artifact file names and failure messages).
+    pub name: &'static str,
+    /// Base seed: the whole exploration is a pure function of it.
+    pub seed: u64,
+    /// Stop once this many *distinct* schedules have been observed.
+    pub target_distinct: usize,
+    /// Hard budget of schedule runs (bounds wall-clock time even when the
+    /// schedule space is smaller than `target_distinct`).
+    pub max_schedules: usize,
+    /// Where to write the failing-schedule artifact (`None` disables).
+    pub artifact_dir: Option<std::path::PathBuf>,
+}
+
+impl ExploreConfig {
+    /// Defaults sized for CI: 1000 distinct schedules, 4000-run budget,
+    /// artifacts under `target/schedule-artifacts/`.
+    pub fn new(name: &'static str, seed: u64) -> Self {
+        ExploreConfig {
+            name,
+            seed,
+            target_distinct: 1000,
+            max_schedules: 4000,
+            artifact_dir: Some(std::path::PathBuf::from("target/schedule-artifacts")),
+        }
+    }
+}
+
+/// What an exploration did. Returned by [`explore`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Report {
+    /// Schedule runs executed.
+    pub schedules_run: usize,
+    /// Distinct schedules (unique pick sequences) observed.
+    pub distinct_schedules: usize,
+    /// Whether sync primitives contributed scheduling points. `false`
+    /// means the facade compiled to real locks (no `--cfg asb_schedule`):
+    /// runs are still deterministic whole-thread permutations, but
+    /// fine-grained interleavings were not explored.
+    pub controlled: bool,
+    /// Order-sensitive digest of every schedule hash: two explorations
+    /// with the same seed must produce the same digest.
+    pub digest: u64,
+}
+
+/// Explores bounded interleavings of `scenario`, which must spawn its
+/// concurrent work through [`thread::spawn`].
+///
+/// The scenario runs once per schedule on a fresh controlled thread; any
+/// panic (assertion failure, deadlock report) aborts the exploration,
+/// writes the failing schedule to the artifact directory, and re-raises the
+/// panic on the calling thread — so `#[should_panic]` tests compose.
+///
+/// # Panics
+/// Re-raises the first scenario panic, and panics on detected deadlock.
+pub fn explore<F>(cfg: &ExploreConfig, scenario: F) -> Report
+where
+    F: Fn() + Send + Sync + 'static,
+{
+    let scenario = Arc::new(scenario);
+    let mut distinct: HashSet<u64> = HashSet::new();
+    let mut digest = 0xcbf2_9ce4_8422_2325u64;
+    let mut runs = 0usize;
+    let mut controlled = false;
+    for iteration in 0..cfg.max_schedules {
+        if distinct.len() >= cfg.target_distinct {
+            break;
+        }
+        let shared = Shared::new();
+        let slot = Arc::new(StdMutex::new(None::<()>));
+        let body = Arc::clone(&scenario);
+        spawn_controlled(&shared, slot, move || body());
+        let mut seed = cfg.seed ^ (iteration as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        splitmix64(&mut seed);
+        let outcome = drive_schedule(&shared, seed);
+        runs += 1;
+        let st = shared.m.lock().unwrap_or_else(PoisonError::into_inner);
+        if st.sync_points > 0 {
+            controlled = true;
+        }
+        drop(st);
+        match outcome {
+            Ok(trace) => {
+                let h = fnv1a(&trace);
+                distinct.insert(h);
+                digest = digest.rotate_left(5) ^ h;
+            }
+            Err(payload) => {
+                let trace = {
+                    let st = shared.m.lock().unwrap_or_else(PoisonError::into_inner);
+                    st.trace.clone()
+                };
+                write_artifact(cfg, iteration, &trace, &payload);
+                resume_unwind(payload);
+            }
+        }
+    }
+    Report {
+        schedules_run: runs,
+        distinct_schedules: distinct.len(),
+        controlled,
+        digest,
+    }
+}
+
+/// Writes the failing schedule (seed, iteration, pick trace, message) so CI
+/// can upload it as an artifact. Best-effort: IO errors are ignored —
+/// the panic that is about to propagate matters more.
+fn write_artifact(
+    cfg: &ExploreConfig,
+    iteration: usize,
+    trace: &[u32],
+    payload: &Box<dyn Any + Send>,
+) {
+    let Some(dir) = &cfg.artifact_dir else { return };
+    let msg = payload
+        .downcast_ref::<String>()
+        .cloned()
+        .or_else(|| payload.downcast_ref::<&str>().map(|s| (*s).to_string()))
+        .unwrap_or_else(|| "<non-string panic payload>".to_string());
+    let body = format!(
+        "scenario: {}\nseed: {}\niteration: {}\nschedule (thread picked at each step): {:?}\npanic: {}\n\nreproduce: rerun the same test with the same seed; \
+         schedule {iteration} of this exploration is the failing interleaving.\n",
+        cfg.name, cfg.seed, iteration, trace, msg
+    );
+    let _ = std::fs::create_dir_all(dir);
+    let _ = std::fs::write(
+        dir.join(format!(
+            "{}-seed{}-iter{}.txt",
+            cfg.name, cfg.seed, iteration
+        )),
+        body,
+    );
+}
+
+pub mod sync {
+    //! Scheduler-aware synchronization primitives.
+    //!
+    //! API-compatible with the `parking_lot` shim (`lock()` returns the
+    //! guard directly, no poisoning) plus the std atomics the workspace
+    //! uses. On a controlled thread every acquisition and atomic operation
+    //! is a scheduling point; elsewhere they behave exactly like the real
+    //! primitives.
+
+    use super::{current_ctx, fresh_lock_id, yield_point, Blocker, Ctx, Status};
+    use std::sync::PoisonError;
+
+    pub use std::sync::atomic::Ordering;
+
+    /// Tells the explorer the calling thread wants `blocker`; returns once
+    /// granted. No-op off controlled threads.
+    fn acquire(ctx: &Option<Ctx>, blocker: Blocker) {
+        if let Some(ctx) = ctx {
+            ctx.park(Status::Blocked(blocker), true);
+        }
+    }
+
+    /// Model-release bookkeeping attached to a guard; runs after the real
+    /// guard unlocks (field order in the guard structs guarantees this).
+    struct Release {
+        ctx: Option<Ctx>,
+        id: u64,
+        shared_mode: bool,
+    }
+
+    impl Drop for Release {
+        fn drop(&mut self) {
+            if let Some(ctx) = &self.ctx {
+                if self.shared_mode {
+                    ctx.release_read(self.id);
+                } else {
+                    ctx.release_write(self.id);
+                }
+            }
+        }
+    }
+
+    /// A mutual-exclusion lock that doubles as a model-checker scheduling
+    /// point. `lock()` never returns a poison error.
+    #[derive(Debug)]
+    pub struct Mutex<T: ?Sized> {
+        id: u64,
+        inner: std::sync::Mutex<T>,
+    }
+
+    // Manual impl: a derived Default would zero the id, aliasing every
+    // default-constructed mutex to one model lock (false self-deadlocks).
+    impl<T: Default> Default for Mutex<T> {
+        fn default() -> Self {
+            Mutex::new(T::default())
+        }
+    }
+
+    /// Guard returned by [`Mutex::lock`].
+    pub struct MutexGuard<'a, T: ?Sized> {
+        guard: std::sync::MutexGuard<'a, T>,
+        _release: Release,
+    }
+
+    impl<T: ?Sized> std::ops::Deref for MutexGuard<'_, T> {
+        type Target = T;
+        fn deref(&self) -> &T {
+            &self.guard
+        }
+    }
+
+    impl<T: ?Sized> std::ops::DerefMut for MutexGuard<'_, T> {
+        fn deref_mut(&mut self) -> &mut T {
+            &mut self.guard
+        }
+    }
+
+    impl<T> Mutex<T> {
+        /// Creates a mutex protecting `value`.
+        pub fn new(value: T) -> Self {
+            Mutex {
+                id: fresh_lock_id(),
+                inner: std::sync::Mutex::new(value),
+            }
+        }
+
+        /// Consumes the mutex, returning the protected value.
+        pub fn into_inner(self) -> T {
+            self.inner
+                .into_inner()
+                .unwrap_or_else(PoisonError::into_inner)
+        }
+    }
+
+    impl<T: ?Sized> Mutex<T> {
+        /// Acquires the lock; on a controlled thread this is a scheduling
+        /// point and the model grants exclusivity before the real lock is
+        /// taken (uncontended by construction).
+        pub fn lock(&self) -> MutexGuard<'_, T> {
+            let ctx = current_ctx();
+            acquire(&ctx, Blocker::Lock(self.id));
+            MutexGuard {
+                guard: self.inner.lock().unwrap_or_else(PoisonError::into_inner),
+                _release: Release {
+                    ctx,
+                    id: self.id,
+                    shared_mode: false,
+                },
+            }
+        }
+
+        /// Attempts to acquire without blocking (a scheduling point, but
+        /// never a blocking one, on controlled threads).
+        pub fn try_lock(&self) -> Option<MutexGuard<'_, T>> {
+            let ctx = current_ctx();
+            if let Some(c) = &ctx {
+                c.park(Status::Ready, true);
+                let mut st = c.shared.m.lock().unwrap_or_else(PoisonError::into_inner);
+                let l = st.locks.entry(self.id).or_default();
+                if l.writer || l.readers > 0 {
+                    return None;
+                }
+                l.writer = true;
+            }
+            let guard = match self.inner.try_lock() {
+                Ok(g) => Some(g),
+                Err(std::sync::TryLockError::Poisoned(p)) => Some(p.into_inner()),
+                Err(std::sync::TryLockError::WouldBlock) => None,
+            };
+            match guard {
+                Some(guard) => Some(MutexGuard {
+                    guard,
+                    _release: Release {
+                        ctx,
+                        id: self.id,
+                        shared_mode: false,
+                    },
+                }),
+                None => {
+                    // Model said free but the real lock is held: only
+                    // possible with uncontrolled threads in the mix; undo
+                    // the model claim.
+                    if let Some(c) = &ctx {
+                        c.release_write(self.id);
+                    }
+                    None
+                }
+            }
+        }
+
+        /// Mutable access without locking (requires exclusive borrow).
+        pub fn get_mut(&mut self) -> &mut T {
+            self.inner.get_mut().unwrap_or_else(PoisonError::into_inner)
+        }
+    }
+
+    /// A reader-writer lock that doubles as a model-checker scheduling
+    /// point. Accessors never return poison errors.
+    #[derive(Debug)]
+    pub struct RwLock<T: ?Sized> {
+        id: u64,
+        inner: std::sync::RwLock<T>,
+    }
+
+    // Manual impl for the same reason as `Mutex`: the id must be fresh.
+    impl<T: Default> Default for RwLock<T> {
+        fn default() -> Self {
+            RwLock::new(T::default())
+        }
+    }
+
+    /// Guard returned by [`RwLock::read`].
+    pub struct RwLockReadGuard<'a, T: ?Sized> {
+        guard: std::sync::RwLockReadGuard<'a, T>,
+        _release: Release,
+    }
+
+    impl<T: ?Sized> std::ops::Deref for RwLockReadGuard<'_, T> {
+        type Target = T;
+        fn deref(&self) -> &T {
+            &self.guard
+        }
+    }
+
+    /// Guard returned by [`RwLock::write`].
+    pub struct RwLockWriteGuard<'a, T: ?Sized> {
+        guard: std::sync::RwLockWriteGuard<'a, T>,
+        _release: Release,
+    }
+
+    impl<T: ?Sized> std::ops::Deref for RwLockWriteGuard<'_, T> {
+        type Target = T;
+        fn deref(&self) -> &T {
+            &self.guard
+        }
+    }
+
+    impl<T: ?Sized> std::ops::DerefMut for RwLockWriteGuard<'_, T> {
+        fn deref_mut(&mut self) -> &mut T {
+            &mut self.guard
+        }
+    }
+
+    impl<T> RwLock<T> {
+        /// Creates a lock protecting `value`.
+        pub fn new(value: T) -> Self {
+            RwLock {
+                id: fresh_lock_id(),
+                inner: std::sync::RwLock::new(value),
+            }
+        }
+
+        /// Consumes the lock, returning the protected value.
+        pub fn into_inner(self) -> T {
+            self.inner
+                .into_inner()
+                .unwrap_or_else(PoisonError::into_inner)
+        }
+    }
+
+    impl<T: ?Sized> RwLock<T> {
+        /// Acquires shared read access (a scheduling point; runnable while
+        /// no writer holds the model lock, so reads overlap).
+        pub fn read(&self) -> RwLockReadGuard<'_, T> {
+            let ctx = current_ctx();
+            acquire(&ctx, Blocker::Read(self.id));
+            RwLockReadGuard {
+                guard: self.inner.read().unwrap_or_else(PoisonError::into_inner),
+                _release: Release {
+                    ctx,
+                    id: self.id,
+                    shared_mode: true,
+                },
+            }
+        }
+
+        /// Acquires exclusive write access (a scheduling point; runnable
+        /// only when no reader or writer holds the model lock).
+        pub fn write(&self) -> RwLockWriteGuard<'_, T> {
+            let ctx = current_ctx();
+            acquire(&ctx, Blocker::Write(self.id));
+            RwLockWriteGuard {
+                guard: self.inner.write().unwrap_or_else(PoisonError::into_inner),
+                _release: Release {
+                    ctx,
+                    id: self.id,
+                    shared_mode: false,
+                },
+            }
+        }
+
+        /// Mutable access without locking (requires exclusive borrow).
+        pub fn get_mut(&mut self) -> &mut T {
+            self.inner.get_mut().unwrap_or_else(PoisonError::into_inner)
+        }
+    }
+
+    macro_rules! scheduled_atomic {
+        ($name:ident, $std:ty, $prim:ty) => {
+            /// Scheduler-aware atomic: every operation is a scheduling
+            /// point on a controlled thread, then delegates to `std`.
+            #[derive(Debug, Default)]
+            pub struct $name {
+                inner: $std,
+            }
+
+            impl $name {
+                /// Creates an atomic with the given initial value.
+                pub fn new(v: $prim) -> Self {
+                    Self {
+                        inner: <$std>::new(v),
+                    }
+                }
+
+                /// Atomic load (a scheduling point on controlled threads).
+                pub fn load(&self, order: Ordering) -> $prim {
+                    yield_point();
+                    self.inner.load(order)
+                }
+
+                /// Atomic store (a scheduling point on controlled threads).
+                pub fn store(&self, v: $prim, order: Ordering) {
+                    yield_point();
+                    self.inner.store(v, order)
+                }
+
+                /// Mutable access without synchronization.
+                pub fn get_mut(&mut self) -> &mut $prim {
+                    self.inner.get_mut()
+                }
+
+                /// Consumes the atomic, returning the value.
+                pub fn into_inner(self) -> $prim {
+                    self.inner.into_inner()
+                }
+            }
+        };
+    }
+
+    scheduled_atomic!(AtomicBool, std::sync::atomic::AtomicBool, bool);
+    scheduled_atomic!(AtomicU64, std::sync::atomic::AtomicU64, u64);
+    scheduled_atomic!(AtomicUsize, std::sync::atomic::AtomicUsize, usize);
+
+    impl AtomicU64 {
+        /// Atomic add returning the previous value (a scheduling point on
+        /// controlled threads).
+        pub fn fetch_add(&self, v: u64, order: Ordering) -> u64 {
+            yield_point();
+            self.inner.fetch_add(v, order)
+        }
+    }
+
+    impl AtomicUsize {
+        /// Atomic add returning the previous value (a scheduling point on
+        /// controlled threads).
+        pub fn fetch_add(&self, v: usize, order: Ordering) -> usize {
+            yield_point();
+            self.inner.fetch_add(v, order)
+        }
+    }
+}
+
+pub mod thread {
+    //! Controlled thread spawning for [`explore`](super::explore) scenarios.
+
+    use super::{current_ctx, spawn_controlled, Blocker, Status};
+    use std::sync::{Arc, Mutex as StdMutex, PoisonError};
+
+    /// Handle to a spawned thread; see [`spawn`].
+    pub struct JoinHandle<T> {
+        slot: Arc<StdMutex<Option<T>>>,
+        /// Set when the thread is scheduler-controlled.
+        target: Option<usize>,
+        /// Set when the thread is a plain std thread (no active explorer).
+        std_handle: Option<std::thread::JoinHandle<()>>,
+    }
+
+    impl<T> JoinHandle<T> {
+        /// Waits for the thread and returns its result.
+        ///
+        /// # Panics
+        /// Panics if the joined thread panicked (mirroring
+        /// `std::thread::JoinHandle::join().unwrap()`).
+        pub fn join(self) -> T {
+            if let Some(target) = self.target {
+                let ctx = current_ctx()
+                    .expect("controlled JoinHandle joined from an uncontrolled thread");
+                ctx.park(Status::Blocked(Blocker::Join(target)), false);
+            } else if let Some(h) = self.std_handle {
+                h.join().expect("joined thread panicked");
+            }
+            self.slot
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner)
+                .take()
+                .expect("joined thread panicked")
+        }
+    }
+
+    /// Spawns `f`. Inside an [`explore`](super::explore) scenario the new
+    /// thread is scheduler-controlled (it parks at every scheduling point);
+    /// outside one this is a plain `std::thread::spawn`.
+    pub fn spawn<T, F>(f: F) -> JoinHandle<T>
+    where
+        T: Send + 'static,
+        F: FnOnce() -> T + Send + 'static,
+    {
+        let slot = Arc::new(StdMutex::new(None));
+        match current_ctx() {
+            Some(ctx) => {
+                let tid = spawn_controlled(&ctx.shared, Arc::clone(&slot), f);
+                JoinHandle {
+                    slot,
+                    target: Some(tid),
+                    std_handle: None,
+                }
+            }
+            None => {
+                let their_slot = Arc::clone(&slot);
+                let h = std::thread::spawn(move || {
+                    let v = f();
+                    *their_slot.lock().unwrap_or_else(PoisonError::into_inner) = Some(v);
+                });
+                JoinHandle {
+                    slot,
+                    target: None,
+                    std_handle: Some(h),
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::sync::{AtomicUsize, Mutex, Ordering, RwLock};
+    use super::*;
+
+    fn quick(name: &'static str, seed: u64) -> ExploreConfig {
+        ExploreConfig {
+            name,
+            seed,
+            target_distinct: 50,
+            max_schedules: 400,
+            artifact_dir: None,
+        }
+    }
+
+    #[test]
+    fn default_constructed_locks_are_distinct_model_locks() {
+        // Regression: a derived Default once gave every default-built lock
+        // id 0, so holding one while taking another looked like a
+        // self-deadlock to the model.
+        let report = explore(&quick("default-lock-ids", 11), || {
+            let a: Mutex<u32> = Mutex::default();
+            let b: Mutex<u32> = Mutex::default();
+            let l: RwLock<u32> = RwLock::default();
+            let ga = a.lock();
+            let gb = b.lock();
+            let gl = l.read();
+            assert_eq!(*ga + *gb + *gl, 0);
+        });
+        assert!(report.schedules_run > 0);
+    }
+
+    #[test]
+    fn primitives_work_outside_exploration() {
+        let m = Mutex::new(1);
+        *m.lock() += 1;
+        assert_eq!(*m.lock(), 2);
+        assert!(m.try_lock().is_some());
+        assert_eq!(m.into_inner(), 2);
+        let l = RwLock::new(vec![1]);
+        l.write().push(2);
+        assert_eq!(l.read().len(), 2);
+        let a = AtomicUsize::new(0);
+        a.fetch_add(3, Ordering::SeqCst);
+        assert_eq!(a.load(Ordering::SeqCst), 3);
+        let h = thread::spawn(|| 7);
+        assert_eq!(h.join(), 7);
+    }
+
+    #[test]
+    fn counter_increments_are_never_lost() {
+        let report = explore(&quick("counter", 42), || {
+            let n = Arc::new(Mutex::new(0u64));
+            let handles: Vec<_> = (0..2)
+                .map(|_| {
+                    let n = Arc::clone(&n);
+                    thread::spawn(move || {
+                        for _ in 0..5 {
+                            *n.lock() += 1;
+                        }
+                    })
+                })
+                .collect();
+            for h in handles {
+                h.join();
+            }
+            assert_eq!(*n.lock(), 10);
+        });
+        assert!(report.schedules_run > 0);
+        assert!(report.distinct_schedules >= 1);
+    }
+
+    #[test]
+    fn same_seed_same_schedules() {
+        fn run() -> Report {
+            explore(&quick("digest", 7), || {
+                let n = Arc::new(Mutex::new(0u64));
+                let handles: Vec<_> = (0..3)
+                    .map(|i| {
+                        let n = Arc::clone(&n);
+                        thread::spawn(move || {
+                            *n.lock() += i;
+                        })
+                    })
+                    .collect();
+                for h in handles {
+                    h.join();
+                }
+            })
+        }
+        let a = run();
+        let b = run();
+        assert_eq!(a, b, "exploration must be a pure function of the seed");
+    }
+
+    #[test]
+    fn controlled_mode_explores_many_interleavings() {
+        let report = explore(&quick("many", 3), || {
+            let n = Arc::new(Mutex::new(0u64));
+            let handles: Vec<_> = (0..2)
+                .map(|_| {
+                    let n = Arc::clone(&n);
+                    thread::spawn(move || {
+                        for _ in 0..8 {
+                            *n.lock() += 1;
+                        }
+                    })
+                })
+                .collect();
+            for h in handles {
+                h.join();
+            }
+        });
+        if report.controlled {
+            assert!(
+                report.distinct_schedules >= 50,
+                "lock-granular control must reach the distinct-schedule target, got {}",
+                report.distinct_schedules
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "lost update")]
+    fn broken_invariant_is_caught_and_propagated() {
+        explore(&quick("broken", 11), || {
+            let n = Arc::new(Mutex::new(0u64));
+            let handles: Vec<_> = (0..2)
+                .map(|_| {
+                    let n = Arc::clone(&n);
+                    thread::spawn(move || {
+                        // Deliberate read-modify-write race modelled at the
+                        // application level: read, drop the lock, write.
+                        let v = *n.lock();
+                        *n.lock() = v + 1;
+                    })
+                })
+                .collect();
+            for h in handles {
+                h.join();
+            }
+            assert_eq!(*n.lock(), 2, "lost update");
+        });
+    }
+
+    #[test]
+    fn rwlock_readers_overlap_and_writers_exclude() {
+        let report = explore(&quick("rw", 5), || {
+            let l = Arc::new(RwLock::new(0u64));
+            let readers: Vec<_> = (0..2)
+                .map(|_| {
+                    let l = Arc::clone(&l);
+                    thread::spawn(move || *l.read())
+                })
+                .collect();
+            let w = {
+                let l = Arc::clone(&l);
+                thread::spawn(move || {
+                    *l.write() += 1;
+                })
+            };
+            for r in readers {
+                let v = r.join();
+                assert!(v == 0 || v == 1);
+            }
+            w.join();
+            assert_eq!(*l.read(), 1);
+        });
+        assert!(report.schedules_run > 0);
+    }
+
+    #[test]
+    fn atomics_are_scheduling_points_but_stay_atomic() {
+        explore(&quick("atomic", 9), || {
+            let a = Arc::new(AtomicUsize::new(0));
+            let handles: Vec<_> = (0..2)
+                .map(|_| {
+                    let a = Arc::clone(&a);
+                    thread::spawn(move || {
+                        for _ in 0..4 {
+                            a.fetch_add(1, Ordering::SeqCst);
+                        }
+                    })
+                })
+                .collect();
+            for h in handles {
+                h.join();
+            }
+            assert_eq!(
+                a.load(Ordering::SeqCst),
+                8,
+                "fetch_add must never lose updates"
+            );
+        });
+    }
+
+    #[test]
+    #[should_panic(expected = "deadlock")]
+    fn lock_order_inversion_is_reported_as_deadlock() {
+        explore(
+            &ExploreConfig {
+                name: "deadlock",
+                seed: 1,
+                target_distinct: 200,
+                max_schedules: 2000,
+                artifact_dir: None,
+            },
+            || {
+                let a = Arc::new(Mutex::new(()));
+                let b = Arc::new(Mutex::new(()));
+                let (a2, b2) = (Arc::clone(&a), Arc::clone(&b));
+                let t1 = thread::spawn(move || {
+                    let _ga = a2.lock();
+                    let _gb = b2.lock();
+                });
+                let (a3, b3) = (Arc::clone(&a), Arc::clone(&b));
+                let t2 = thread::spawn(move || {
+                    let _gb = b3.lock();
+                    let _ga = a3.lock();
+                });
+                t1.join();
+                t2.join();
+            },
+        );
+    }
+}

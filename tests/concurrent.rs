@@ -1,11 +1,11 @@
 //! Multi-threaded integration tests for the shared buffer.
 
 use asb::buffer::concurrent::SharedBuffer;
+use asb::buffer::sync::{AtomicU64, Ordering};
 use asb::buffer::{BufferManager, PolicyKind};
 use asb::geom::SpatialStats;
 use asb::storage::{AccessContext, DiskManager, PageId, PageMeta, PageStore, QueryId};
 use bytes::Bytes;
-use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 fn build_disk(pages: u64) -> (DiskManager, Vec<PageId>) {
@@ -44,6 +44,8 @@ fn concurrent_readers_see_consistent_pages() {
                         .read(ids[slot], AccessContext::query(QueryId::new(t * 1000 + i)))
                         .expect("read");
                     assert_eq!(page.payload.as_ref(), &[slot as u8][..]);
+                    // relaxed-ok: independent success counter; the scope
+                    // join publishes it before the final assertion reads it.
                     total.fetch_add(1, Ordering::Relaxed);
                 }
             });
@@ -51,6 +53,7 @@ fn concurrent_readers_see_consistent_pages() {
     })
     .expect("threads join");
 
+    // relaxed-ok: read after the scope join; no concurrent writers remain.
     assert_eq!(total.load(Ordering::Relaxed), 8 * 250);
     let stats = shared.stats();
     assert_eq!(stats.logical_reads, 8 * 250);
