@@ -90,6 +90,22 @@ checks the runtime property; this rule catches the obvious regression of
 reordering the calls in a refactor.",
     },
     Rule {
+        id: "guard-scope",
+        summary: "page guards must not be forgotten or held across checkpoint/flush",
+        explain: "\
+PageReadGuard/PageWriteGuard pin a frame until dropped: the pin is what
+makes eviction safe, and the drop is what releases it. Two misuses defeat
+the design. (1) `std::mem::forget` on a guard leaks the pin forever — the
+frame can never be evicted and `with_store`/`try_into_store` stay refused;
+guards must always be dropped, never forgotten. (2) Holding a guard across
+a `.checkpoint(`/`.flush(` call in the same function inverts the intended
+scope: flush-class operations want the pool quiescent, and a still-live
+guard from the same function is almost always an overlong scope (drop the
+guard first, or narrow its binding). Both checks are source-order
+heuristics over non-test code; a deliberate exception carries a
+`// guard-scope-ok: ...` comment explaining why the scope is right.",
+    },
+    Rule {
         id: "wall-clock",
         summary: "no Instant::now()/SystemTime outside the clock abstraction",
         explain: "\
@@ -481,6 +497,7 @@ fn check_file(rel_path: &Path, source: &str, out: &mut Vec<Violation>) {
     rule_sync_facade(&file, &path_str, out);
     rule_relaxed_ok(&file, out);
     rule_wal_order(&file, out);
+    rule_guard_scope(&file, out);
     rule_wall_clock(&file, out);
 }
 
@@ -674,6 +691,124 @@ fn rule_wal_order(file: &PreparedFile, out: &mut Vec<Violation>) {
                     allowed: false,
                 });
             }
+        }
+        idx = k.max(idx) + 1;
+    }
+}
+
+/// Guard-scope hygiene, two checks over non-test code.
+///
+/// *Forget check* (per line): `mem::forget(` whose argument text mentions a
+/// guard leaks the pin forever and is flagged wherever it appears.
+///
+/// *Hold-across check* (per function body, same extraction as
+/// [`rule_wal_order`]): a `let` binding a guard (`.fetch(`/`.fetch_mut(`)
+/// stays "live" until a `drop(` call or until brace depth falls back to the
+/// binding's level; a `.checkpoint(`/`.flush(` reached while a binding is
+/// live is flagged. Like wal-order this is a source-order heuristic — the
+/// interleave suite checks the runtime property; this catches the obvious
+/// overlong scope in a refactor.
+fn rule_guard_scope(file: &PreparedFile, out: &mut Vec<Violation>) {
+    let lines = &file.lines;
+
+    for (idx, line) in lines.iter().enumerate() {
+        if line.in_test {
+            continue;
+        }
+        if let Some(pos) = line.code.find("mem::forget(") {
+            let arg = line.code[pos..].to_ascii_lowercase();
+            if arg.contains("guard") && !justified(lines, idx, "guard-scope-ok:") {
+                out.push(Violation {
+                    file: file.rel_path.clone(),
+                    line: idx + 1,
+                    rule: "guard-scope",
+                    message: "`mem::forget` of a page guard leaks its frame pin forever; \
+                              let the guard drop (or justify with `// guard-scope-ok:`)"
+                        .to_string(),
+                    allowed: false,
+                });
+            }
+        }
+    }
+
+    let mut idx = 0;
+    while idx < lines.len() {
+        let line = &lines[idx];
+        let is_fn = !line.in_test
+            && (line.code.contains("fn ") && !line.code.trim_start().starts_with("//"));
+        if !is_fn {
+            idx += 1;
+            continue;
+        }
+        let mut depth: i64 = 0;
+        let mut body_start = None;
+        let mut j = idx;
+        'find: while j < lines.len() && j < idx + 8 {
+            for c in lines[j].code.chars() {
+                match c {
+                    '{' => {
+                        depth += 1;
+                        if depth == 1 {
+                            body_start = Some(j);
+                            break 'find;
+                        }
+                    }
+                    ';' if depth == 0 => break 'find,
+                    _ => {}
+                }
+            }
+            j += 1;
+        }
+        let Some(start) = body_start else {
+            idx += 1;
+            continue;
+        };
+        // Walk the body: guard bindings enter `live` with the depth they
+        // were bound at and leave on `drop(` or when their scope closes.
+        let mut live: Vec<(usize, i64)> = Vec::new();
+        let mut d: i64 = 0;
+        let mut k = start;
+        'body: while k < lines.len() {
+            let code = &lines[k].code;
+            let binds_guard =
+                code.contains("let ") && (code.contains(".fetch(") || code.contains(".fetch_mut("));
+            if code.contains("drop(") {
+                live.clear();
+            } else if !live.is_empty()
+                && (code.contains(".checkpoint(") || code.contains(".flush("))
+                && !lines[idx].in_test
+                && !justified(lines, k, "guard-scope-ok:")
+            {
+                out.push(Violation {
+                    file: file.rel_path.clone(),
+                    line: k + 1,
+                    rule: "guard-scope",
+                    message: format!(
+                        "checkpoint/flush with the guard bound at line {} still live; \
+                         drop the guard first or narrow its scope",
+                        live[0].0 + 1
+                    ),
+                    allowed: false,
+                });
+                live.clear(); // one finding per overlong scope
+            }
+            for c in code.chars() {
+                match c {
+                    '{' => d += 1,
+                    '}' => {
+                        d -= 1;
+                        if d == 0 {
+                            break 'body;
+                        }
+                        live.retain(|&(_, bd)| bd <= d);
+                    }
+                    _ => {}
+                }
+            }
+            if binds_guard {
+                live.push((k, d));
+            }
+            k += 1;
         }
         idx = k.max(idx) + 1;
     }
@@ -899,6 +1034,43 @@ mod tests {
         assert!(lint("crates/core/src/m.rs", good).is_empty());
         let only_store = "fn w(&mut self) -> R { io.store(&p) }\n";
         assert!(lint("crates/core/src/m.rs", only_store).is_empty());
+    }
+
+    #[test]
+    fn guard_scope_flags_forgotten_guards() {
+        let bad = "fn f(b: &B) { let guard = b.fetch(id, ctx)?; std::mem::forget(guard); }\n";
+        let v = lint("crates/rtree/src/a.rs", bad);
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].rule, "guard-scope");
+        let ok = "fn f(x: Widget) { std::mem::forget(x); }\n";
+        assert!(
+            lint("crates/rtree/src/a.rs", ok).is_empty(),
+            "forgetting a non-guard is someone else's problem"
+        );
+        let justified =
+            "fn f(b: &B) {\n // guard-scope-ok: leak test fixture\n std::mem::forget(guard);\n}\n";
+        assert!(lint("crates/rtree/src/a.rs", justified).is_empty());
+    }
+
+    #[test]
+    fn guard_scope_flags_guards_held_across_flush() {
+        let bad = "fn f(p: &P) -> R {\n let g = p.fetch(id, ctx)?;\n p.flush()?;\n Ok(())\n}\n";
+        let v = lint("crates/exp/src/a.rs", bad);
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].rule, "guard-scope");
+        assert_eq!(v[0].line, 3);
+        let dropped =
+            "fn f(p: &P) -> R {\n let g = p.fetch(id, ctx)?;\n drop(g);\n p.checkpoint()?;\n Ok(())\n}\n";
+        assert!(lint("crates/exp/src/a.rs", dropped).is_empty());
+        let scoped =
+            "fn f(p: &P) -> R {\n {\n let g = p.fetch(id, ctx)?;\n }\n p.flush()?;\n Ok(())\n}\n";
+        assert!(
+            lint("crates/exp/src/a.rs", scoped).is_empty(),
+            "a guard whose scope closed is no longer held"
+        );
+        let in_test =
+            "#[cfg(test)]\nmod t {\n fn f(p: &P) { let g = p.fetch(id, ctx); p.flush(); }\n}\n";
+        assert!(lint("crates/exp/src/a.rs", in_test).is_empty());
     }
 
     #[test]

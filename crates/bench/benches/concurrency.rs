@@ -102,7 +102,7 @@ fn scaling_table(c: &mut Criterion) {
             let (disk, _) = fresh_disk();
             let pool = ShardedBuffer::new(disk, policy, CAPACITY, SHARDS);
             let elapsed = drain(&accesses, threads, |id, ctx| {
-                std::hint::black_box(pool.read(id, ctx).expect("read"));
+                std::hint::black_box(pool.fetch(id, ctx).expect("read"));
             });
             let rate = throughput(len, elapsed);
             let base = *base.get_or_insert(rate);
@@ -127,7 +127,7 @@ fn scaling_table(c: &mut Criterion) {
                 asb_core::BufferManager::with_policy(PolicyKind::Lru, CAPACITY),
             );
             let elapsed = drain(&accesses, threads, |id, ctx| {
-                std::hint::black_box(pool.read(id, ctx).expect("read"));
+                std::hint::black_box(pool.fetch(id, ctx).expect("read"));
             });
             let rate = throughput(len, elapsed);
             let base = *base.get_or_insert(rate);
@@ -149,6 +149,35 @@ fn scaling_table(c: &mut Criterion) {
          ({:.2}x)",
         sharded_4t / shared_4t
     );
+
+    // Miss-path dedup: 8 threads hammer one cold page; the I/O scheduler
+    // must collapse the burst into a single store read.
+    {
+        let (disk, ids) = fresh_disk();
+        let pool = ShardedBuffer::new(disk, PolicyKind::Lru, CAPACITY, SHARDS);
+        let cold = ids[0];
+        std::thread::scope(|s| {
+            for _ in 0..8 {
+                let pool = pool.clone();
+                s.spawn(move || {
+                    std::hint::black_box(pool.fetch(cold, AccessContext::default()).expect("read"));
+                });
+            }
+        });
+        let flights = pool.flight_stats();
+        println!(
+            "single-flight: 8 concurrent misses on one page -> {} store read(s) \
+             ({} led, {} joined)",
+            pool.io_stats().reads,
+            flights.led,
+            flights.joined
+        );
+        assert_eq!(
+            pool.io_stats().reads,
+            1,
+            "duplicate fetch slipped past the scheduler"
+        );
+    }
     let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
     if !smoke && cores >= 4 {
         assert!(
@@ -171,7 +200,7 @@ fn scaling_table(c: &mut Criterion) {
         group.bench_function(name, |b| {
             b.iter(|| {
                 drain(&accesses, threads, |id, ctx| {
-                    std::hint::black_box(pool.read(id, ctx).expect("read"));
+                    std::hint::black_box(pool.fetch(id, ctx).expect("read"));
                 })
             })
         });
@@ -185,7 +214,7 @@ fn scaling_table(c: &mut Criterion) {
         group.bench_function(name, |b| {
             b.iter(|| {
                 drain(&accesses, threads, |id, ctx| {
-                    std::hint::black_box(pool.read(id, ctx).expect("read"));
+                    std::hint::black_box(pool.fetch(id, ctx).expect("read"));
                 })
             })
         });

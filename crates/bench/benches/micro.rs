@@ -63,7 +63,7 @@ fn bench_buffer_policies(c: &mut Criterion) {
                 |mut buf| {
                     for &(id, q) in &trace {
                         std::hint::black_box(
-                            buf.read_through(&mut disk, id, AccessContext::query(q))
+                            buf.fetch(&mut disk, id, AccessContext::query(q))
                                 .expect("read"),
                         );
                     }

@@ -8,17 +8,21 @@
 //! queries from several sessions) can share one buffer pool.
 //!
 //! `SharedBuffer` serializes *every* request — including hits — behind one
-//! mutex. For parallel serving, prefer
+//! mutex; the mutex is released before a fetched guard is handed out, so
+//! only the probe/admit step is serialized, not the caller's use of the
+//! page. For parallel serving, prefer
 //! [`ShardedBuffer`](crate::ShardedBuffer), which stripes the pool across
 //! independently locked shards; `SharedBuffer` remains the simplest choice
 //! when requests are rare or exactly serialized statistics matter more than
 //! throughput (it behaves like a `ShardedBuffer` with one shard whose
 //! requests never overlap).
 
+use crate::guard::{PageReadGuard, PageWriteGuard, WriteSink};
 use crate::manager::{BufferManager, BufferStats};
-use crate::sync::Mutex;
+use crate::sync::{AtomicU64, Mutex, Ordering};
 use asb_storage::{
     AccessContext, ConcurrentPageStore, IoStats, Page, PageId, PageMeta, PageStore, Result,
+    StorageError,
 };
 use bytes::Bytes;
 use std::sync::Arc;
@@ -36,13 +40,32 @@ struct Inner<S: PageStore> {
 /// for a reproduction study (and still safe and correct for applications).
 pub struct SharedBuffer<S: PageStore> {
     inner: Arc<Mutex<Inner<S>>>,
+    /// Commits that failed inside a [`PageWriteGuard`] drop; see
+    /// [`write_drop_failures`](SharedBuffer::write_drop_failures).
+    write_drop_failures: Arc<AtomicU64>,
 }
 
 impl<S: PageStore> Clone for SharedBuffer<S> {
     fn clone(&self) -> Self {
         SharedBuffer {
             inner: Arc::clone(&self.inner),
+            write_drop_failures: Arc::clone(&self.write_drop_failures),
         }
+    }
+}
+
+/// [`WriteSink`] half of a [`PageWriteGuard`]: commits publish through the
+/// shared buffer's buffered-write path (WAL image first, frame dirtied,
+/// `rec_lsn` stamped).
+struct SharedSink<S: PageStore> {
+    inner: Arc<Mutex<Inner<S>>>,
+}
+
+impl<S: PageStore + Send> WriteSink for SharedSink<S> {
+    fn commit(&self, page: Page) -> Result<()> {
+        let mut g = self.inner.lock();
+        let Inner { store, buffer } = &mut *g;
+        buffer.write_buffered(store, page)
     }
 }
 
@@ -51,21 +74,57 @@ impl<S: PageStore> SharedBuffer<S> {
     pub fn new(store: S, buffer: BufferManager) -> Self {
         SharedBuffer {
             inner: Arc::new(Mutex::new(Inner { store, buffer })),
+            write_drop_failures: Arc::new(AtomicU64::new(0)),
         }
     }
 
-    /// Reads a page through the shared buffer.
-    pub fn read(&self, id: PageId, ctx: AccessContext) -> Result<Page> {
+    /// Reads a page through the shared buffer, returning a pinned
+    /// [`PageReadGuard`]. The pool mutex is released before the guard is
+    /// returned: holding a guard pins its frame but blocks nobody.
+    pub fn fetch(&self, id: PageId, ctx: AccessContext) -> Result<PageReadGuard> {
         let mut g = self.inner.lock();
         let Inner { store, buffer } = &mut *g;
-        buffer.read_through(store, id, ctx)
+        buffer.fetch(store, id, ctx)
     }
 
-    /// Writes a page through the shared buffer.
+    /// Reads a page for modification, returning a [`PageWriteGuard`] whose
+    /// commit (or drop, best-effort) publishes through the buffered-write
+    /// path.
+    pub fn fetch_mut(&self, id: PageId, ctx: AccessContext) -> Result<PageWriteGuard>
+    where
+        S: Send + 'static,
+    {
+        let (page, token) = self.fetch(id, ctx)?.into_parts();
+        Ok(PageWriteGuard::new(
+            page,
+            token,
+            Box::new(SharedSink {
+                inner: Arc::clone(&self.inner),
+            }),
+            Arc::clone(&self.write_drop_failures),
+        ))
+    }
+
+    /// Writes a page through the shared buffer (write-through).
     pub fn write(&self, page: Page) -> Result<()> {
         let mut g = self.inner.lock();
         let Inner { store, buffer } = &mut *g;
         buffer.write_through(store, page)
+    }
+
+    /// Writes a page into the buffer only, deferring the store write to
+    /// eviction or [`flush`](SharedBuffer::flush) (write-back caching).
+    pub fn write_buffered(&self, page: Page) -> Result<()> {
+        let mut g = self.inner.lock();
+        let Inner { store, buffer } = &mut *g;
+        buffer.write_buffered(store, page)
+    }
+
+    /// Writes every dirty frame back to the backing store.
+    pub fn flush(&self) -> Result<()> {
+        let mut g = self.inner.lock();
+        let Inner { store, buffer } = &mut *g;
+        buffer.flush(store)
     }
 
     /// Allocates a page in the backing store and admits it to the buffer.
@@ -87,6 +146,30 @@ impl<S: PageStore> SharedBuffer<S> {
         self.inner.lock().buffer.stats()
     }
 
+    /// Number of dirty frames currently buffered.
+    pub fn dirty_count(&self) -> usize {
+        self.inner.lock().buffer.dirty_count()
+    }
+
+    /// Buffer capacity in pages.
+    pub fn capacity(&self) -> usize {
+        self.inner.lock().buffer.capacity()
+    }
+
+    /// Number of page guards currently alive against this pool.
+    pub fn live_guards(&self) -> u64 {
+        self.inner.lock().buffer.live_guards()
+    }
+
+    /// Commits that failed inside a [`PageWriteGuard`] drop, where no
+    /// error can be returned. Non-zero means edits were lost — prefer
+    /// explicit [`PageWriteGuard::commit`] on paths that must observe
+    /// failures.
+    pub fn write_drop_failures(&self) -> u64 {
+        // relaxed-ok: monotonic telemetry, polled after writers quiesce.
+        self.write_drop_failures.load(Ordering::Relaxed)
+    }
+
     /// Clears the buffer (resident pages and statistics).
     pub fn clear(&self) {
         self.inner.lock().buffer.clear()
@@ -94,10 +177,21 @@ impl<S: PageStore> SharedBuffer<S> {
 
     /// Runs `f` with exclusive access to the underlying store and buffer —
     /// an escape hatch for bulk operations.
-    pub fn with_parts<R>(&self, f: impl FnOnce(&mut S, &mut BufferManager) -> R) -> R {
+    ///
+    /// Fails with [`StorageError::GuardsOutstanding`] while any page guard
+    /// is alive: a guard holds a pin the pool is contracted to honour, and
+    /// `f` could mutate the store or buffer out from under it. The check
+    /// is race-free — the pool mutex is held while the live-guard count is
+    /// read *and* while `f` runs, and creating a guard requires that
+    /// mutex.
+    pub fn with_parts<R>(&self, f: impl FnOnce(&mut S, &mut BufferManager) -> R) -> Result<R> {
         let mut g = self.inner.lock();
+        let live = g.buffer.live_guards();
+        if live > 0 {
+            return Err(StorageError::GuardsOutstanding(live));
+        }
         let Inner { store, buffer } = &mut *g;
-        f(store, buffer)
+        Ok(f(store, buffer))
     }
 }
 
@@ -146,7 +240,7 @@ mod tests {
                     for round in 0..50u64 {
                         let id = ids[(t * 7 + round as usize * 3) % ids.len()];
                         let page = shared
-                            .read(id, AccessContext::query(asb_storage::QueryId::new(round)))
+                            .fetch(id, AccessContext::query(asb_storage::QueryId::new(round)))
                             .unwrap();
                         assert_eq!(page.id, id);
                     }
@@ -159,6 +253,7 @@ mod tests {
         let stats = shared.stats();
         assert_eq!(stats.logical_reads, 200);
         assert_eq!(stats.hits + stats.misses, stats.logical_reads);
+        assert_eq!(shared.live_guards(), 0);
     }
 
     #[test]
@@ -169,7 +264,38 @@ mod tests {
         let b = a.clone();
         a.write(Page::new(id, meta(), Bytes::from_static(b"new")).unwrap())
             .unwrap();
-        let got = b.read(id, AccessContext::default()).unwrap();
+        let got = b.fetch(id, AccessContext::default()).unwrap();
         assert_eq!(got.payload.as_ref(), b"new");
+    }
+
+    #[test]
+    fn write_guard_round_trips_through_the_buffer() {
+        let mut disk = DiskManager::new();
+        let id = disk.allocate(meta(), Bytes::from_static(b"v1")).unwrap();
+        let shared = SharedBuffer::new(disk, BufferManager::with_policy(PolicyKind::Lru, 4));
+        let mut guard = shared.fetch_mut(id, AccessContext::default()).unwrap();
+        guard.set_payload(Bytes::from_static(b"v2")).unwrap();
+        guard.commit().unwrap();
+        assert_eq!(shared.dirty_count(), 1);
+        let read = shared.fetch(id, AccessContext::default()).unwrap();
+        assert_eq!(read.payload.as_ref(), b"v2");
+        drop(read);
+        shared.flush().unwrap();
+        assert_eq!(shared.dirty_count(), 0);
+        assert_eq!(shared.write_drop_failures(), 0);
+    }
+
+    #[test]
+    fn with_parts_is_gated_on_live_guards() {
+        let mut disk = DiskManager::new();
+        let id = disk.allocate(meta(), Bytes::from_static(b"x")).unwrap();
+        let shared = SharedBuffer::new(disk, BufferManager::with_policy(PolicyKind::Lru, 4));
+        let guard = shared.fetch(id, AccessContext::default()).unwrap();
+        assert_eq!(
+            shared.with_parts(|s, _| s.page_count()).unwrap_err(),
+            StorageError::GuardsOutstanding(1)
+        );
+        drop(guard);
+        assert_eq!(shared.with_parts(|s, _| s.page_count()).unwrap(), 1);
     }
 }

@@ -1,0 +1,336 @@
+//! Background flusher: drains dirty frames ahead of eviction pressure.
+//!
+//! With write-back caching, dirty frames accumulate until eviction or an
+//! explicit flush writes them out — which puts store writes on the
+//! latency-critical miss path and stretches the redo horizon the next
+//! checkpoint must cover. The [`Flusher`] runs the same drain off the
+//! critical path: whenever the pool's dirty count crosses a *high
+//! watermark* it writes frames back (oldest redo horizon first, via
+//! [`ShardedBuffer::flush_some`]) until the count falls below a *low
+//! watermark*, then optionally appends a pool-wide checkpoint so recovery
+//! work stays bounded.
+//!
+//! The flusher is built entirely on the [`crate::sync`] facade:
+//! [`Flusher::run_once`] is an ordinary synchronous method, so the
+//! deterministic scheduler (`--cfg asb_schedule`) can interleave flusher
+//! passes against readers, writers and checkpointers in
+//! `tests/interleave.rs`. [`Flusher::spawn`] wraps `run_once` in a
+//! facade-spawned loop for production use.
+
+use crate::sharded::ShardedBuffer;
+use crate::sync::{AtomicBool, Ordering};
+use asb_storage::{ConcurrentPageStore, Result};
+use std::sync::Arc;
+
+/// Watermark configuration for a [`Flusher`].
+#[derive(Debug, Clone, Copy)]
+pub struct FlusherConfig {
+    /// Dirty fraction of pool capacity at which a pass starts draining
+    /// (default 0.5).
+    pub high_watermark: f64,
+    /// Dirty fraction down to which a pass drains once triggered
+    /// (default 0.25). Draining below the trigger point gives hysteresis:
+    /// passes do real batches instead of oscillating around one threshold.
+    pub low_watermark: f64,
+    /// Maximum frames written back per [`ShardedBuffer::flush_some`] call
+    /// within a pass (default 16). Bounds how long the flusher holds any
+    /// one shard's attention.
+    pub max_batch: usize,
+    /// Append a pool-wide checkpoint after a pass that flushed anything,
+    /// if the pool has a WAL attached (default false). Draining the oldest
+    /// `rec_lsn` frames first is what lets this checkpoint's redo horizon
+    /// advance furthest.
+    pub checkpoint_after_drain: bool,
+}
+
+impl Default for FlusherConfig {
+    fn default() -> Self {
+        FlusherConfig {
+            high_watermark: 0.5,
+            low_watermark: 0.25,
+            max_batch: 16,
+            checkpoint_after_drain: false,
+        }
+    }
+}
+
+/// Counters describing the flusher's work so far.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct FlusherStats {
+    /// Passes that ran (including ones that found nothing to do).
+    pub passes: u64,
+    /// Dirty frames written back across all passes.
+    pub pages_flushed: u64,
+    /// Checkpoints appended after drains.
+    pub checkpoints: u64,
+    /// Passes that ended with a flush or checkpoint error (failed frames
+    /// stay dirty and are retried by a later pass).
+    pub errors: u64,
+}
+
+/// A watermark-driven background flusher over a [`ShardedBuffer`].
+///
+/// Construct with [`Flusher::new`], then either call
+/// [`run_once`](Flusher::run_once) from your own loop (tests, cooperative
+/// schedulers) or hand the flusher to [`spawn`](Flusher::spawn) for a
+/// facade-thread loop.
+#[derive(Debug)]
+pub struct Flusher<S: ConcurrentPageStore> {
+    pool: ShardedBuffer<S>,
+    cfg: FlusherConfig,
+    stats: FlusherStats,
+}
+
+impl<S: ConcurrentPageStore> Flusher<S> {
+    /// Creates a flusher over a clone of the pool handle.
+    ///
+    /// # Panics
+    /// Panics unless `0.0 <= low_watermark <= high_watermark <= 1.0` and
+    /// `max_batch > 0`.
+    pub fn new(pool: ShardedBuffer<S>, cfg: FlusherConfig) -> Self {
+        assert!(
+            (0.0..=1.0).contains(&cfg.low_watermark)
+                && (0.0..=1.0).contains(&cfg.high_watermark)
+                && cfg.low_watermark <= cfg.high_watermark,
+            "watermarks must satisfy 0 <= low <= high <= 1"
+        );
+        assert!(cfg.max_batch > 0, "flusher batch size must be positive");
+        Flusher {
+            pool,
+            cfg,
+            stats: FlusherStats::default(),
+        }
+    }
+
+    /// The flusher's configuration.
+    pub fn config(&self) -> FlusherConfig {
+        self.cfg
+    }
+
+    /// Work counters so far.
+    pub fn stats(&self) -> FlusherStats {
+        self.stats
+    }
+
+    /// Dirty count at which a pass starts draining.
+    fn high_threshold(&self) -> usize {
+        watermark_pages(self.cfg.high_watermark, self.pool.capacity())
+    }
+
+    /// Runs one watermark check + drain pass; returns the number of frames
+    /// written back (0 when the dirty count was below the high watermark).
+    ///
+    /// Per-frame write failures leave their frames dirty (to be retried on
+    /// a later pass), are counted in [`FlusherStats::errors`] and end the
+    /// pass early with the underlying error.
+    pub fn run_once(&mut self) -> Result<usize> {
+        self.stats.passes += 1;
+        if self.pool.dirty_count() < self.high_threshold().max(1) {
+            return Ok(0);
+        }
+        let floor = watermark_pages(self.cfg.low_watermark, self.pool.capacity());
+        let mut flushed = 0usize;
+        loop {
+            if self.pool.dirty_count() <= floor {
+                break;
+            }
+            match self.pool.flush_some(self.cfg.max_batch) {
+                Ok(0) => break,
+                Ok(n) => {
+                    flushed += n;
+                    self.stats.pages_flushed += n as u64;
+                }
+                Err(e) => {
+                    self.stats.errors += 1;
+                    return Err(e);
+                }
+            }
+        }
+        if flushed > 0 && self.cfg.checkpoint_after_drain && self.pool.has_wal() {
+            match self.pool.checkpoint() {
+                Ok(_) => self.stats.checkpoints += 1,
+                Err(e) => {
+                    self.stats.errors += 1;
+                    return Err(e);
+                }
+            }
+        }
+        Ok(flushed)
+    }
+
+    /// Moves the flusher onto a facade thread that runs
+    /// [`run_once`](Flusher::run_once) every `interval_ms` until
+    /// [`FlusherHandle::stop`] is called. Errors are absorbed into
+    /// [`FlusherStats::errors`] (the failed frames stay dirty and are
+    /// retried next interval).
+    pub fn spawn(mut self, interval_ms: u64) -> FlusherHandle<S>
+    where
+        S: 'static,
+    {
+        let stop = Arc::new(AtomicBool::new(false));
+        let stop_flag = Arc::clone(&stop);
+        let worker = crate::sync::thread::spawn(move || {
+            while !stop_flag.load(Ordering::SeqCst) {
+                // run_once already records the error in stats.errors; the
+                // loop's job is only to keep going.
+                let _ = self.run_once();
+                if stop_flag.load(Ordering::SeqCst) {
+                    break;
+                }
+                crate::sync::thread::sleep_ms(interval_ms);
+            }
+            self
+        });
+        FlusherHandle { stop, worker }
+    }
+}
+
+/// Converts a watermark fraction into a page count over `capacity`.
+fn watermark_pages(fraction: f64, capacity: usize) -> usize {
+    // Clamp defends against NaN as well as out-of-range arithmetic drift.
+    ((fraction * capacity as f64)
+        .ceil()
+        .clamp(0.0, capacity as f64)) as usize
+}
+
+/// Handle to a spawned background flusher; [`stop`](FlusherHandle::stop)
+/// shuts the loop down and returns the [`Flusher`] (with its final
+/// statistics).
+pub struct FlusherHandle<S: ConcurrentPageStore> {
+    stop: Arc<AtomicBool>,
+    worker: crate::sync::thread::JoinHandle<Flusher<S>>,
+}
+
+impl<S: ConcurrentPageStore> FlusherHandle<S> {
+    /// Signals the loop to exit and waits for the in-progress pass (if
+    /// any) to finish; returns the flusher for inspection or reuse.
+    pub fn stop(self) -> Flusher<S> {
+        self.stop.store(true, Ordering::SeqCst);
+        self.worker.join()
+    }
+}
+
+impl<S: ConcurrentPageStore> std::fmt::Debug for FlusherHandle<S> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("FlusherHandle")
+            .field("stopped", &self.stop.load(Ordering::SeqCst))
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::policy::PolicyKind;
+    use asb_geom::SpatialStats;
+    use asb_storage::{
+        AccessContext, DiskManager, Page, PageId, PageMeta, PageStore, Wal, WalConfig,
+    };
+    use bytes::Bytes;
+
+    fn meta() -> PageMeta {
+        PageMeta::data(SpatialStats::EMPTY)
+    }
+
+    fn pool_with_pages(n: usize, capacity: usize) -> (ShardedBuffer<DiskManager>, Vec<PageId>) {
+        let mut d = DiskManager::new();
+        let ids = (0..n)
+            .map(|i| d.allocate(meta(), Bytes::from(vec![i as u8])).unwrap())
+            .collect();
+        d.reset_stats();
+        (ShardedBuffer::new(d, PolicyKind::Lru, capacity, 2), ids)
+    }
+
+    fn dirty_all(pool: &ShardedBuffer<DiskManager>, ids: &[PageId]) {
+        for (i, &id) in ids.iter().enumerate() {
+            pool.write_buffered(Page::new(id, meta(), Bytes::from(vec![i as u8, 1])).unwrap())
+                .unwrap();
+        }
+    }
+
+    #[test]
+    fn idle_below_the_high_watermark() {
+        let (pool, ids) = pool_with_pages(16, 16);
+        dirty_all(&pool, &ids[..4]);
+        let mut flusher = Flusher::new(pool.clone(), FlusherConfig::default());
+        assert_eq!(flusher.run_once().unwrap(), 0, "4 dirty of 16 < high 0.5");
+        assert_eq!(pool.dirty_count(), 4);
+        assert_eq!(flusher.stats().passes, 1);
+    }
+
+    #[test]
+    fn drains_to_the_low_watermark_once_triggered() {
+        let (pool, ids) = pool_with_pages(16, 16);
+        dirty_all(&pool, &ids); // 16 dirty of 16
+        let mut flusher = Flusher::new(
+            pool.clone(),
+            FlusherConfig {
+                max_batch: 3,
+                ..FlusherConfig::default()
+            },
+        );
+        let flushed = flusher.run_once().unwrap();
+        assert!(flushed >= 12, "must reach the low watermark, got {flushed}");
+        assert!(pool.dirty_count() <= 4, "low watermark is 0.25 * 16");
+        assert_eq!(flusher.stats().pages_flushed, flushed as u64);
+        // Flushed pages actually reached the store.
+        pool.flush().unwrap();
+        let verified = pool
+            .with_store(|s| {
+                ids.iter()
+                    .filter(|&&id| s.read(id, AccessContext::default()).unwrap().payload.len() == 2)
+                    .count()
+            })
+            .unwrap();
+        assert_eq!(verified, ids.len());
+    }
+
+    #[test]
+    fn checkpoints_after_a_drain_when_configured() {
+        let (pool, ids) = pool_with_pages(8, 8);
+        pool.attach_wal(Wal::shared(WalConfig::default()));
+        dirty_all(&pool, &ids);
+        let mut flusher = Flusher::new(
+            pool.clone(),
+            FlusherConfig {
+                checkpoint_after_drain: true,
+                ..FlusherConfig::default()
+            },
+        );
+        flusher.run_once().unwrap();
+        assert_eq!(flusher.stats().checkpoints, 1);
+        assert_eq!(pool.stats().checkpoints, 1);
+    }
+
+    #[test]
+    fn spawned_flusher_stops_and_returns_itself() {
+        let (pool, ids) = pool_with_pages(8, 8);
+        dirty_all(&pool, &ids);
+        let handle = Flusher::new(pool.clone(), FlusherConfig::default()).spawn(1);
+        // The pool is fully dirty, so the first pass must drain it; poll
+        // rather than assume scheduling order.
+        for _ in 0..1000 {
+            if pool.dirty_count() <= 2 {
+                break;
+            }
+            crate::sync::thread::sleep_ms(1);
+        }
+        let flusher = handle.stop();
+        assert!(flusher.stats().passes >= 1);
+        assert!(pool.dirty_count() <= 2, "background pass drained the pool");
+    }
+
+    #[test]
+    #[should_panic(expected = "watermarks")]
+    fn inverted_watermarks_panic() {
+        let (pool, _) = pool_with_pages(1, 2);
+        let _ = Flusher::new(
+            pool,
+            FlusherConfig {
+                high_watermark: 0.1,
+                low_watermark: 0.9,
+                ..FlusherConfig::default()
+            },
+        );
+    }
+}

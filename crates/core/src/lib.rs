@@ -22,44 +22,57 @@
 //!
 //! [`BufferManager`] owns the page table and statistics and delegates every
 //! ordering decision to a [`ReplacementPolicy`]. It does not talk to a disk
-//! itself; [`BufferManager::read_through`] composes it with any
+//! itself; [`BufferManager::fetch`] composes it with any
 //! [`PageStore`](asb_storage::PageStore), and [`BufferedStore`] packages the
 //! pair back up as a `PageStore`, so index structures are oblivious to
-//! buffering. Writes are write-through, so evictions never perform I/O and
-//! the paper's "number of disk accesses" is exactly the number of buffer
-//! misses.
+//! buffering. Reads hand out RAII [`PageReadGuard`]s — the guard pins the
+//! frame until dropped, and no raw `Page`-by-value read path exists.
+//! Writes come in write-through and write-back (buffered) flavours; with a
+//! write-ahead log attached, buffered writes are crash-durable and dirty
+//! evictions perform write-backs.
 //!
 //! ## Concurrency
 //!
-//! Two thread-safe pools wrap the same `BufferManager` machinery:
+//! Two thread-safe pools wrap the same `BufferManager` machinery and share
+//! one trait surface, [`BufferPool`]:
 //!
 //! * [`concurrent::SharedBuffer`] — one coarse mutex around store + buffer;
 //!   simplest, exactly serialized.
 //! * [`ShardedBuffer`] — the pool is striped over independently locked
 //!   shards (deterministic page-id hashing), the store sits behind a
-//!   reader-writer lock and is only read-locked on misses. With one shard
-//!   and one thread it reproduces the sequential buffer's counts exactly;
-//!   with many shards, hits and misses in different shards proceed in
-//!   parallel.
+//!   reader-writer lock and is only read-locked on misses; concurrent
+//!   misses on the same page are coalesced into one store read
+//!   (single-flight). With one shard and one thread it reproduces the
+//!   sequential buffer's counts exactly; with many shards, hits and misses
+//!   in different shards proceed in parallel.
+//!
+//! A watermark-driven background [`Flusher`] drains dirty frames ahead of
+//! eviction pressure, keeping the next checkpoint's redo horizon short.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod concurrent;
+mod flusher;
+mod guard;
 mod manager;
 mod order;
 mod policies;
 mod policy;
+mod pool;
 pub mod sharded;
 pub mod sync;
 
 pub use concurrent::SharedBuffer;
+pub use flusher::{Flusher, FlusherConfig, FlusherHandle, FlusherStats};
+pub use guard::{PageReadGuard, PageWriteGuard};
 pub use manager::{BufferManager, BufferStats, BufferedStore, StoreIo};
 pub use policies::{
     AsbParams, AsbPolicy, ClockPolicy, FifoPolicy, LruKPolicy, LruPolicy, LruPriorityPolicy,
     LruTypePolicy, RandomPolicy, SlruPolicy, SpatialPolicy, TwoQPolicy,
 };
 pub use policy::{PolicyKind, ReplacementPolicy};
+pub use pool::BufferPool;
 pub use sharded::ShardedBuffer;
 
 // Re-exported for convenience: the criterion enum lives in asb-geom because

@@ -1,4 +1,6 @@
+use crate::guard::{PageReadGuard, PinToken};
 use crate::policy::{PolicyKind, ReplacementPolicy};
+use crate::sync::{AtomicU64, Ordering};
 use asb_storage::{
     page_checksum, AccessContext, Lsn, Page, PageId, PageMeta, PageStore, Result, RetryPolicy,
     SharedWal, StorageError,
@@ -6,6 +8,7 @@ use asb_storage::{
 use bytes::Bytes;
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
+use std::sync::Arc;
 
 /// Logical access statistics of a [`BufferManager`].
 ///
@@ -42,6 +45,13 @@ pub struct BufferStats {
     pub wal_appends: u64,
     /// Checkpoint records appended to the attached write-ahead log.
     pub checkpoints: u64,
+    /// Admissions skipped because every frame was pinned by a live guard.
+    /// The operation still succeeds — a read is served from the fetched
+    /// copy without caching it, a buffered write falls back to writing
+    /// through — so a transiently pin-saturated buffer degrades instead
+    /// of failing. Persistently non-zero means the pool is undersized for
+    /// the number of concurrently held guards.
+    pub pin_overflows: u64,
 }
 
 impl BufferStats {
@@ -70,6 +80,7 @@ impl std::ops::Add for BufferStats {
             writebacks: self.writebacks + rhs.writebacks,
             wal_appends: self.wal_appends + rhs.wal_appends,
             checkpoints: self.checkpoints + rhs.checkpoints,
+            pin_overflows: self.pin_overflows + rhs.pin_overflows,
         }
     }
 }
@@ -93,7 +104,7 @@ impl std::iter::Sum for BufferStats {
 ///
 /// Every [`PageStore`] is a `StoreIo`; the sharded pool supplies an adapter
 /// that takes its store lock per operation, and closure-based read paths
-/// (see [`BufferManager::read_through_with`]) use a fetch-only adapter whose
+/// (see [`BufferManager::fetch_with`]) use a fetch-only adapter whose
 /// write-backs fail with
 /// [`StorageError::WritebackUnavailable`].
 pub trait StoreIo {
@@ -127,6 +138,62 @@ impl<F: FnMut(PageId, AccessContext) -> Result<Page>> StoreIo for FetchIo<F> {
     }
 }
 
+/// Retry/corruption accounting accumulated by a detached
+/// [`fetch_page_with_retry`]; settled into a buffer's statistics with
+/// [`BufferManager::apply_fetch_effort`].
+#[derive(Debug, Default, Clone, Copy)]
+pub(crate) struct FetchEffort {
+    pub(crate) retries: u64,
+    pub(crate) corruptions: u64,
+    pub(crate) backoff_ms: f64,
+}
+
+/// Fetches `id` from `io`, retrying transient failures (including
+/// checksum mismatches of the delivered copy) under `retry`. Free-standing
+/// so the sharded pool can run it without holding a shard lock; the
+/// sequential buffer delegates here too, which is what keeps miss-path
+/// accounting bit-for-bit identical between the two.
+pub(crate) fn fetch_page_with_retry<IO: StoreIo + ?Sized>(
+    io: &mut IO,
+    retry: RetryPolicy,
+    id: PageId,
+    ctx: AccessContext,
+) -> (Result<Page>, FetchEffort) {
+    let budget = retry.attempts();
+    let mut failed = 0u32;
+    let mut effort = FetchEffort::default();
+    loop {
+        let err = match io.fetch(id, ctx) {
+            Ok(page) => {
+                if page.verify_checksum() {
+                    return (Ok(page), effort);
+                }
+                effort.corruptions += 1;
+                StorageError::ChecksumMismatch {
+                    id,
+                    expected: page.checksum(),
+                    actual: page_checksum(&page.payload),
+                }
+            }
+            Err(e) => e,
+        };
+        if !err.is_transient() {
+            return (Err(err), effort);
+        }
+        failed += 1;
+        if failed >= budget {
+            let err = StorageError::RetriesExhausted {
+                id,
+                attempts: failed,
+                last: Box::new(err),
+            };
+            return (Err(err), effort);
+        }
+        effort.retries += 1;
+        effort.backoff_ms += retry.backoff_ms(failed);
+    }
+}
+
 /// A [`StoreIo`] with no store at all, for admitting pages that already
 /// exist in the backing store (two-phase allocation).
 struct NoWriteback;
@@ -143,7 +210,12 @@ impl StoreIo for NoWriteback {
 
 struct Frame {
     page: Page,
-    pins: u32,
+    /// Pin count, shared with every live [`PageReadGuard`] on this frame.
+    /// Increments happen while the buffer is mutably borrowed (under the
+    /// shard lock in a pool); decrements are lock-free guard drops. The
+    /// eviction scan also runs under the mutable borrow, so a frame it
+    /// observes unpinned cannot gain a pin before the eviction completes.
+    pins: Arc<AtomicU64>,
     /// The frame holds changes not yet written to the backing store.
     dirty: bool,
     /// LSN of the oldest WAL image covering unwritten changes of this
@@ -156,9 +228,11 @@ struct Frame {
 /// policy.
 ///
 /// The manager does not own a disk; compose it with any
-/// [`PageStore`] via [`read_through`](BufferManager::read_through) /
+/// [`PageStore`] via [`fetch`](BufferManager::fetch) /
 /// [`write_through`](BufferManager::write_through), or wrap the pair in a
-/// [`BufferedStore`]. Writes come in two flavours:
+/// [`BufferedStore`]. Reads hand out RAII [`PageReadGuard`]s: the guard
+/// pins the frame (excluding it from eviction) until dropped, and derefs
+/// to the page. Writes come in two flavours:
 /// [`write_through`](BufferManager::write_through) updates the store
 /// immediately, while [`write_buffered`](BufferManager::write_buffered)
 /// only marks the frame dirty and defers the store write to eviction or
@@ -181,7 +255,7 @@ struct Frame {
 ///
 /// let mut buf = BufferManager::with_policy(PolicyKind::Asb, 8);
 /// for _ in 0..10 {
-///     let page = buf.read_through(&mut disk, id, AccessContext::default()).unwrap();
+///     let page = buf.fetch(&mut disk, id, AccessContext::default()).unwrap();
 ///     assert_eq!(page.payload.as_ref(), b"hello");
 /// }
 /// // One physical read; nine buffer hits.
@@ -206,6 +280,10 @@ pub struct BufferManager {
     checkpoint_interval: Option<u64>,
     /// Image appends since the last checkpoint (for the auto-interval).
     appends_since_checkpoint: u64,
+    /// Guards handed out by this buffer that are still alive. Shared with
+    /// every [`PinToken`], which decrements it lock-free on drop; pools
+    /// sum this across shards to gate their escape hatches.
+    live_guards: Arc<AtomicU64>,
 }
 
 impl std::fmt::Debug for BufferManager {
@@ -239,7 +317,14 @@ impl BufferManager {
             wal: None,
             checkpoint_interval: None,
             appends_since_checkpoint: 0,
+            live_guards: Arc::new(AtomicU64::new(0)),
         }
+    }
+
+    /// Number of [`PageReadGuard`]s (and write guards derived from them)
+    /// handed out by this buffer that have not been dropped yet.
+    pub fn live_guards(&self) -> u64 {
+        self.live_guards.load(Ordering::SeqCst)
     }
 
     /// The policy this buffer was built with.
@@ -438,40 +523,15 @@ impl BufferManager {
         self.policy.retained_history()
     }
 
-    /// Reads a page through the buffer, fetching from `inner` on a miss.
-    pub fn read_through<S: PageStore>(
-        &mut self,
-        inner: &mut S,
-        id: PageId,
-        ctx: AccessContext,
-    ) -> Result<Page> {
-        self.read_via(inner, id, ctx)
-    }
-
-    /// Reads a page through the buffer, calling `fetch` on a miss.
+    /// Reads a page through the buffer, fetching from `io` on a miss, and
+    /// returns an RAII [`PageReadGuard`]: the frame stays pinned (excluded
+    /// from eviction) until the guard drops, and the guard derefs to the
+    /// page.
     ///
-    /// Convenience wrapper over [`read_via`] for callers that only have a
-    /// fetch closure; a transient fetch failure is retried (the closure may
-    /// be called several times), but dirty evictions fail with
-    /// [`StorageError::WritebackUnavailable`] on this path because there is
-    /// nowhere to write to.
-    ///
-    /// [`read_via`]: BufferManager::read_via
-    pub fn read_through_with(
-        &mut self,
-        id: PageId,
-        ctx: AccessContext,
-        fetch: impl FnMut(PageId, AccessContext) -> Result<Page>,
-    ) -> Result<Page> {
-        self.read_via(&mut FetchIo(fetch), id, ctx)
-    }
-
-    /// Reads a page through the buffer via an explicit [`StoreIo`].
-    ///
-    /// This is the single read path of the buffer — [`read_through`]
-    /// delegates here, and the sharded pool passes an adapter that takes its
-    /// store lock per operation — so hit/miss/eviction accounting is
-    /// identical no matter how the backing store is reached.
+    /// This is the single read path of the buffer — the sharded pool's
+    /// miss path funnels into the same probe/admit primitives — so
+    /// hit/miss/eviction accounting is identical no matter how the backing
+    /// store is reached.
     ///
     /// Robustness semantics:
     /// * a resident frame whose payload no longer matches its checksum is
@@ -479,14 +539,39 @@ impl BufferManager {
     /// * a fetched copy failing its checksum, and any transient store
     ///   error, is retried under the buffer's [`RetryPolicy`]; an exhausted
     ///   budget surfaces as [`StorageError::RetriesExhausted`].
-    ///
-    /// [`read_through`]: BufferManager::read_through
-    pub fn read_via<IO: StoreIo + ?Sized>(
+    pub fn fetch<IO: StoreIo + ?Sized>(
         &mut self,
         io: &mut IO,
         id: PageId,
         ctx: AccessContext,
-    ) -> Result<Page> {
+    ) -> Result<PageReadGuard> {
+        if let Some(guard) = self.probe(id, ctx) {
+            return Ok(guard);
+        }
+        let page = self.fetch_with_retry(io, id, ctx)?;
+        self.admit_fetched(page, ctx, io)
+    }
+
+    /// [`fetch`](BufferManager::fetch) for callers that only have a fetch
+    /// closure. A transient closure failure is retried (the closure may be
+    /// called several times), but dirty evictions fail with
+    /// [`StorageError::WritebackUnavailable`] on this path because there
+    /// is nowhere to write to.
+    pub fn fetch_with(
+        &mut self,
+        id: PageId,
+        ctx: AccessContext,
+        fetch: impl FnMut(PageId, AccessContext) -> Result<Page>,
+    ) -> Result<PageReadGuard> {
+        self.fetch(&mut FetchIo(fetch), id, ctx)
+    }
+
+    /// First half of a read: records the access and serves a hit from the
+    /// resident frame, or counts the miss and returns `None` (a corrupt
+    /// resident copy is discarded and becomes a counted miss). The sharded
+    /// pool probes under its shard lock, then runs the miss path through
+    /// the single-flight scheduler without the lock.
+    pub(crate) fn probe(&mut self, id: PageId, ctx: AccessContext) -> Option<PageReadGuard> {
         self.stats.logical_reads += 1;
         self.tick += 1;
         if let Some(frame) = self.frames.get(&id) {
@@ -494,7 +579,7 @@ impl BufferManager {
                 self.stats.hits += 1;
                 let page = frame.page.clone();
                 self.policy.on_hit(&page, ctx, self.tick);
-                return Ok(page);
+                return Some(self.guard_for(id, page));
             }
             // The resident copy rotted in memory: discard it and fall
             // through to a (counted) miss that re-fetches a clean copy.
@@ -503,9 +588,98 @@ impl BufferManager {
             self.policy.on_remove(id);
         }
         self.stats.misses += 1;
-        let page = self.fetch_with_retry(io, id, ctx)?;
-        self.admit_frame(page.clone(), ctx, false, None, io)?;
-        Ok(page)
+        None
+    }
+
+    /// Second half of a read miss: admits the fetched page (evicting if
+    /// needed) and pins it. The access itself was already counted by
+    /// [`probe`](BufferManager::probe).
+    ///
+    /// If every frame is pinned by a live guard, the page is served
+    /// *unbuffered* instead of failing: the guard owns a copy of the
+    /// fetched page, so correctness does not require residency — the copy
+    /// just is not cached for the next reader. Counted in
+    /// [`BufferStats::pin_overflows`].
+    pub(crate) fn admit_fetched<IO: StoreIo + ?Sized>(
+        &mut self,
+        page: Page,
+        ctx: AccessContext,
+        io: &mut IO,
+    ) -> Result<PageReadGuard> {
+        let id = page.id;
+        if self.admit_or_overflow(page.clone(), ctx, false, None, io)? {
+            Ok(self.guard_for(id, page))
+        } else {
+            Ok(self.unbuffered_guard(page))
+        }
+    }
+
+    /// Pins the resident copy of `id` and records the access's recency
+    /// with the policy, without touching the hit/miss counters — the
+    /// sharded pool uses this when a page it already counted a miss for
+    /// turns out to have been admitted by a concurrent flight. Returns
+    /// `None` when the page is not resident or its resident copy fails its
+    /// checksum (which discards the copy, as on the probe path).
+    pub(crate) fn pin_resident(&mut self, id: PageId, ctx: AccessContext) -> Option<PageReadGuard> {
+        let frame = self.frames.get(&id)?;
+        if !frame.page.verify_checksum() {
+            self.stats.corruptions += 1;
+            self.frames.remove(&id);
+            self.policy.on_remove(id);
+            return None;
+        }
+        let page = frame.page.clone();
+        self.policy.on_hit(&page, ctx, self.tick);
+        Some(self.guard_for(id, page))
+    }
+
+    /// Admits a prefetched page without recording a logical access (the
+    /// page was not requested — it is being staged ahead of demand).
+    /// Skips pages already resident; eviction accounting runs normally.
+    pub(crate) fn admit_prefetched<IO: StoreIo + ?Sized>(
+        &mut self,
+        page: Page,
+        io: &mut IO,
+    ) -> Result<bool> {
+        if self.frames.contains_key(&page.id) || !page.verify_checksum() {
+            return Ok(false);
+        }
+        self.tick += 1;
+        self.admit_or_overflow(page, AccessContext::default(), false, None, io)
+    }
+
+    /// A guard over a page served without admission (every frame pinned):
+    /// the token counts toward `live_guards` but pins no frame, so the
+    /// buffer's eviction behaviour is unaffected by the guard's lifetime.
+    fn unbuffered_guard(&mut self, page: Page) -> PageReadGuard {
+        PageReadGuard::new(
+            page,
+            PinToken::new(Arc::new(AtomicU64::new(0)), Arc::clone(&self.live_guards)),
+        )
+    }
+
+    /// Builds a read guard over the frame of `id`, which must be resident.
+    fn guard_for(&mut self, id: PageId, page: Page) -> PageReadGuard {
+        debug_assert!(self.frames.contains_key(&id), "guard over absent frame");
+        let pins = self
+            .frames
+            .get(&id)
+            .map(|f| Arc::clone(&f.pins))
+            // invariant: every caller admits or verifies residency first;
+            // an orphan token (counting against nothing) is still sound.
+            .unwrap_or_else(|| Arc::new(AtomicU64::new(0)));
+        PageReadGuard::new(page, PinToken::new(pins, Arc::clone(&self.live_guards)))
+    }
+
+    /// Applies the retry/corruption counters a detached
+    /// [`fetch_page_with_retry`] accumulated — the sharded pool performs
+    /// the store read without holding the shard lock and settles the
+    /// accounting here, so a pool miss costs exactly what a sequential
+    /// miss costs.
+    pub(crate) fn apply_fetch_effort(&mut self, effort: FetchEffort) {
+        self.stats.retries += effort.retries;
+        self.stats.corruptions += effort.corruptions;
+        self.backoff_ms += effort.backoff_ms;
     }
 
     /// Fetches `id`, retrying transient failures (including checksum
@@ -516,37 +690,9 @@ impl BufferManager {
         id: PageId,
         ctx: AccessContext,
     ) -> Result<Page> {
-        let budget = self.retry.attempts();
-        let mut failed = 0u32;
-        loop {
-            let err = match io.fetch(id, ctx) {
-                Ok(page) => {
-                    if page.verify_checksum() {
-                        return Ok(page);
-                    }
-                    self.stats.corruptions += 1;
-                    StorageError::ChecksumMismatch {
-                        id,
-                        expected: page.checksum(),
-                        actual: page_checksum(&page.payload),
-                    }
-                }
-                Err(e) => e,
-            };
-            if !err.is_transient() {
-                return Err(err);
-            }
-            failed += 1;
-            if failed >= budget {
-                return Err(StorageError::RetriesExhausted {
-                    id,
-                    attempts: failed,
-                    last: Box::new(err),
-                });
-            }
-            self.stats.retries += 1;
-            self.backoff_ms += self.retry.backoff_ms(failed);
-        }
+        let (result, effort) = fetch_page_with_retry(io, self.retry, id, ctx);
+        self.apply_fetch_effort(effort);
+        result
     }
 
     /// Writes `page` back, retrying transient failures under the retry
@@ -628,7 +774,13 @@ impl BufferManager {
             return self.maybe_auto_checkpoint();
         }
         self.tick += 1;
-        self.admit_frame(page, AccessContext::default(), true, lsn, io)?;
+        if !self.admit_or_overflow(page.clone(), AccessContext::default(), true, lsn, io)? {
+            // Every frame is pinned: fall back to writing through. The WAL
+            // image is already appended (the commit point is unchanged);
+            // the store write makes the update durable without needing a
+            // resident dirty frame.
+            self.store_with_retry(io, &page)?;
+        }
         self.maybe_auto_checkpoint()
     }
 
@@ -674,6 +826,52 @@ impl BufferManager {
         }
     }
 
+    /// Writes back at most `max` dirty frames, oldest redo horizon first
+    /// (frames with a `rec_lsn` in ascending LSN order, then unlogged
+    /// dirty frames in page-id order). This is the background flusher's
+    /// primitive: draining the oldest horizons first is what lets the next
+    /// checkpoint advance furthest. Returns the number of frames written
+    /// back; failures aggregate to [`StorageError::FlushIncomplete`] after
+    /// every selected frame was attempted, like
+    /// [`flush`](BufferManager::flush).
+    pub fn flush_some_via<IO: StoreIo + ?Sized>(
+        &mut self,
+        io: &mut IO,
+        max: usize,
+    ) -> Result<usize> {
+        let mut dirty: Vec<(bool, Option<Lsn>, PageId)> = self
+            .frames
+            .iter()
+            .filter(|(_, f)| f.dirty)
+            .map(|(&id, f)| (f.rec_lsn.is_none(), f.rec_lsn, id))
+            .collect();
+        dirty.sort_unstable();
+        dirty.truncate(max);
+        let mut flushed = 0usize;
+        let mut failures = Vec::new();
+        for (_, _, id) in dirty {
+            let Some(page) = self.frames.get(&id).map(|f| f.page.clone()) else {
+                continue;
+            };
+            match self.store_with_retry(io, &page) {
+                Ok(()) => {
+                    self.stats.writebacks += 1;
+                    flushed += 1;
+                    if let Some(frame) = self.frames.get_mut(&id) {
+                        frame.dirty = false;
+                        frame.rec_lsn = None;
+                    }
+                }
+                Err(e) => failures.push((id, Box::new(e))),
+            }
+        }
+        if failures.is_empty() {
+            Ok(flushed)
+        } else {
+            Err(StorageError::FlushIncomplete { failures })
+        }
+    }
+
     /// Allocates a page in `inner` and admits it to the buffer (a freshly
     /// created page is about to be used, so caching it is the common case).
     pub fn allocate_through<S: PageStore>(
@@ -685,7 +883,9 @@ impl BufferManager {
         let id = inner.allocate(meta, payload.clone())?;
         let page = Page::new(id, meta, payload)?;
         self.tick += 1;
-        self.admit_frame(page, AccessContext::default(), false, None, inner)?;
+        // The page is already durable in the store; if every frame is
+        // pinned it simply is not cached.
+        self.admit_or_overflow(page, AccessContext::default(), false, None, inner)?;
         Ok(id)
     }
 
@@ -712,7 +912,10 @@ impl BufferManager {
         io: &mut IO,
     ) -> Result<()> {
         self.tick += 1;
-        self.admit_frame(page, AccessContext::default(), false, None, io)
+        // As in `allocate_through`: the store already holds the page, so a
+        // pin-saturated buffer skips caching rather than failing.
+        self.admit_or_overflow(page, AccessContext::default(), false, None, io)?;
+        Ok(())
     }
 
     /// Frees a page in `inner` and drops any buffered copy.
@@ -743,28 +946,29 @@ impl BufferManager {
         self.reset_stats();
     }
 
-    /// Pins a resident page, excluding it from eviction until unpinned.
-    /// Pins nest.
-    pub fn pin(&mut self, id: PageId) -> Result<()> {
-        let frame = self
-            .frames
-            .get_mut(&id)
-            .ok_or(StorageError::PageNotFound(id))?;
-        frame.pins += 1;
-        Ok(())
-    }
-
-    /// Releases one pin of a resident page.
-    pub fn unpin(&mut self, id: PageId) -> Result<()> {
-        let frame = self
-            .frames
-            .get_mut(&id)
-            .ok_or(StorageError::PageNotFound(id))?;
-        if frame.pins == 0 {
-            return Err(StorageError::NotPinned(id));
+    /// [`admit_frame`](BufferManager::admit_frame), except that a buffer
+    /// whose every frame is pinned by a live guard is *not* an error:
+    /// the admission is skipped, [`BufferStats::pin_overflows`] counts it,
+    /// and `Ok(false)` tells the caller to serve its copy unbuffered (or
+    /// write through). Pins are transient in the common case — concurrent
+    /// readers in a small shard — so refusing the whole operation would
+    /// turn a momentary overlap into a spurious failure.
+    fn admit_or_overflow<IO: StoreIo + ?Sized>(
+        &mut self,
+        page: Page,
+        ctx: AccessContext,
+        dirty: bool,
+        rec_lsn: Option<Lsn>,
+        io: &mut IO,
+    ) -> Result<bool> {
+        match self.admit_frame(page, ctx, dirty, rec_lsn, io) {
+            Ok(()) => Ok(true),
+            Err(StorageError::AllPagesPinned) => {
+                self.stats.pin_overflows += 1;
+                Ok(false)
+            }
+            Err(e) => Err(e),
         }
-        frame.pins -= 1;
-        Ok(())
     }
 
     fn admit_frame<IO: StoreIo + ?Sized>(
@@ -783,7 +987,7 @@ impl BufferManager {
             page.id,
             Frame {
                 page,
-                pins: 0,
+                pins: Arc::new(AtomicU64::new(0)),
                 dirty,
                 rec_lsn,
             },
@@ -796,16 +1000,21 @@ impl BufferManager {
     /// bookkeeping for the page, and the eviction is recorded as *failed*
     /// rather than completed.
     fn evict_one<IO: StoreIo + ?Sized>(&mut self, ctx: AccessContext, io: &mut IO) -> Result<()> {
-        if !self.frames.values().any(|f| f.pins == 0) {
+        // Pin loads are race-free here: new pins require this same mutable
+        // borrow (the shard lock in a pool), and concurrent guard drops
+        // only ever *decrease* a count — a frame observed unpinned stays
+        // evictable.
+        let unpinned = |f: &Frame| f.pins.load(Ordering::SeqCst) == 0;
+        if !self.frames.values().any(unpinned) {
             return Err(StorageError::AllPagesPinned);
         }
         let frames = &self.frames;
         let victim = self
             .policy
-            .select_victim(ctx, &|id| frames.get(&id).is_some_and(|f| f.pins == 0))
+            .select_victim(ctx, &|id| frames.get(&id).is_some_and(unpinned))
             .ok_or(StorageError::AllPagesPinned)?;
         debug_assert!(
-            self.frames.get(&victim).is_some_and(|f| f.pins == 0),
+            self.frames.get(&victim).is_some_and(unpinned),
             "policy returned a non-evictable victim"
         );
         if let Some(page) = self
@@ -876,7 +1085,9 @@ impl<S: PageStore> BufferedStore<S> {
 
 impl<S: PageStore> PageStore for BufferedStore<S> {
     fn read(&mut self, id: PageId, ctx: AccessContext) -> Result<Page> {
-        self.buffer.read_through(&mut self.inner, id, ctx)
+        self.buffer
+            .fetch(&mut self.inner, id, ctx)
+            .map(PageReadGuard::into_page)
     }
 
     fn write(&mut self, page: Page) -> Result<()> {
@@ -927,8 +1138,8 @@ mod tests {
     #[test]
     fn hit_avoids_disk_access() {
         let (mut disk, mut buf, ids) = setup(4, 2);
-        buf.read_through(&mut disk, ids[0], ctx()).unwrap();
-        buf.read_through(&mut disk, ids[0], ctx()).unwrap();
+        buf.fetch(&mut disk, ids[0], ctx()).unwrap();
+        buf.fetch(&mut disk, ids[0], ctx()).unwrap();
         assert_eq!(disk.stats().reads, 1);
         let s = buf.stats();
         assert_eq!((s.logical_reads, s.hits, s.misses), (2, 1, 1));
@@ -938,7 +1149,7 @@ mod tests {
     fn capacity_is_never_exceeded() {
         let (mut disk, mut buf, ids) = setup(3, 10);
         for &id in &ids {
-            buf.read_through(&mut disk, id, ctx()).unwrap();
+            buf.fetch(&mut disk, id, ctx()).unwrap();
             assert!(buf.resident() <= 3);
         }
         assert_eq!(buf.stats().evictions, 7);
@@ -947,59 +1158,70 @@ mod tests {
     #[test]
     fn lru_evicts_least_recent() {
         let (mut disk, mut buf, ids) = setup(2, 3);
-        buf.read_through(&mut disk, ids[0], ctx()).unwrap();
-        buf.read_through(&mut disk, ids[1], ctx()).unwrap();
-        buf.read_through(&mut disk, ids[0], ctx()).unwrap(); // touch 0
-        buf.read_through(&mut disk, ids[2], ctx()).unwrap(); // evicts 1
+        buf.fetch(&mut disk, ids[0], ctx()).unwrap();
+        buf.fetch(&mut disk, ids[1], ctx()).unwrap();
+        buf.fetch(&mut disk, ids[0], ctx()).unwrap(); // touch 0
+        buf.fetch(&mut disk, ids[2], ctx()).unwrap(); // evicts 1
         assert!(buf.contains(ids[0]));
         assert!(!buf.contains(ids[1]));
         assert!(buf.contains(ids[2]));
     }
 
     #[test]
-    fn pinned_pages_survive_eviction() {
+    fn guarded_pages_survive_eviction() {
         let (mut disk, mut buf, ids) = setup(2, 4);
-        buf.read_through(&mut disk, ids[0], ctx()).unwrap();
-        buf.pin(ids[0]).unwrap();
+        let pinned = buf.fetch(&mut disk, ids[0], ctx()).unwrap();
         for &id in &ids[1..] {
-            buf.read_through(&mut disk, id, ctx()).unwrap();
+            buf.fetch(&mut disk, id, ctx()).unwrap();
         }
         assert!(buf.contains(ids[0]), "pinned page must not be evicted");
-        buf.unpin(ids[0]).unwrap();
+        assert_eq!(pinned.id, ids[0]);
+        assert_eq!(buf.live_guards(), 1);
+        drop(pinned);
+        assert_eq!(buf.live_guards(), 0);
     }
 
     #[test]
-    fn all_pinned_errors() {
+    fn all_pinned_serves_unbuffered() {
         let (mut disk, mut buf, ids) = setup(2, 3);
-        buf.read_through(&mut disk, ids[0], ctx()).unwrap();
-        buf.read_through(&mut disk, ids[1], ctx()).unwrap();
-        buf.pin(ids[0]).unwrap();
-        buf.pin(ids[1]).unwrap();
-        let err = buf.read_through(&mut disk, ids[2], ctx()).unwrap_err();
-        assert_eq!(err, StorageError::AllPagesPinned);
+        let _g0 = buf.fetch(&mut disk, ids[0], ctx()).unwrap();
+        let _g1 = buf.fetch(&mut disk, ids[1], ctx()).unwrap();
+        // Every frame is pinned: the read still succeeds, served from the
+        // fetched copy without caching it (pins keep their frames).
+        let g2 = buf.fetch(&mut disk, ids[2], ctx()).unwrap();
+        assert_eq!(g2.id, ids[2]);
+        assert!(!buf.contains(ids[2]), "overflow read must not be cached");
+        assert!(buf.contains(ids[0]) && buf.contains(ids[1]));
+        assert_eq!(buf.stats().pin_overflows, 1);
+        assert_eq!(buf.live_guards(), 3);
     }
 
     #[test]
-    fn pins_nest() {
-        let (mut disk, mut buf, ids) = setup(2, 2);
-        buf.read_through(&mut disk, ids[0], ctx()).unwrap();
-        buf.pin(ids[0]).unwrap();
-        buf.pin(ids[0]).unwrap();
-        buf.unpin(ids[0]).unwrap();
-        buf.unpin(ids[0]).unwrap();
-        assert_eq!(
-            buf.unpin(ids[0]).unwrap_err(),
-            StorageError::NotPinned(ids[0])
-        );
+    fn guard_pins_nest() {
+        let (mut disk, mut buf, ids) = setup(1, 2);
+        let g1 = buf.fetch(&mut disk, ids[0], ctx()).unwrap();
+        let g2 = buf.fetch(&mut disk, ids[0], ctx()).unwrap();
+        assert_eq!(buf.live_guards(), 2);
+        drop(g1);
+        // One guard still lives: the frame stays pinned, and the buffer is
+        // full, so another fetch is served unbuffered instead of evicting.
+        drop(buf.fetch(&mut disk, ids[1], ctx()).unwrap());
+        assert!(buf.contains(ids[0]), "pinned page must survive overflow");
+        assert!(!buf.contains(ids[1]), "overflow read must not be cached");
+        assert_eq!(buf.stats().pin_overflows, 1);
+        drop(g2);
+        buf.fetch(&mut disk, ids[1], ctx()).unwrap();
+        assert!(!buf.contains(ids[0]), "unpinned page becomes evictable");
+        assert_eq!(buf.live_guards(), 0);
     }
 
     #[test]
     fn write_through_updates_resident_copy() {
         let (mut disk, mut buf, ids) = setup(2, 1);
-        buf.read_through(&mut disk, ids[0], ctx()).unwrap();
+        buf.fetch(&mut disk, ids[0], ctx()).unwrap();
         let updated = Page::new(ids[0], meta(), Bytes::from_static(b"xyz")).unwrap();
         buf.write_through(&mut disk, updated).unwrap();
-        let got = buf.read_through(&mut disk, ids[0], ctx()).unwrap();
+        let got = buf.fetch(&mut disk, ids[0], ctx()).unwrap();
         assert_eq!(got.payload.as_ref(), b"xyz");
         // Still a hit: only the original miss touched the disk for reads.
         assert_eq!(disk.stats().reads, 1);
@@ -1010,23 +1232,23 @@ mod tests {
     fn clear_empties_buffer_and_stats() {
         let (mut disk, mut buf, ids) = setup(4, 3);
         for &id in &ids {
-            buf.read_through(&mut disk, id, ctx()).unwrap();
+            buf.fetch(&mut disk, id, ctx()).unwrap();
         }
         buf.clear();
         assert_eq!(buf.resident(), 0);
         assert_eq!(buf.stats(), BufferStats::default());
         // Pages must be re-fetched afterwards.
-        buf.read_through(&mut disk, ids[0], ctx()).unwrap();
+        buf.fetch(&mut disk, ids[0], ctx()).unwrap();
         assert_eq!(buf.stats().misses, 1);
     }
 
     #[test]
     fn free_through_invalidates() {
         let (mut disk, mut buf, ids) = setup(4, 2);
-        buf.read_through(&mut disk, ids[0], ctx()).unwrap();
+        buf.fetch(&mut disk, ids[0], ctx()).unwrap();
         buf.free_through(&mut disk, ids[0]).unwrap();
         assert!(!buf.contains(ids[0]));
-        assert!(buf.read_through(&mut disk, ids[0], ctx()).is_err());
+        assert!(buf.fetch(&mut disk, ids[0], ctx()).is_err());
     }
 
     #[test]
@@ -1037,7 +1259,7 @@ mod tests {
             .unwrap();
         assert!(buf.contains(id));
         // Reading it back is a hit.
-        buf.read_through(&mut disk, id, ctx()).unwrap();
+        buf.fetch(&mut disk, id, ctx()).unwrap();
         assert_eq!(buf.stats().hits, 1);
         assert_eq!(disk.stats().reads, 0);
     }
@@ -1092,10 +1314,10 @@ mod tests {
     #[test]
     fn poisoned_frame_is_refetched_not_served() {
         let (mut disk, mut buf, ids) = setup(4, 1);
-        let clean = buf.read_through(&mut disk, ids[0], ctx()).unwrap();
+        let clean = buf.fetch(&mut disk, ids[0], ctx()).unwrap();
         assert!(buf.poison_frame(ids[0]));
-        let again = buf.read_through(&mut disk, ids[0], ctx()).unwrap();
-        assert_eq!(again, clean, "the served copy must be the clean one");
+        let again = buf.fetch(&mut disk, ids[0], ctx()).unwrap();
+        assert_eq!(*again, *clean, "the served copy must be the clean one");
         let s = buf.stats();
         assert_eq!(s.corruptions, 1);
         assert_eq!(s.misses, 2, "the poisoned hit degrades to a miss");
@@ -1106,7 +1328,7 @@ mod tests {
     #[test]
     fn write_buffered_defers_and_flush_writes_back() {
         let (mut disk, mut buf, ids) = setup(4, 1);
-        buf.read_through(&mut disk, ids[0], ctx()).unwrap();
+        buf.fetch(&mut disk, ids[0], ctx()).unwrap();
         let updated = Page::new(ids[0], meta(), Bytes::from_static(b"deferred")).unwrap();
         buf.write_buffered(&mut disk, updated).unwrap();
         assert_eq!(buf.dirty_count(), 1);
@@ -1123,7 +1345,7 @@ mod tests {
         let updated = Page::new(ids[0], meta(), Bytes::from_static(b"dirty")).unwrap();
         buf.write_buffered(&mut disk, updated).unwrap();
         // Admitting another page evicts the dirty one, writing it back.
-        buf.read_through(&mut disk, ids[1], ctx()).unwrap();
+        buf.fetch(&mut disk, ids[1], ctx()).unwrap();
         assert!(!buf.contains(ids[0]));
         assert_eq!(buf.stats().writebacks, 1);
         assert_eq!(buf.stats().evictions, 1);
@@ -1135,7 +1357,7 @@ mod tests {
         let (mut disk, mut buf, ids) = setup(2, 1);
         let mut attempts = 0;
         let page = buf
-            .read_through_with(ids[0], ctx(), |id, ctx| {
+            .fetch_with(ids[0], ctx(), |id, ctx| {
                 attempts += 1;
                 if attempts < 3 {
                     Err(StorageError::TransientRead(id))
@@ -1159,7 +1381,7 @@ mod tests {
             backoff_multiplier: 1.0,
         });
         let err = buf
-            .read_through_with(ids[0], ctx(), |id, _| Err(StorageError::TransientRead(id)))
+            .fetch_with(ids[0], ctx(), |id, _| Err(StorageError::TransientRead(id)))
             .unwrap_err();
         assert_eq!(
             err,
@@ -1176,7 +1398,7 @@ mod tests {
         let (_, mut buf, ids) = setup(2, 1);
         let mut attempts = 0;
         let err = buf
-            .read_through_with(ids[0], ctx(), |id, _| {
+            .fetch_with(ids[0], ctx(), |id, _| {
                 attempts += 1;
                 Err(StorageError::PageNotFound(id))
             })
@@ -1218,7 +1440,7 @@ mod tests {
         });
         let mut attempts = 0;
         let err = buf
-            .read_through_with(ids[0], ctx(), |id, _| {
+            .fetch_with(ids[0], ctx(), |id, _| {
                 attempts += 1;
                 Err(StorageError::TransientRead(id))
             })

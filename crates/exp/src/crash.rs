@@ -199,7 +199,7 @@ fn run_workload(
     'workload: for (i, &(p, q)) in trace.accesses.iter().take(limit).enumerate() {
         let id = PageId::new(p);
         let ctx = AccessContext::query(QueryId::new(q));
-        match mgr.read_through(&mut store, id, ctx) {
+        match mgr.fetch(&mut store, id, ctx) {
             Ok(_) => {}
             Err(e) if is_crash(&e) => {
                 crashed = true;

@@ -145,7 +145,7 @@ impl Trace {
         for &(p, q) in &self.accesses {
             let id = PageId::new(p);
             let ctx = AccessContext::query(QueryId::new(q));
-            let page = mgr.read_through(&mut disk, id, ctx)?;
+            let page = mgr.fetch(&mut disk, id, ctx)?;
             debug_assert_eq!(page.id, id);
             if let Some(c) = mgr.candidate_size() {
                 trajectory.push(c);
@@ -173,7 +173,7 @@ impl Trace {
         let pool = ShardedBuffer::new(disk, policy, capacity, shards);
         let mut trajectory = Vec::new();
         for &(p, q) in &self.accesses {
-            let page = pool.read(PageId::new(p), AccessContext::query(QueryId::new(q)))?;
+            let page = pool.fetch(PageId::new(p), AccessContext::query(QueryId::new(q)))?;
             debug_assert_eq!(page.id.raw(), p);
             if shards == 1 {
                 if let Some(Some(c)) = pool.shard_candidate_sizes().first() {
@@ -209,7 +209,7 @@ impl Trace {
         for &(p, q) in &self.accesses {
             let id = PageId::new(p);
             let ctx = AccessContext::query(QueryId::new(q));
-            match mgr.read_through(&mut store, id, ctx) {
+            match mgr.fetch(&mut store, id, ctx) {
                 Ok(page) => {
                     if page.payload != store.inner().peek(id)?.payload {
                         wrong_payloads += 1;

@@ -191,11 +191,15 @@ impl<S: PageStore> QuadTree<S> {
 
     fn read_node(&mut self, id: PageId) -> Result<QuadNode> {
         let ctx = self.ctx();
-        let page = match &mut self.buffer {
-            Some(buf) => buf.read_through(&mut self.store, id, ctx)?,
-            None => self.store.read(id, ctx)?,
-        };
-        QuadNode::decode(&page)
+        match &mut self.buffer {
+            Some(buf) => {
+                // The guard pins the frame only for the decode; it derefs
+                // to the page.
+                let page = buf.fetch(&mut self.store, id, ctx)?;
+                QuadNode::decode(&page)
+            }
+            None => QuadNode::decode(&self.store.read(id, ctx)?),
+        }
     }
 
     fn write_node(&mut self, id: PageId, node: &QuadNode) -> Result<()> {

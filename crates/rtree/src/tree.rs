@@ -363,11 +363,15 @@ impl<S: PageStore> RTree<S> {
 
     fn read_node(&mut self, id: PageId) -> Result<Node> {
         let ctx = self.ctx();
-        let page = match &mut self.buffer {
-            Some(buf) => buf.read_through(&mut self.store, id, ctx)?,
-            None => self.store.read(id, ctx)?,
-        };
-        Node::decode(&page)
+        match &mut self.buffer {
+            Some(buf) => {
+                // The guard pins the frame only for the decode; it derefs
+                // to the page.
+                let page = buf.fetch(&mut self.store, id, ctx)?;
+                Node::decode(&page)
+            }
+            None => Node::decode(&self.store.read(id, ctx)?),
+        }
     }
 
     fn write_node(&mut self, id: PageId, node: &Node) -> Result<()> {
@@ -977,8 +981,8 @@ impl<S: PageStore> RTree<S> {
         for raw in object_pages {
             let page_id = PageId::new(raw);
             match &mut self.buffer {
-                Some(buf) => buf.read_through(&mut self.store, page_id, ctx)?,
-                None => self.store.read(page_id, ctx)?,
+                Some(buf) => drop(buf.fetch(&mut self.store, page_id, ctx)?),
+                None => drop(self.store.read(page_id, ctx)?),
             };
         }
         Ok(results)

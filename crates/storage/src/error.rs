@@ -71,6 +71,11 @@ pub enum StorageError {
         /// `(page, error)` for every frame whose write-back failed.
         failures: Vec<(PageId, Box<StorageError>)>,
     },
+    /// An operation that needs exclusive access to the backing store (e.g.
+    /// `ShardedBuffer::with_store`) was attempted while page guards were
+    /// still live. The count is the number of outstanding guards at the
+    /// time of the check; drop them and retry.
+    GuardsOutstanding(u64),
 }
 
 impl StorageError {
@@ -145,6 +150,10 @@ impl std::fmt::Display for StorageError {
                 }
                 Ok(())
             }
+            StorageError::GuardsOutstanding(live) => write!(
+                f,
+                "operation needs exclusive store access but {live} page guard(s) are live"
+            ),
         }
     }
 }
@@ -205,6 +214,13 @@ mod tests {
             failures: vec![(id, Box::new(StorageError::DeviceFailed(id)))]
         }
         .is_transient());
+        assert!(!StorageError::GuardsOutstanding(2).is_transient());
+    }
+
+    #[test]
+    fn guards_outstanding_reports_the_live_count() {
+        let msg = StorageError::GuardsOutstanding(3).to_string();
+        assert!(msg.contains("3 page guard(s)"));
     }
 
     #[test]

@@ -41,6 +41,20 @@ pub mod thread {
     #[cfg(asb_schedule)]
     pub use schedule::thread::{spawn, JoinHandle};
 
+    /// Sleeps `ms` milliseconds on normal builds. Under `--cfg
+    /// asb_schedule` there is no wall clock, so this is a pure scheduling
+    /// yield instead — loops pacing themselves with `sleep_ms` stay
+    /// explorable without hanging the deterministic scheduler.
+    pub fn sleep_ms(ms: u64) {
+        #[cfg(not(asb_schedule))]
+        std::thread::sleep(std::time::Duration::from_millis(ms));
+        #[cfg(asb_schedule)]
+        {
+            let _ = ms;
+            schedule::thread::yield_now();
+        }
+    }
+
     #[cfg(not(asb_schedule))]
     mod fallback {
         /// Handle to a spawned thread; see [`spawn`].

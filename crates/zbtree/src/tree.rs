@@ -339,11 +339,15 @@ impl<S: PageStore> ZBTree<S> {
 
     fn read_node(&mut self, id: PageId) -> Result<ZNode> {
         let ctx = self.ctx();
-        let page = match &mut self.buffer {
-            Some(buf) => buf.read_through(&mut self.store, id, ctx)?,
-            None => self.store.read(id, ctx)?,
-        };
-        ZNode::decode(&page)
+        match &mut self.buffer {
+            Some(buf) => {
+                // The guard pins the frame only for the decode; it derefs
+                // to the page.
+                let page = buf.fetch(&mut self.store, id, ctx)?;
+                ZNode::decode(&page)
+            }
+            None => ZNode::decode(&self.store.read(id, ctx)?),
+        }
     }
 
     fn entry_rects(&self, node: &ZNode) -> Vec<Rect> {

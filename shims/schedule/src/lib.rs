@@ -761,6 +761,13 @@ pub mod sync {
             yield_point();
             self.inner.fetch_add(v, order)
         }
+
+        /// Atomic subtract returning the previous value (a scheduling
+        /// point on controlled threads).
+        pub fn fetch_sub(&self, v: u64, order: Ordering) -> u64 {
+            yield_point();
+            self.inner.fetch_sub(v, order)
+        }
     }
 
     impl AtomicUsize {
@@ -769,6 +776,13 @@ pub mod sync {
         pub fn fetch_add(&self, v: usize, order: Ordering) -> usize {
             yield_point();
             self.inner.fetch_add(v, order)
+        }
+
+        /// Atomic subtract returning the previous value (a scheduling
+        /// point on controlled threads).
+        pub fn fetch_sub(&self, v: usize, order: Ordering) -> usize {
+            yield_point();
+            self.inner.fetch_sub(v, order)
         }
     }
 }
@@ -807,6 +821,17 @@ pub mod thread {
                 .unwrap_or_else(PoisonError::into_inner)
                 .take()
                 .expect("joined thread panicked")
+        }
+    }
+
+    /// Yields the calling thread: a pure scheduling point when controlled
+    /// by an explorer, `std::thread::yield_now` otherwise. The facade's
+    /// `sleep_ms` maps to this under `--cfg asb_schedule`, where there is
+    /// no wall clock to sleep against.
+    pub fn yield_now() {
+        match current_ctx() {
+            Some(ctx) => ctx.park(Status::Ready, true),
+            None => std::thread::yield_now(),
         }
     }
 

@@ -41,7 +41,7 @@ fn concurrent_readers_see_consistent_pages() {
                 for i in 0..250u64 {
                     let slot = ((t * 13 + i * 7) % ids.len() as u64) as usize;
                     let page = shared
-                        .read(ids[slot], AccessContext::query(QueryId::new(t * 1000 + i)))
+                        .fetch(ids[slot], AccessContext::query(QueryId::new(t * 1000 + i)))
                         .expect("read");
                     assert_eq!(page.payload.as_ref(), &[slot as u8][..]);
                     // relaxed-ok: independent success counter; the scope
@@ -94,7 +94,7 @@ fn concurrent_writers_and_readers_stay_coherent() {
                 for i in 0..200u64 {
                     let slot = ((r * 11 + i * 3) % ids.len() as u64) as usize;
                     let page = shared
-                        .read(ids[slot], AccessContext::query(QueryId::new(i)))
+                        .fetch(ids[slot], AccessContext::query(QueryId::new(i)))
                         .expect("read");
                     let b = page.payload[0];
                     assert!(

@@ -58,9 +58,7 @@ fn transient_faults_are_transparent_to_readers() {
         backoff_multiplier: 2.0,
     });
     for (i, &id) in ids.iter().enumerate().cycle().take(200) {
-        let page = buf
-            .read_through(&mut store, id, ctx(i as u64))
-            .expect("read");
+        let page = buf.fetch(&mut store, id, ctx(i as u64)).expect("read");
         assert_eq!(page.id, id);
         assert!(page.verify_checksum());
     }
@@ -85,9 +83,7 @@ fn corruption_is_detected_and_refetched() {
         ..RetryPolicy::default()
     });
     for (i, &id) in ids.iter().enumerate().cycle().take(200) {
-        let page = buf
-            .read_through(&mut store, id, ctx(i as u64))
-            .expect("read");
+        let page = buf.fetch(&mut store, id, ctx(i as u64)).expect("read");
         assert!(
             page.verify_checksum(),
             "corrupted payload served to the caller"
@@ -108,9 +104,9 @@ fn corruption_is_detected_and_refetched() {
 fn poisoned_resident_frame_is_refetched_not_served() {
     let (mut disk, ids) = build_disk(8);
     let mut buf = BufferManager::with_policy(PolicyKind::Lru, 4);
-    let clean = buf.read_through(&mut disk, ids[0], ctx(0)).expect("read");
+    let clean = buf.fetch(&mut disk, ids[0], ctx(0)).expect("read");
     assert!(buf.poison_frame(ids[0]), "frame is resident");
-    let healed = buf.read_through(&mut disk, ids[0], ctx(1)).expect("read");
+    let healed = buf.fetch(&mut disk, ids[0], ctx(1)).expect("read");
     assert!(healed.verify_checksum());
     assert_eq!(healed.payload, clean.payload);
     let stats = buf.stats();
@@ -130,7 +126,7 @@ fn hopeless_faults_surface_a_typed_give_up() {
         base_backoff_ms: 0.5,
         backoff_multiplier: 2.0,
     });
-    let err = buf.read_through(&mut store, ids[0], ctx(0)).unwrap_err();
+    let err = buf.fetch(&mut store, ids[0], ctx(0)).unwrap_err();
     match err {
         StorageError::RetriesExhausted { id, attempts, last } => {
             assert_eq!(id, ids[0]);
@@ -154,12 +150,12 @@ fn permanent_failures_are_not_retried() {
     let mut store = FaultyStore::new(disk, FaultConfig::reliable());
     store.mark_permanent(ids[1]);
     let mut buf = BufferManager::with_policy(PolicyKind::Lru, 2);
-    let err = buf.read_through(&mut store, ids[1], ctx(0)).unwrap_err();
+    let err = buf.fetch(&mut store, ids[1], ctx(0)).unwrap_err();
     assert_eq!(err, StorageError::DeviceFailed(ids[1]));
     assert_eq!(buf.stats().retries, 0);
     // Healing restores the page.
     store.heal(ids[1]);
-    assert!(buf.read_through(&mut store, ids[1], ctx(1)).is_ok());
+    assert!(buf.fetch(&mut store, ids[1], ctx(1)).is_ok());
 }
 
 /// Satellite regression: a dirty victim whose write-back fails must stay
@@ -181,7 +177,7 @@ fn failed_writeback_keeps_victim_resident_and_uncounted() {
     .expect("page");
     buf.write_buffered(&mut store, dirty)
         .expect("buffered write");
-    buf.read_through(&mut store, ids[1], ctx(0)).expect("fill");
+    buf.fetch(&mut store, ids[1], ctx(0)).expect("fill");
     assert_eq!(buf.dirty_count(), 1);
 
     // Now every write fails: evicting A (the LRU victim) cannot complete.
@@ -189,7 +185,7 @@ fn failed_writeback_keeps_victim_resident_and_uncounted() {
         write_transient: 1.0,
         ..FaultConfig::transient(fault_seed(), 0.0)
     });
-    let err = buf.read_through(&mut store, ids[2], ctx(1)).unwrap_err();
+    let err = buf.fetch(&mut store, ids[2], ctx(1)).unwrap_err();
     assert!(
         matches!(
             &err,
@@ -206,7 +202,7 @@ fn failed_writeback_keeps_victim_resident_and_uncounted() {
 
     // Store recovers: the same access now evicts cleanly and serves C.
     store.set_config(FaultConfig::reliable());
-    let page = buf.read_through(&mut store, ids[2], ctx(2)).expect("read");
+    let page = buf.fetch(&mut store, ids[2], ctx(2)).expect("read");
     assert_eq!(page.id, ids[2]);
     let stats = buf.stats();
     assert_eq!(stats.failed_evictions, 1);
@@ -233,7 +229,7 @@ fn fault_schedules_are_seed_deterministic() {
             ..RetryPolicy::default()
         });
         for (i, &id) in ids.iter().enumerate().cycle().take(120) {
-            let _ = buf.read_through(&mut store, id, ctx(i as u64));
+            let _ = buf.fetch(&mut store, id, ctx(i as u64));
         }
         (store.fault_stats(), buf.stats())
     };
@@ -319,7 +315,7 @@ fn sharded_pool_survives_multithreaded_chaos() {
                         let mut give_ups = 0u64;
                         for &(p, q) in accesses.iter().skip(t).step_by(4) {
                             let id = PageId::new(p);
-                            match pool.read(id, ctx(q | ((t as u64) << 48))) {
+                            match pool.fetch(id, ctx(q | ((t as u64) << 48))) {
                                 Ok(page) => {
                                     assert!(page.verify_checksum(), "corrupt page served");
                                     assert_eq!(page.id, id);

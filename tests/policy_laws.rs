@@ -26,7 +26,7 @@ fn misses(policy: PolicyKind, capacity: usize, trace: &[(usize, u64)], ids: &[Pa
     };
     let mut buf = BufferManager::with_policy(policy, capacity);
     for &(slot, q) in trace {
-        buf.read_through(&mut disk, ids[slot], AccessContext::query(QueryId::new(q)))
+        buf.fetch(&mut disk, ids[slot], AccessContext::query(QueryId::new(q)))
             .expect("read");
     }
     buf.stats().misses
@@ -233,7 +233,7 @@ proptest! {
         let mut prev = None;
         let mut prev_overflow = Vec::new();
         for &(slot, q) in &trace {
-            buf.read_through(&mut disk, ids[slot], AccessContext::query(QueryId::new(q)))
+            buf.fetch(&mut disk, ids[slot], AccessContext::query(QueryId::new(q)))
                 .expect("read");
             check_asb_invariants(&buf, capacity, &mut prev, &mut prev_overflow)?;
         }
@@ -260,7 +260,7 @@ proptest! {
         let mut prev = None;
         let mut prev_overflow = Vec::new();
         for &(slot, q) in &trace {
-            match buf.read_through(&mut store, ids[slot], AccessContext::query(QueryId::new(q))) {
+            match buf.fetch(&mut store, ids[slot], AccessContext::query(QueryId::new(q))) {
                 Ok(page) => prop_assert!(page.verify_checksum(), "corrupt page served"),
                 Err(StorageError::RetriesExhausted { .. }) => {} // give-up is allowed
                 Err(other) => return Err(TestCaseError::fail(format!("unexpected: {other:?}"))),

@@ -205,7 +205,7 @@ proptest! {
             for &(slot, query) in &accesses {
                 let id = ids[slot];
                 let ctx = AccessContext::query(QueryId::new(query));
-                let page = buf.read_through(&mut disk, id, ctx).unwrap();
+                let page = buf.fetch(&mut disk, id, ctx).unwrap();
                 prop_assert_eq!(page.id, id);
                 prop_assert_eq!(page.payload.as_ref(), &[slot as u8][..]);
                 prop_assert!(buf.resident() <= capacity);
@@ -233,7 +233,7 @@ proptest! {
         let mut buf = BufferManager::with_policy(PolicyKind::Asb, capacity);
         let main_cap = capacity - ((capacity as f64 * 0.2).round() as usize).min(capacity - 1);
         for &(slot, query) in &accesses {
-            buf.read_through(&mut disk, ids[slot], AccessContext::query(QueryId::new(query)))
+            buf.fetch(&mut disk, ids[slot], AccessContext::query(QueryId::new(query)))
                 .unwrap();
             let c = buf.candidate_size().unwrap();
             prop_assert!(c >= 1 && c <= main_cap, "candidate {c} vs main {main_cap}");

@@ -89,8 +89,7 @@ fn a_recorder_below_a_buffer_sees_only_misses() {
 
     // Touch two pages, then re-touch them while still resident.
     for (q, &id) in [ids[0], ids[1], ids[0], ids[1], ids[0]].iter().enumerate() {
-        buf.read_through(&mut store, id, ctx(q as u64))
-            .expect("read");
+        buf.fetch(&mut store, id, ctx(q as u64)).expect("read");
     }
     let stats = buf.stats();
     assert_eq!(stats.logical_reads, 5);

@@ -70,7 +70,7 @@ fn stress_every_policy_preserves_invariants() {
                     for i in 0..500u64 {
                         let slot = ((t * 31 + i * 17) % PAGES) as usize;
                         let ctx = AccessContext::query(QueryId::new((t << 32) | (i / 8)));
-                        let page = pool.read(ids[slot], ctx).expect("read");
+                        let page = pool.fetch(ids[slot], ctx).expect("read");
                         assert_eq!(page.id, ids[slot]);
                         // Each thread rewrites only its own residue class,
                         // so the final payloads are schedule-independent.
@@ -107,7 +107,9 @@ fn stress_every_policy_preserves_invariants() {
 
         // No lost writes: every page some thread rewrote must read back
         // with that thread's payload, from the pool and from the store.
-        let mut disk = pool.try_into_store().expect("sole handle");
+        let Ok(mut disk) = pool.try_into_store() else {
+            panic!("sole handle with no guards must take the store back");
+        };
         for (slot, id) in ids.iter().enumerate() {
             let owner = (slot % THREADS) as u8;
             let page = disk
@@ -136,14 +138,14 @@ fn stress_every_policy_preserves_invariants() {
 #[test]
 fn single_shard_replays_identically_to_sequential_buffer() {
     for policy in all_policies() {
-        // Sequential reference: BufferManager::read_through over a disk.
+        // Sequential reference: BufferManager::fetch over a disk.
         let (mut disk, ids) = build_disk();
         let mut seq = BufferManager::with_policy(policy, CAPACITY);
         let trace: Vec<(usize, u64)> = (0..3_000u64)
             .map(|i| (((i * 29 + i / 64) % PAGES) as usize, i / 8))
             .collect();
         for &(slot, q) in &trace {
-            seq.read_through(&mut disk, ids[slot], AccessContext::query(QueryId::new(q)))
+            seq.fetch(&mut disk, ids[slot], AccessContext::query(QueryId::new(q)))
                 .expect("read");
         }
         let seq_io = disk.stats();
@@ -152,7 +154,7 @@ fn single_shard_replays_identically_to_sequential_buffer() {
         let (disk, ids) = build_disk();
         let pool = ShardedBuffer::new(disk, policy, CAPACITY, 1);
         for &(slot, q) in &trace {
-            pool.read(ids[slot], AccessContext::query(QueryId::new(q)))
+            pool.fetch(ids[slot], AccessContext::query(QueryId::new(q)))
                 .expect("read");
         }
 
