@@ -19,6 +19,7 @@
 
 use crate::guard::{PageReadGuard, PageWriteGuard, WriteSink};
 use crate::manager::{BufferManager, BufferStats};
+use crate::policies::ArenaState;
 use crate::sync::{AtomicU64, Mutex, Ordering};
 use asb_storage::{
     AccessContext, ConcurrentPageStore, IoStats, Page, PageId, PageMeta, PageStore, Result,
@@ -149,6 +150,17 @@ impl<S: PageStore> SharedBuffer<S> {
     /// Number of dirty frames currently buffered.
     pub fn dirty_count(&self) -> usize {
         self.inner.lock().buffer.dirty_count()
+    }
+
+    /// Expert-arena snapshot (`None` for non-arena policies).
+    pub fn arena_state(&self) -> Option<ArenaState> {
+        self.inner.lock().buffer.arena_state()
+    }
+
+    /// History records retained for non-resident pages (unified
+    /// definition: LRU-K HIST, 2Q ghosts, arena ghost caches).
+    pub fn retained_history(&self) -> usize {
+        self.inner.lock().buffer.retained_history()
     }
 
     /// Buffer capacity in pages.

@@ -17,6 +17,7 @@
 //! | [`Spatial`](PolicyKind::Spatial) | §2.3 | evict the page with the smallest spatial criterion (A, EA, M, EM or EO); LRU breaks ties |
 //! | [`Slru`](PolicyKind::Slru) | §4.1 | LRU proposes a candidate set (a fixed fraction of the buffer), the spatial criterion picks the victim from it |
 //! | [`Asb`](PolicyKind::Asb) | §4.2 | SLRU plus a FIFO *overflow buffer* (20 % of the buffer) whose hits self-tune the candidate-set size |
+//! | [`Arena`](PolicyKind::Arena) | extension | multiplicative-weights mixer over an expert roster; per-expert ghost caches count counterfactual misses, the weight leader owns eviction |
 //!
 //! ## Architecture
 //!
@@ -68,10 +69,11 @@ pub use flusher::{Flusher, FlusherConfig, FlusherHandle, FlusherStats};
 pub use guard::{PageReadGuard, PageWriteGuard};
 pub use manager::{BufferManager, BufferStats, BufferedStore, StoreIo};
 pub use policies::{
-    AsbParams, AsbPolicy, ClockPolicy, FifoPolicy, LruKPolicy, LruPolicy, LruPriorityPolicy,
-    LruTypePolicy, RandomPolicy, SlruPolicy, SpatialPolicy, TwoQPolicy,
+    ArenaParams, ArenaPolicy, ArenaState, AsbParams, AsbPolicy, ClockPolicy, ExpertState,
+    FifoPolicy, LruKPolicy, LruPolicy, LruPriorityPolicy, LruTypePolicy, RandomPolicy, Roster,
+    SlruPolicy, SpatialPolicy, TwoQPolicy,
 };
-pub use policy::{PolicyKind, ReplacementPolicy};
+pub use policy::{PolicyEvents, PolicyKind, ReplacementPolicy, VictimRanker};
 pub use pool::BufferPool;
 pub use sharded::ShardedBuffer;
 

@@ -1,4 +1,5 @@
 use crate::guard::{PageReadGuard, PinToken};
+use crate::policies::ArenaState;
 use crate::policy::{PolicyKind, ReplacementPolicy};
 use crate::sync::{AtomicU64, Ordering};
 use asb_storage::{
@@ -52,6 +53,15 @@ pub struct BufferStats {
     /// of failing. Persistently non-zero means the pool is undersized for
     /// the number of concurrently held guards.
     pub pin_overflows: u64,
+    /// Expert-arena only: number of times eviction authority moved to a
+    /// different expert ([`PolicyKind::Arena`]). Zero for every other
+    /// policy.
+    pub authority_switches: u64,
+    /// Expert-arena only: counterfactual (ghost-cache) misses of the best
+    /// expert in hindsight. `misses - best_expert_misses` is the arena's
+    /// cumulative regret (possibly negative — the mix can beat every
+    /// individual expert). Zero for every other policy.
+    pub best_expert_misses: u64,
 }
 
 impl BufferStats {
@@ -81,6 +91,8 @@ impl std::ops::Add for BufferStats {
             wal_appends: self.wal_appends + rhs.wal_appends,
             checkpoints: self.checkpoints + rhs.checkpoints,
             pin_overflows: self.pin_overflows + rhs.pin_overflows,
+            authority_switches: self.authority_switches + rhs.authority_switches,
+            best_expert_misses: self.best_expert_misses + rhs.best_expert_misses,
         }
     }
 }
@@ -352,9 +364,17 @@ impl BufferManager {
         self.frames.contains_key(&id)
     }
 
-    /// Access statistics so far.
+    /// Access statistics so far. For the expert arena
+    /// ([`PolicyKind::Arena`]) the policy-owned counters
+    /// (`authority_switches`, `best_expert_misses`) are merged into the
+    /// snapshot; they stay zero for every other policy.
     pub fn stats(&self) -> BufferStats {
-        self.stats
+        let mut stats = self.stats;
+        if let Some(arena) = self.policy.arena_state() {
+            stats.authority_switches = arena.switches;
+            stats.best_expert_misses = arena.best_expert_misses();
+        }
+        stats
     }
 
     /// Resets the access statistics and the accrued backoff time (pages
@@ -518,9 +538,19 @@ impl BufferManager {
         self.policy.candidate_size()
     }
 
-    /// History records the policy retains for non-resident pages (LRU-K).
+    /// History records the policy retains for non-resident pages under the
+    /// unified definition of
+    /// [`ReplacementPolicy::retained_history`]: LRU-K HIST entries, 2Q
+    /// ghost-queue entries and the arena's per-expert ghost caches.
     pub fn retained_history(&self) -> usize {
         self.policy.retained_history()
+    }
+
+    /// For the expert arena: the per-expert weights, ghost-miss counts,
+    /// current leader and authority-switch count. `None` for every other
+    /// policy.
+    pub fn arena_state(&self) -> Option<ArenaState> {
+        self.policy.arena_state()
     }
 
     /// Reads a page through the buffer, fetching from `io` on a miss, and

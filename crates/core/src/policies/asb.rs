@@ -2,7 +2,7 @@
 //! headline contribution.
 
 use crate::order::LinkedOrder;
-use crate::policy::ReplacementPolicy;
+use crate::policy::{PolicyEvents, ReplacementPolicy, VictimRanker};
 use asb_geom::SpatialCriterion;
 use asb_storage::{AccessContext, Page, PageId};
 use serde::{Deserialize, Serialize};
@@ -186,11 +186,7 @@ impl AsbPolicy {
     }
 }
 
-impl ReplacementPolicy for AsbPolicy {
-    fn name(&self) -> String {
-        "ASB".into()
-    }
-
+impl PolicyEvents for AsbPolicy {
     fn on_insert(&mut self, page: &Page, _ctx: AccessContext, now: u64) {
         self.info.insert(
             page.id,
@@ -235,7 +231,16 @@ impl ReplacementPolicy for AsbPolicy {
         }
     }
 
-    fn select_victim(
+    fn on_remove(&mut self, id: PageId) {
+        self.info.remove(&id);
+        if !self.overflow.remove(&id) {
+            self.main.remove(&id);
+        }
+    }
+}
+
+impl VictimRanker for AsbPolicy {
+    fn nominate(
         &mut self,
         _ctx: AccessContext,
         evictable: &dyn Fn(PageId) -> bool,
@@ -264,12 +269,11 @@ impl ReplacementPolicy for AsbPolicy {
         }
         victim.map(|(id, _)| id)
     }
+}
 
-    fn on_remove(&mut self, id: PageId) {
-        self.info.remove(&id);
-        if !self.overflow.remove(&id) {
-            self.main.remove(&id);
-        }
+impl ReplacementPolicy for AsbPolicy {
+    fn name(&self) -> String {
+        "ASB".into()
     }
 
     fn candidate_size(&self) -> Option<usize> {

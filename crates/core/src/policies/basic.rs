@@ -1,7 +1,7 @@
 //! Classic history-only baselines: LRU, FIFO, CLOCK and RANDOM.
 
 use crate::order::LinkedOrder;
-use crate::policy::ReplacementPolicy;
+use crate::policy::{PolicyEvents, ReplacementPolicy, VictimRanker};
 use asb_storage::{AccessContext, Page, PageId};
 use std::collections::HashMap;
 
@@ -19,11 +19,7 @@ impl LruPolicy {
     }
 }
 
-impl ReplacementPolicy for LruPolicy {
-    fn name(&self) -> String {
-        "LRU".into()
-    }
-
+impl PolicyEvents for LruPolicy {
     fn on_insert(&mut self, page: &Page, _ctx: AccessContext, _now: u64) {
         self.order.push_back(page.id);
     }
@@ -34,16 +30,24 @@ impl ReplacementPolicy for LruPolicy {
 
     fn on_update(&mut self, _page: &Page) {}
 
-    fn select_victim(
+    fn on_remove(&mut self, id: PageId) {
+        self.order.remove(&id);
+    }
+}
+
+impl VictimRanker for LruPolicy {
+    fn nominate(
         &mut self,
         _ctx: AccessContext,
         evictable: &dyn Fn(PageId) -> bool,
     ) -> Option<PageId> {
         self.order.iter().copied().find(|&id| evictable(id))
     }
+}
 
-    fn on_remove(&mut self, id: PageId) {
-        self.order.remove(&id);
+impl ReplacementPolicy for LruPolicy {
+    fn name(&self) -> String {
+        "LRU".into()
     }
 }
 
@@ -60,11 +64,7 @@ impl FifoPolicy {
     }
 }
 
-impl ReplacementPolicy for FifoPolicy {
-    fn name(&self) -> String {
-        "FIFO".into()
-    }
-
+impl PolicyEvents for FifoPolicy {
     fn on_insert(&mut self, page: &Page, _ctx: AccessContext, _now: u64) {
         self.order.push_back(page.id);
     }
@@ -73,16 +73,24 @@ impl ReplacementPolicy for FifoPolicy {
 
     fn on_update(&mut self, _page: &Page) {}
 
-    fn select_victim(
+    fn on_remove(&mut self, id: PageId) {
+        self.order.remove(&id);
+    }
+}
+
+impl VictimRanker for FifoPolicy {
+    fn nominate(
         &mut self,
         _ctx: AccessContext,
         evictable: &dyn Fn(PageId) -> bool,
     ) -> Option<PageId> {
         self.order.iter().copied().find(|&id| evictable(id))
     }
+}
 
-    fn on_remove(&mut self, id: PageId) {
-        self.order.remove(&id);
+impl ReplacementPolicy for FifoPolicy {
+    fn name(&self) -> String {
+        "FIFO".into()
     }
 }
 
@@ -101,11 +109,7 @@ impl ClockPolicy {
     }
 }
 
-impl ReplacementPolicy for ClockPolicy {
-    fn name(&self) -> String {
-        "CLOCK".into()
-    }
-
+impl PolicyEvents for ClockPolicy {
     fn on_insert(&mut self, page: &Page, _ctx: AccessContext, _now: u64) {
         self.order.push_back(page.id);
         self.referenced.insert(page.id, false);
@@ -119,7 +123,14 @@ impl ReplacementPolicy for ClockPolicy {
 
     fn on_update(&mut self, _page: &Page) {}
 
-    fn select_victim(
+    fn on_remove(&mut self, id: PageId) {
+        self.order.remove(&id);
+        self.referenced.remove(&id);
+    }
+}
+
+impl VictimRanker for ClockPolicy {
+    fn nominate(
         &mut self,
         _ctx: AccessContext,
         evictable: &dyn Fn(PageId) -> bool,
@@ -145,10 +156,11 @@ impl ReplacementPolicy for ClockPolicy {
         }
         None
     }
+}
 
-    fn on_remove(&mut self, id: PageId) {
-        self.order.remove(&id);
-        self.referenced.remove(&id);
+impl ReplacementPolicy for ClockPolicy {
+    fn name(&self) -> String {
+        "CLOCK".into()
     }
 }
 
@@ -182,11 +194,7 @@ impl RandomPolicy {
     }
 }
 
-impl ReplacementPolicy for RandomPolicy {
-    fn name(&self) -> String {
-        "RANDOM".into()
-    }
-
+impl PolicyEvents for RandomPolicy {
     fn on_insert(&mut self, page: &Page, _ctx: AccessContext, _now: u64) {
         if self.index.contains_key(&page.id) {
             return;
@@ -199,7 +207,18 @@ impl ReplacementPolicy for RandomPolicy {
 
     fn on_update(&mut self, _page: &Page) {}
 
-    fn select_victim(
+    fn on_remove(&mut self, id: PageId) {
+        if let Some(pos) = self.index.remove(&id) {
+            self.pages.swap_remove(pos);
+            if pos < self.pages.len() {
+                self.index.insert(self.pages[pos], pos);
+            }
+        }
+    }
+}
+
+impl VictimRanker for RandomPolicy {
+    fn nominate(
         &mut self,
         _ctx: AccessContext,
         evictable: &dyn Fn(PageId) -> bool,
@@ -214,14 +233,11 @@ impl ReplacementPolicy for RandomPolicy {
             .map(|i| self.pages[(start + i) % self.pages.len()])
             .find(|&id| evictable(id))
     }
+}
 
-    fn on_remove(&mut self, id: PageId) {
-        if let Some(pos) = self.index.remove(&id) {
-            self.pages.swap_remove(pos);
-            if pos < self.pages.len() {
-                self.index.insert(self.pages[pos], pos);
-            }
-        }
+impl ReplacementPolicy for RandomPolicy {
+    fn name(&self) -> String {
+        "RANDOM".into()
     }
 }
 

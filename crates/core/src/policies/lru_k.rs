@@ -1,7 +1,7 @@
 //! The LRU-K page-replacement algorithm of O'Neil, O'Neil and Weikum
 //! (SIGMOD 1993), as recapped in Section 2.2 of the EDBT 2002 paper.
 
-use crate::policy::ReplacementPolicy;
+use crate::policy::{PolicyEvents, ReplacementPolicy, VictimRanker};
 use asb_storage::{AccessContext, Page, PageId, QueryId};
 use std::collections::{HashMap, HashSet};
 
@@ -89,11 +89,7 @@ impl LruKPolicy {
     }
 }
 
-impl ReplacementPolicy for LruKPolicy {
-    fn name(&self) -> String {
-        format!("LRU-{}", self.k)
-    }
-
+impl PolicyEvents for LruKPolicy {
     fn on_insert(&mut self, page: &Page, ctx: AccessContext, now: u64) {
         self.resident.insert(page.id);
         self.record(page.id, ctx, now);
@@ -105,7 +101,14 @@ impl ReplacementPolicy for LruKPolicy {
 
     fn on_update(&mut self, _page: &Page) {}
 
-    fn select_victim(
+    fn on_remove(&mut self, id: PageId) {
+        // The page leaves the buffer but its history is retained.
+        self.resident.remove(&id);
+    }
+}
+
+impl VictimRanker for LruKPolicy {
+    fn nominate(
         &mut self,
         ctx: AccessContext,
         evictable: &dyn Fn(PageId) -> bool,
@@ -149,14 +152,25 @@ impl ReplacementPolicy for LruKPolicy {
         // cases" footnote 2 of the paper waves at).
         best(true).or_else(|| best(false))
     }
+}
 
-    fn on_remove(&mut self, id: PageId) {
-        // The page leaves the buffer but its history is retained.
-        self.resident.remove(&id);
+impl ReplacementPolicy for LruKPolicy {
+    fn name(&self) -> String {
+        format!("LRU-{}", self.k)
     }
 
     fn retained_history(&self) -> usize {
         self.history.len() - self.resident.len()
+    }
+
+    fn retain_history(&mut self, live: &dyn Fn(PageId) -> bool) {
+        // Resident pages always keep their history; ghost records survive
+        // only while the host still considers the page live. This is the
+        // hook that lets the arena keep LRU-K's otherwise unbounded HIST
+        // within a fixed budget.
+        let resident = &self.resident;
+        self.history
+            .retain(|id, _| resident.contains(id) || live(*id));
     }
 }
 

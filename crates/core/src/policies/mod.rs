@@ -1,5 +1,6 @@
 //! Concrete page-replacement policies.
 
+mod arena;
 mod asb;
 mod basic;
 mod lru_k;
@@ -8,6 +9,7 @@ mod slru;
 mod spatial;
 mod two_q;
 
+pub use arena::{ArenaParams, ArenaPolicy, ArenaState, ExpertState, Roster};
 pub use asb::{AsbParams, AsbPolicy};
 pub use basic::{ClockPolicy, FifoPolicy, LruPolicy, RandomPolicy};
 pub use lru_k::LruKPolicy;

@@ -1,7 +1,7 @@
 //! Type-based and priority-based LRU (Section 2.1 of the paper).
 
 use crate::order::LinkedOrder;
-use crate::policy::ReplacementPolicy;
+use crate::policy::{PolicyEvents, ReplacementPolicy, VictimRanker};
 use asb_storage::{AccessContext, Page, PageId};
 use std::collections::{BTreeMap, HashMap};
 
@@ -23,11 +23,7 @@ impl LruTypePolicy {
     }
 }
 
-impl ReplacementPolicy for LruTypePolicy {
-    fn name(&self) -> String {
-        "LRU-T".into()
-    }
-
+impl PolicyEvents for LruTypePolicy {
     fn on_insert(&mut self, page: &Page, _ctx: AccessContext, _now: u64) {
         let rank = page.meta.page_type.type_rank();
         self.classes[rank as usize].push_back(page.id);
@@ -52,7 +48,15 @@ impl ReplacementPolicy for LruTypePolicy {
         }
     }
 
-    fn select_victim(
+    fn on_remove(&mut self, id: PageId) {
+        if let Some(rank) = self.rank_of.remove(&id) {
+            self.classes[rank as usize].remove(&id);
+        }
+    }
+}
+
+impl VictimRanker for LruTypePolicy {
+    fn nominate(
         &mut self,
         _ctx: AccessContext,
         evictable: &dyn Fn(PageId) -> bool,
@@ -62,11 +66,11 @@ impl ReplacementPolicy for LruTypePolicy {
             .flat_map(|class| class.iter().copied())
             .find(|&id| evictable(id))
     }
+}
 
-    fn on_remove(&mut self, id: PageId) {
-        if let Some(rank) = self.rank_of.remove(&id) {
-            self.classes[rank as usize].remove(&id);
-        }
+impl ReplacementPolicy for LruTypePolicy {
+    fn name(&self) -> String {
+        "LRU-T".into()
     }
 }
 
@@ -93,11 +97,7 @@ impl LruPriorityPolicy {
     }
 }
 
-impl ReplacementPolicy for LruPriorityPolicy {
-    fn name(&self) -> String {
-        "LRU-P".into()
-    }
-
+impl PolicyEvents for LruPriorityPolicy {
     fn on_insert(&mut self, page: &Page, _ctx: AccessContext, _now: u64) {
         self.file(page.id, page.meta.priority());
     }
@@ -122,7 +122,20 @@ impl ReplacementPolicy for LruPriorityPolicy {
         }
     }
 
-    fn select_victim(
+    fn on_remove(&mut self, id: PageId) {
+        if let Some(prio) = self.priority_of.remove(&id) {
+            if let Some(class) = self.classes.get_mut(&prio) {
+                class.remove(&id);
+                if class.is_empty() {
+                    self.classes.remove(&prio);
+                }
+            }
+        }
+    }
+}
+
+impl VictimRanker for LruPriorityPolicy {
+    fn nominate(
         &mut self,
         _ctx: AccessContext,
         evictable: &dyn Fn(PageId) -> bool,
@@ -134,16 +147,11 @@ impl ReplacementPolicy for LruPriorityPolicy {
             .flat_map(|class| class.iter().copied())
             .find(|&id| evictable(id))
     }
+}
 
-    fn on_remove(&mut self, id: PageId) {
-        if let Some(prio) = self.priority_of.remove(&id) {
-            if let Some(class) = self.classes.get_mut(&prio) {
-                class.remove(&id);
-                if class.is_empty() {
-                    self.classes.remove(&prio);
-                }
-            }
-        }
+impl ReplacementPolicy for LruPriorityPolicy {
+    fn name(&self) -> String {
+        "LRU-P".into()
     }
 }
 

@@ -1,7 +1,7 @@
 //! Static combination of LRU and spatial replacement (Section 4.1).
 
 use crate::order::LinkedOrder;
-use crate::policy::ReplacementPolicy;
+use crate::policy::{PolicyEvents, ReplacementPolicy, VictimRanker};
 use asb_geom::SpatialCriterion;
 use asb_storage::{AccessContext, Page, PageId};
 use std::collections::HashMap;
@@ -51,11 +51,7 @@ impl SlruPolicy {
     }
 }
 
-impl ReplacementPolicy for SlruPolicy {
-    fn name(&self) -> String {
-        self.label.clone()
-    }
-
+impl PolicyEvents for SlruPolicy {
     fn on_insert(&mut self, page: &Page, _ctx: AccessContext, _now: u64) {
         self.crit
             .insert(page.id, page.meta.stats.criterion(self.criterion));
@@ -73,7 +69,14 @@ impl ReplacementPolicy for SlruPolicy {
         }
     }
 
-    fn select_victim(
+    fn on_remove(&mut self, id: PageId) {
+        self.crit.remove(&id);
+        self.order.remove(&id);
+    }
+}
+
+impl VictimRanker for SlruPolicy {
+    fn nominate(
         &mut self,
         _ctx: AccessContext,
         evictable: &dyn Fn(PageId) -> bool,
@@ -98,10 +101,11 @@ impl ReplacementPolicy for SlruPolicy {
         }
         victim.map(|(id, _)| id)
     }
+}
 
-    fn on_remove(&mut self, id: PageId) {
-        self.crit.remove(&id);
-        self.order.remove(&id);
+impl ReplacementPolicy for SlruPolicy {
+    fn name(&self) -> String {
+        self.label.clone()
     }
 
     fn candidate_size(&self) -> Option<usize> {

@@ -1,7 +1,7 @@
 //! Pure spatial page replacement (Section 2.3 of the paper).
 
 use crate::order::LinkedOrder;
-use crate::policy::ReplacementPolicy;
+use crate::policy::{PolicyEvents, ReplacementPolicy, VictimRanker};
 use asb_geom::SpatialCriterion;
 use asb_storage::{AccessContext, Page, PageId};
 use std::collections::HashMap;
@@ -37,11 +37,7 @@ impl SpatialPolicy {
     }
 }
 
-impl ReplacementPolicy for SpatialPolicy {
-    fn name(&self) -> String {
-        self.criterion.short_name().into()
-    }
-
+impl PolicyEvents for SpatialPolicy {
     fn on_insert(&mut self, page: &Page, _ctx: AccessContext, _now: u64) {
         self.crit
             .insert(page.id, page.meta.stats.criterion(self.criterion));
@@ -59,7 +55,14 @@ impl ReplacementPolicy for SpatialPolicy {
         }
     }
 
-    fn select_victim(
+    fn on_remove(&mut self, id: PageId) {
+        self.crit.remove(&id);
+        self.order.remove(&id);
+    }
+}
+
+impl VictimRanker for SpatialPolicy {
+    fn nominate(
         &mut self,
         _ctx: AccessContext,
         evictable: &dyn Fn(PageId) -> bool,
@@ -78,10 +81,11 @@ impl ReplacementPolicy for SpatialPolicy {
         }
         victim.map(|(id, _)| id)
     }
+}
 
-    fn on_remove(&mut self, id: PageId) {
-        self.crit.remove(&id);
-        self.order.remove(&id);
+impl ReplacementPolicy for SpatialPolicy {
+    fn name(&self) -> String {
+        self.criterion.short_name().into()
     }
 }
 

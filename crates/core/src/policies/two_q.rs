@@ -9,7 +9,7 @@
 //! middle ground between LRU-K and the history-free ASB.
 
 use crate::order::LinkedOrder;
-use crate::policy::ReplacementPolicy;
+use crate::policy::{PolicyEvents, ReplacementPolicy, VictimRanker};
 use asb_storage::{AccessContext, Page, PageId};
 
 /// 2Q with the paper-recommended sizing: `Kin` = 25 % of the buffer,
@@ -49,11 +49,7 @@ impl TwoQPolicy {
     }
 }
 
-impl ReplacementPolicy for TwoQPolicy {
-    fn name(&self) -> String {
-        "2Q".into()
-    }
-
+impl PolicyEvents for TwoQPolicy {
     fn on_insert(&mut self, page: &Page, _ctx: AccessContext, _now: u64) {
         if self.a1out.remove(&page.id) {
             // Remembered ghost: the page proved re-use, protect it.
@@ -73,7 +69,21 @@ impl ReplacementPolicy for TwoQPolicy {
 
     fn on_update(&mut self, _page: &Page) {}
 
-    fn select_victim(
+    fn on_remove(&mut self, id: PageId) {
+        if self.a1in.remove(&id) {
+            // Leaving probation: remember the ghost.
+            self.a1out.push_back(id);
+            while self.a1out.len() > self.kout {
+                self.a1out.pop_front();
+            }
+        } else {
+            self.am.remove(&id);
+        }
+    }
+}
+
+impl VictimRanker for TwoQPolicy {
+    fn nominate(
         &mut self,
         _ctx: AccessContext,
         evictable: &dyn Fn(PageId) -> bool,
@@ -92,17 +102,11 @@ impl ReplacementPolicy for TwoQPolicy {
             .find(|&id| evictable(id))
             .or_else(|| self.a1in.iter().copied().find(|&id| evictable(id)))
     }
+}
 
-    fn on_remove(&mut self, id: PageId) {
-        if self.a1in.remove(&id) {
-            // Leaving probation: remember the ghost.
-            self.a1out.push_back(id);
-            while self.a1out.len() > self.kout {
-                self.a1out.pop_front();
-            }
-        } else {
-            self.am.remove(&id);
-        }
+impl ReplacementPolicy for TwoQPolicy {
+    fn name(&self) -> String {
+        "2Q".into()
     }
 
     fn retained_history(&self) -> usize {

@@ -1,34 +1,30 @@
 use crate::policies::{
-    AsbParams, AsbPolicy, ClockPolicy, FifoPolicy, LruKPolicy, LruPolicy, LruPriorityPolicy,
-    LruTypePolicy, RandomPolicy, SlruPolicy, SpatialPolicy, TwoQPolicy,
+    ArenaParams, ArenaPolicy, AsbParams, AsbPolicy, ClockPolicy, FifoPolicy, LruKPolicy, LruPolicy,
+    LruPriorityPolicy, LruTypePolicy, RandomPolicy, SlruPolicy, SpatialPolicy, TwoQPolicy,
 };
 use asb_geom::SpatialCriterion;
 use asb_storage::{AccessContext, Page, PageId};
 use serde::{Deserialize, Serialize};
 
-/// A page-replacement policy.
+use crate::policies::ArenaState;
+
+/// The event surface of a replacement policy: everything a policy needs to
+/// *observe* the buffer without owning eviction authority.
 ///
-/// The [`BufferManager`](crate::BufferManager) owns the page table; the
-/// policy only maintains the ordering state needed to pick eviction victims.
-/// The manager guarantees the following protocol:
+/// The [`BufferManager`](crate::BufferManager) owns the page table; a policy
+/// only maintains the ordering state needed to rank eviction victims. The
+/// manager guarantees the following protocol:
 ///
 /// 1. every page currently in the buffer has been announced by exactly one
-///    [`on_insert`](ReplacementPolicy::on_insert) and not yet retracted by
-///    [`on_remove`](ReplacementPolicy::on_remove);
-/// 2. [`on_hit`](ReplacementPolicy::on_hit) is only called for resident
-///    pages;
-/// 3. [`select_victim`](ReplacementPolicy::select_victim) is only called
-///    while at least one resident page satisfies `evictable` (i.e. is not
-///    pinned), and its return value is always a resident, evictable page;
-/// 4. `now` ticks are strictly increasing across calls.
+///    [`on_insert`](PolicyEvents::on_insert) and not yet retracted by
+///    [`on_remove`](PolicyEvents::on_remove);
+/// 2. [`on_hit`](PolicyEvents::on_hit) is only called for resident pages;
+/// 3. `now` ticks are strictly increasing across calls.
 ///
-/// Policies must be [`Send`]: the sharded buffer pool moves each shard's
-/// policy behind a mutex shared across serving threads.
-pub trait ReplacementPolicy: Send {
-    /// Human-readable policy name, as used in the paper's figures
-    /// (e.g. `"LRU"`, `"LRU-2"`, `"A"`, `"SLRU 25%"`, `"ASB"`).
-    fn name(&self) -> String;
-
+/// Splitting observation from authority is what makes policies *experts*:
+/// the [`ArenaPolicy`] feeds the same event stream to a whole roster of
+/// policies and lets each one nominate victims counterfactually.
+pub trait PolicyEvents {
     /// A page has been loaded into the buffer (after a miss) or admitted on
     /// allocation.
     fn on_insert(&mut self, page: &Page, ctx: AccessContext, now: u64);
@@ -40,21 +36,58 @@ pub trait ReplacementPolicy: Send {
     /// metadata (spatial criteria may have changed).
     fn on_update(&mut self, page: &Page);
 
-    /// Chooses the page to drop. `ctx` is the access context of the request
-    /// that triggered the eviction (LRU-K excludes pages whose most recent
-    /// reference is correlated with it, i.e. belongs to the same query).
-    /// `evictable(id)` reports whether the page may be evicted (it is
-    /// resident and unpinned). Returns `None` only if no tracked page is
-    /// evictable.
-    fn select_victim(
+    /// A page has left the buffer (either as the selected victim or through
+    /// explicit invalidation).
+    fn on_remove(&mut self, id: PageId);
+}
+
+/// The victim-ranking surface of a replacement policy.
+///
+/// `nominate` answers "which page would *you* evict right now?" without any
+/// commitment that the nomination is acted upon — the arena polls every
+/// expert's nomination but only the current leader's is executed. For a
+/// standalone policy the manager's `select_victim` call simply delegates
+/// here.
+pub trait VictimRanker {
+    /// Nominates the page this policy would drop. `ctx` is the access
+    /// context of the request that triggered the eviction (LRU-K excludes
+    /// pages whose most recent reference is correlated with it, i.e. belongs
+    /// to the same query). `evictable(id)` reports whether the page may be
+    /// evicted (it is resident and unpinned). Returns `None` only if no
+    /// tracked page is evictable.
+    fn nominate(
         &mut self,
         ctx: AccessContext,
         evictable: &dyn Fn(PageId) -> bool,
     ) -> Option<PageId>;
+}
 
-    /// A page has left the buffer (either as the selected victim or through
-    /// explicit invalidation).
-    fn on_remove(&mut self, id: PageId);
+/// A page-replacement policy: an observable expert combining the event
+/// surface ([`PolicyEvents`]) with the victim-ranking surface
+/// ([`VictimRanker`]).
+///
+/// [`select_victim`](ReplacementPolicy::select_victim) is only called while
+/// at least one resident page satisfies `evictable` (i.e. is not pinned),
+/// and its return value is always a resident, evictable page. By default it
+/// delegates to [`nominate`](VictimRanker::nominate); only policies whose
+/// *execution* differs from their *nomination* (none today) would override.
+///
+/// Policies must be [`Send`]: the sharded buffer pool moves each shard's
+/// policy behind a mutex shared across serving threads.
+pub trait ReplacementPolicy: PolicyEvents + VictimRanker + Send {
+    /// Human-readable policy name, as used in the paper's figures
+    /// (e.g. `"LRU"`, `"LRU-2"`, `"A"`, `"SLRU 25%"`, `"ASB"`).
+    fn name(&self) -> String;
+
+    /// Chooses the page to drop and commits to that choice. See
+    /// [`VictimRanker::nominate`] for the contract on `ctx` and `evictable`.
+    fn select_victim(
+        &mut self,
+        ctx: AccessContext,
+        evictable: &dyn Fn(PageId) -> bool,
+    ) -> Option<PageId> {
+        self.nominate(ctx, evictable)
+    }
 
     /// For the adaptable spatial buffer: the current candidate-set size.
     /// `None` for policies without that notion.
@@ -63,8 +96,10 @@ pub trait ReplacementPolicy: Send {
     }
 
     /// Number of history records the policy retains for pages **outside**
-    /// the buffer (LRU-K keeps HIST for evicted pages; the paper calls this
-    /// out as its essential memory disadvantage). Zero for all others.
+    /// the buffer it manages, under one definition for every kind of ghost
+    /// state: LRU-K HIST entries for evicted pages, 2Q ghost-queue (A1out)
+    /// entries, and the arena's per-expert ghost caches all count here.
+    /// Zero for policies that remember nothing beyond their residents.
     fn retained_history(&self) -> usize {
         0
     }
@@ -74,6 +109,21 @@ pub trait ReplacementPolicy: Send {
     /// `None` for policies without an overflow buffer. Exposed so invariant
     /// tests can check the 20%-capacity bound and FIFO order from outside.
     fn overflow_state(&self) -> Option<(Vec<PageId>, usize)> {
+        None
+    }
+
+    /// Drops history records for pages that are no longer `live`. Policies
+    /// whose out-of-buffer history is unbounded (LRU-K) implement this so a
+    /// host (the arena) can keep total ghost memory bounded; bounded
+    /// policies ignore it.
+    fn retain_history(&mut self, live: &dyn Fn(PageId) -> bool) {
+        let _ = live;
+    }
+
+    /// For the expert arena: a snapshot of per-expert weights, ghost-cache
+    /// miss counts, the current leader and authority-switch count. `None`
+    /// for every non-arena policy.
+    fn arena_state(&self) -> Option<ArenaState> {
         None
     }
 }
@@ -124,6 +174,13 @@ pub enum PolicyKind {
     Asb,
     /// Adaptable spatial buffer with explicit parameters.
     AsbWith(AsbParams),
+    /// Expert arena with default parameters: a multiplicative-weights mixer
+    /// over the full expert roster that delegates eviction to the current
+    /// leader while ghost caches count each expert's counterfactual misses.
+    Arena,
+    /// Expert arena with explicit parameters (decay, fixed-share rate,
+    /// roster preset).
+    ArenaWith(ArenaParams),
 }
 
 impl PolicyKind {
@@ -145,6 +202,8 @@ impl PolicyKind {
             } => Box::new(SlruPolicy::new(capacity, candidate_fraction, criterion)),
             PolicyKind::Asb => Box::new(AsbPolicy::new(capacity, AsbParams::default())),
             PolicyKind::AsbWith(params) => Box::new(AsbPolicy::new(capacity, params)),
+            PolicyKind::Arena => Box::new(ArenaPolicy::new(capacity, ArenaParams::default())),
+            PolicyKind::ArenaWith(params) => Box::new(ArenaPolicy::new(capacity, params)),
         }
     }
 
@@ -166,6 +225,7 @@ impl PolicyKind {
                 format!("SLRU {:.0}%", candidate_fraction * 100.0)
             }
             PolicyKind::Asb | PolicyKind::AsbWith(_) => "ASB".into(),
+            PolicyKind::Arena | PolicyKind::ArenaWith(_) => "ARENA".into(),
         }
     }
 }
@@ -194,6 +254,7 @@ mod tests {
             "SLRU 25%"
         );
         assert_eq!(PolicyKind::Asb.label(), "ASB");
+        assert_eq!(PolicyKind::Arena.label(), "ARENA");
     }
 
     #[test]
@@ -213,6 +274,7 @@ mod tests {
                 criterion: SpatialCriterion::Area,
             },
             PolicyKind::Asb,
+            PolicyKind::Arena,
         ] {
             let policy = kind.build(100);
             assert_eq!(policy.name(), kind.label(), "{kind:?}");

@@ -8,6 +8,7 @@
 
 use crate::guard::{PageReadGuard, PageWriteGuard};
 use crate::manager::BufferStats;
+use crate::policies::ArenaState;
 use asb_storage::{AccessContext, PageId, Result};
 
 /// A cloneable, thread-safe buffer pool handing out RAII page guards.
@@ -44,6 +45,12 @@ pub trait BufferPool {
 
     /// Drops every buffered page and resets buffer statistics.
     fn clear(&self);
+
+    /// Expert-arena snapshots, one per independently mixing unit: a
+    /// single entry for a coarse-locked pool, one entry per shard for a
+    /// striped pool. Entries are `None` for non-arena policies, so the
+    /// result doubles as a "which shards mix?" probe.
+    fn arena_states(&self) -> Vec<Option<ArenaState>>;
 }
 
 impl<S: asb_storage::PageStore + Send + 'static> BufferPool for crate::SharedBuffer<S> {
@@ -77,6 +84,10 @@ impl<S: asb_storage::PageStore + Send + 'static> BufferPool for crate::SharedBuf
 
     fn clear(&self) {
         crate::SharedBuffer::clear(self)
+    }
+
+    fn arena_states(&self) -> Vec<Option<ArenaState>> {
+        vec![crate::SharedBuffer::arena_state(self)]
     }
 }
 
@@ -112,6 +123,10 @@ impl<S: asb_storage::ConcurrentPageStore + 'static> BufferPool for crate::Sharde
     fn clear(&self) {
         crate::ShardedBuffer::clear(self)
     }
+
+    fn arena_states(&self) -> Vec<Option<ArenaState>> {
+        crate::ShardedBuffer::shard_arena_states(self)
+    }
 }
 
 #[cfg(test)]
@@ -139,6 +154,8 @@ mod tests {
         assert_eq!(pool.live_guards(), 0);
         assert!(pool.stats().logical_reads >= ids.len() as u64);
         assert!(pool.capacity() > 0);
+        // Non-arena pools report no mixing units.
+        assert!(pool.arena_states().iter().all(|s| s.is_none()));
         pool.clear();
         assert_eq!(pool.stats().logical_reads, 0);
     }

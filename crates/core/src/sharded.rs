@@ -43,6 +43,7 @@
 
 use crate::guard::{PageReadGuard, PageWriteGuard, WriteSink};
 use crate::manager::{fetch_page_with_retry, BufferManager, BufferStats, StoreIo};
+use crate::policies::ArenaState;
 use crate::policy::PolicyKind;
 use crate::sync::{AtomicU64, Mutex, Ordering, RwLock};
 use asb_storage::{
@@ -547,6 +548,28 @@ impl<S: ConcurrentPageStore> ShardedBuffer<S> {
             .iter()
             .map(|s| s.lock().candidate_size())
             .collect()
+    }
+
+    /// Expert-arena snapshot per shard (`None` entries for non-arena
+    /// policies). Each shard runs its own independent arena, so weights
+    /// and leaders can differ across shards.
+    pub fn shard_arena_states(&self) -> Vec<Option<ArenaState>> {
+        self.inner
+            .shards
+            .iter()
+            .map(|s| s.lock().arena_state())
+            .collect()
+    }
+
+    /// History records retained for non-resident pages, summed across
+    /// shards (unified definition: LRU-K HIST, 2Q ghosts, arena ghost
+    /// caches).
+    pub fn retained_history(&self) -> usize {
+        self.inner
+            .shards
+            .iter()
+            .map(|s| s.lock().retained_history())
+            .sum()
     }
 
     /// Drops every buffered page and resets buffer statistics in all

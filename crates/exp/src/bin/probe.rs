@@ -3,6 +3,7 @@
 //! ```text
 //! probe [--scale S] [--seed N] [--db 1|2] [--frac F] [--set NAME]
 //!       [--threads N] [--shards M] [--flusher HIGH,LOW,BATCH]
+//!       [--bench-json PATH]
 //! ```
 //!
 //! Prints, for every policy, the disk accesses, hit ratio and I/O split of
@@ -19,9 +20,18 @@
 //! background flusher at the given watermark fractions and drain batch
 //! size, reporting how much dirty-page draining moved off the eviction
 //! path (e.g. `--flusher 0.5,0.25,16`).
+//!
+//! `--bench-json PATH` runs the deterministic replacement benchmark
+//! (LRU/ASB/ARENA on the phase-change workload over both golden
+//! databases) and writes it as JSON — this regenerates the repo's
+//! committed `BENCH_replacement.json` byte-for-byte. With this flag the
+//! per-policy table is skipped.
 
 use asb_core::{PolicyKind, ShardedBuffer, SpatialCriterion};
-use asb_exp::{run_cells, ExperimentCell};
+use asb_exp::{
+    replacement_bench, run_cells, ExperimentCell, BENCH_CAPACITY, BENCH_QUERIES_PER_PHASE,
+    BENCH_SEED,
+};
 use asb_rtree::RTree;
 use asb_storage::DiskManager;
 use asb_workload::{Dataset, DatasetKind, Distribution, QueryKind, QuerySetSpec, Scale};
@@ -60,6 +70,7 @@ fn main() -> ExitCode {
     let mut threads = 1usize;
     let mut shards = 0usize;
     let mut flusher: Option<(f64, f64, usize)> = None;
+    let mut bench_json: Option<String> = None;
     let mut it = std::env::args().skip(1);
     while let Some(arg) = it.next() {
         let mut next = || it.next().ok_or_else(|| format!("{arg} needs a value"));
@@ -117,6 +128,7 @@ fn main() -> ExitCode {
                     }
                     flusher = Some((high, low, batch));
                 }
+                "--bench-json" => bench_json = Some(next()?),
                 o => return Err(format!("unknown argument {o}")),
             }
             Ok(())
@@ -127,6 +139,34 @@ fn main() -> ExitCode {
         }
     }
     let spec = spec_by_name(&set).expect("validated above");
+
+    if let Some(path) = bench_json {
+        let bench = match replacement_bench(BENCH_SEED, BENCH_CAPACITY, BENCH_QUERIES_PER_PHASE) {
+            Ok(b) => b,
+            Err(e) => {
+                eprintln!("error: benchmark failed: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        let json = serde_json::to_string_pretty(&bench).expect("serialize benchmark");
+        if let Err(e) = std::fs::write(&path, json + "\n") {
+            eprintln!("error: {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        for e in &bench.entries {
+            println!(
+                "# bench {}/{:<6} misses={:<4} hit%={:<5.1} regret={:<4} switches={}",
+                e.db,
+                e.policy,
+                e.misses,
+                100.0 * e.hit_rate,
+                e.regret,
+                e.authority_switches,
+            );
+        }
+        println!("# wrote {path}");
+        return ExitCode::SUCCESS;
+    }
 
     let dataset = Dataset::generate(db, scale, seed);
     let pages = RTree::bulk_load(DiskManager::new(), dataset.items())
@@ -151,6 +191,7 @@ fn main() -> ExitCode {
             criterion: SpatialCriterion::Area,
         },
         PolicyKind::Asb,
+        PolicyKind::Arena,
     ];
     println!(
         "{:<10} {:>9} {:>9} {:>7} {:>9} {:>9} {:>9} {:>8}",

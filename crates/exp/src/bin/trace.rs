@@ -2,20 +2,25 @@
 //!
 //! ```text
 //! trace record --out PATH [--db 1|2] [--scale tiny|small|medium|large|paper]
-//!              [--seed S] [--set NAME] [--queries N]
-//! trace replay PATH [--policy lru|fifo|clock|lru-2|slru|asb] [--capacity N]
-//!              [--shards M] [--fault-seed S] [--fault-rate R]
+//!              [--seed S] [--set NAME] [--queries N] [--phased N]
+//! trace replay PATH [--policy lru|fifo|clock|lru-2|slru|asb|arena] [--capacity N]
+//!              [--shards M] [--fault-seed S] [--fault-rate R] [--weights PATH]
 //! trace crash PATH [--policy NAME] [--capacity N] [--seed S]
 //!             [--update-every K] [--checkpoint-interval N]
 //!             [--max-accesses N] [--artifacts DIR]
 //! ```
 //!
 //! `record` runs one workload unbuffered and writes its logical access
-//! sequence; `replay` pushes a recorded trace through a buffer
-//! configuration and prints the resulting statistics. With `--fault-rate`
-//! the replay runs against a fault-injecting store (chaos profile:
-//! transient faults, corruption, latency spikes) under the default retry
-//! policy and additionally reports what was injected and absorbed.
+//! sequence; `--phased N` records the adversarial phase-change workload
+//! (N queries per phase) instead of a single query set. `replay` pushes a
+//! recorded trace through a buffer configuration and prints the resulting
+//! statistics; for the arena it also prints the expert scoreboard, and
+//! `--weights PATH` dumps the full per-access weight trajectory as CSV
+//! (replays are deterministic, so the dump is bit-for-bit reproducible).
+//! With `--fault-rate` the replay runs against a fault-injecting store
+//! (chaos profile: transient faults, corruption, latency spikes) under
+//! the default retry policy and additionally reports what was injected
+//! and absorbed.
 //!
 //! `crash` turns the trace into a deterministic read/update workload
 //! (seed-derived update selection) on a WAL-attached write-back buffer,
@@ -28,7 +33,7 @@ use asb_core::PolicyKind;
 use asb_exp::{crash_sweep, CrashConfig, Trace};
 use asb_geom::SpatialCriterion;
 use asb_storage::{FaultConfig, RetryPolicy};
-use asb_workload::{DatasetKind, Distribution, QueryKind, QuerySetSpec, Scale};
+use asb_workload::{DatasetKind, Distribution, PhasedWorkload, QueryKind, QuerySetSpec, Scale};
 use std::process::ExitCode;
 
 fn spec_by_name(name: &str) -> Option<QuerySetSpec> {
@@ -66,6 +71,7 @@ fn policy_by_name(name: &str) -> Option<PolicyKind> {
             criterion: SpatialCriterion::Area,
         },
         "asb" => PolicyKind::Asb,
+        "arena" => PolicyKind::Arena,
         _ => return None,
     })
 }
@@ -99,10 +105,18 @@ fn record(mut it: impl Iterator<Item = String>) -> Result<(), String> {
     let mut seed = 42u64;
     let mut set = "U-W-33".to_string();
     let mut queries = 200usize;
+    let mut phased = None;
     while let Some(arg) = it.next() {
         let mut next = || it.next().ok_or(format!("{arg} needs a value"));
         match arg.as_str() {
             "--out" => out = Some(next()?),
+            "--phased" => {
+                phased = Some(
+                    next()?
+                        .parse::<usize>()
+                        .map_err(|e| format!("bad phase size: {e}"))?,
+                );
+            }
             "--db" => {
                 db = match next()?.as_str() {
                     "1" => DatasetKind::Mainland,
@@ -129,8 +143,13 @@ fn record(mut it: impl Iterator<Item = String>) -> Result<(), String> {
         }
     }
     let out = out.ok_or("record needs --out PATH")?;
-    let spec = spec_by_name(&set).ok_or(format!("unknown query set {set}"))?;
-    let trace = Trace::record(db, scale, seed, spec, queries).map_err(|e| e.to_string())?;
+    let trace = if let Some(per_phase) = phased {
+        let workload = PhasedWorkload::adversarial(per_phase);
+        Trace::record_phased(db, scale, seed, &workload).map_err(|e| e.to_string())?
+    } else {
+        let spec = spec_by_name(&set).ok_or(format!("unknown query set {set}"))?;
+        Trace::record(db, scale, seed, spec, queries).map_err(|e| e.to_string())?
+    };
     trace.save(&out).map_err(|e| format!("{out}: {e}"))?;
     eprintln!(
         "# recorded {} accesses over {} pages ({}) to {out}",
@@ -148,9 +167,11 @@ fn replay(mut it: impl Iterator<Item = String>) -> Result<(), String> {
     let mut shards = 0usize;
     let mut fault_seed = 1u64;
     let mut fault_rate = 0.0f64;
+    let mut weights_out: Option<String> = None;
     while let Some(arg) = it.next() {
         let mut next = || it.next().ok_or(format!("{arg} needs a value"));
         match arg.as_str() {
+            "--weights" => weights_out = Some(next()?),
             "--policy" => {
                 let v = next()?;
                 policy = policy_by_name(&v).ok_or(format!("unknown policy {v}"))?;
@@ -228,6 +249,42 @@ fn replay(mut it: impl Iterator<Item = String>) -> Result<(), String> {
         let max = out.candidate_trajectory.iter().max().copied().unwrap_or(0);
         let min = out.candidate_trajectory.iter().min().copied().unwrap_or(0);
         println!("candidate set: final={last} min={min} max={max}");
+    }
+    if let Some(arena) = &out.arena {
+        println!(
+            "arena: leader={} switches={} regret={} best_expert_misses={}",
+            arena.experts[arena.leader].label,
+            arena.switches,
+            arena.regret(),
+            arena.best_expert_misses(),
+        );
+        for e in &arena.experts {
+            println!(
+                "  expert {:<8} weight={:.4} ghost_misses={} ghost_len={}",
+                e.label, e.weight, e.ghost_misses, e.ghost_len
+            );
+        }
+    }
+    if let Some(path) = weights_out {
+        if out.weight_trajectory.is_empty() {
+            return Err(format!("--weights needs an arena replay, got {policy:?}"));
+        }
+        let labels: Vec<&str> = out
+            .arena
+            .as_ref()
+            .map(|a| a.experts.iter().map(|e| e.label.as_str()).collect())
+            .unwrap_or_default();
+        let mut csv = format!("access,{}\n", labels.join(","));
+        for (i, row) in out.weight_trajectory.iter().enumerate() {
+            let cells: Vec<String> = row.iter().map(|w| format!("{w}")).collect();
+            csv.push_str(&format!("{i},{}\n", cells.join(",")));
+        }
+        std::fs::write(&path, csv).map_err(|e| format!("{path}: {e}"))?;
+        eprintln!(
+            "# wrote {} weight rows ({} experts) to {path}",
+            out.weight_trajectory.len(),
+            labels.len()
+        );
     }
     Ok(())
 }

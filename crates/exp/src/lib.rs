@@ -25,6 +25,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod bench;
 mod crash;
 mod ext;
 mod figures;
@@ -33,6 +34,10 @@ pub mod parallel;
 mod report;
 mod trace;
 
+pub use bench::{
+    replacement_bench, BenchEntry, ReplacementBench, BENCH_CAPACITY, BENCH_QUERIES_PER_PHASE,
+    BENCH_SEED,
+};
 pub use crash::{crash_sweep, CrashConfig, CrashDivergence, CrashSweepReport};
 pub use ext::{ext_cross_sam, ext_moving_objects, ext_object_pages, extension, EXTENSIONS};
 pub use figures::{all_figures, figure, FigureConfig, FIGURE_IDS};

@@ -27,14 +27,14 @@
 //! Floats are written with Rust's shortest-roundtrip formatting, so a
 //! parse–print cycle is lossless.
 
-use asb_core::{BufferManager, BufferStats, PolicyKind, ShardedBuffer};
+use asb_core::{ArenaState, BufferManager, BufferStats, PolicyKind, ShardedBuffer};
 use asb_geom::{Rect, SpatialStats};
 use asb_rtree::RTree;
 use asb_storage::{
     AccessContext, DiskManager, FaultConfig, FaultStats, FaultyStore, IoStats, PageId, PageMeta,
     PageStore, PageType, QueryId, RecordingStore, Result, RetryPolicy, StorageError,
 };
-use asb_workload::{Dataset, DatasetKind, QuerySetSpec, Scale};
+use asb_workload::{Dataset, DatasetKind, PhasedWorkload, QuerySetSpec, Scale};
 use bytes::Bytes;
 
 /// A recorded access trace: page catalogue plus logical read sequence.
@@ -60,6 +60,14 @@ pub struct ReplayOutcome {
     /// ASB candidate-set size after every access (empty for non-ASB
     /// policies; in sharded replays only populated for one shard).
     pub candidate_trajectory: Vec<usize>,
+    /// Arena expert weights after every access, in roster order (empty
+    /// for non-arena policies; in sharded replays only populated for one
+    /// shard). Replays are deterministic, so two replays of the same
+    /// trace produce bit-identical trajectories.
+    pub weight_trajectory: Vec<Vec<f64>>,
+    /// Final arena snapshot (`None` for non-arena policies; in sharded
+    /// replays only populated for one shard).
+    pub arena: Option<ArenaState>,
 }
 
 /// Outcome of replaying a trace against a fault-injecting store.
@@ -113,6 +121,41 @@ impl Trace {
         })
     }
 
+    /// Records the logical access sequence of a phase-change workload:
+    /// like [`Trace::record`], but the queries come from a
+    /// [`PhasedWorkload`] — several query-set families concatenated so
+    /// the best replacement policy changes identity mid-trace.
+    pub fn record_phased(
+        db: DatasetKind,
+        scale: Scale,
+        seed: u64,
+        workload: &PhasedWorkload,
+    ) -> Result<Trace> {
+        let dataset = Dataset::generate(db, scale, seed);
+        let store = RecordingStore::new(DiskManager::new());
+        store.set_recording(false); // bulk-load reads are not workload
+        let mut tree = RTree::bulk_load(store, dataset.items())?;
+        let qs = workload.generate(&dataset, seed ^ 0x0051_5e75);
+        tree.store().set_recording(true);
+        for q in &qs {
+            tree.execute(q)?;
+        }
+        let log = tree.store().take_log();
+        let disk = tree.into_store().into_inner();
+        let mut pages: Vec<(u64, PageMeta)> =
+            disk.iter_pages().map(|p| (p.id.raw(), p.meta)).collect();
+        pages.sort_unstable_by_key(|&(raw, _)| raw);
+        Ok(Trace {
+            label: format!(
+                "{db:?} {scale:?} seed={seed} set={} queries={}",
+                workload.label(),
+                qs.len()
+            ),
+            pages,
+            accesses: log.iter().map(|(p, q)| (p.raw(), q.raw())).collect(),
+        })
+    }
+
     /// Rebuilds a simulated disk holding exactly the traced pages (same
     /// ids — physical adjacency, and hence the sequential-read split, is
     /// preserved). Payloads are synthetic: replacement decisions depend
@@ -142,6 +185,7 @@ impl Trace {
         let mut disk = self.build_disk()?;
         let mut mgr = BufferManager::with_policy(policy, capacity);
         let mut trajectory = Vec::new();
+        let mut weights = Vec::new();
         for &(p, q) in &self.accesses {
             let id = PageId::new(p);
             let ctx = AccessContext::query(QueryId::new(q));
@@ -150,6 +194,9 @@ impl Trace {
             if let Some(c) = mgr.candidate_size() {
                 trajectory.push(c);
             }
+            if let Some(state) = mgr.arena_state() {
+                weights.push(state.weights());
+            }
         }
         let io = disk.stats();
         Ok(ReplayOutcome {
@@ -157,6 +204,8 @@ impl Trace {
             io,
             physical_reads: io.reads,
             candidate_trajectory: trajectory,
+            weight_trajectory: weights,
+            arena: mgr.arena_state(),
         })
     }
 
@@ -172,6 +221,7 @@ impl Trace {
         let disk = self.build_disk()?;
         let pool = ShardedBuffer::new(disk, policy, capacity, shards);
         let mut trajectory = Vec::new();
+        let mut weights = Vec::new();
         for &(p, q) in &self.accesses {
             let page = pool.fetch(PageId::new(p), AccessContext::query(QueryId::new(q)))?;
             debug_assert_eq!(page.id.raw(), p);
@@ -179,14 +229,24 @@ impl Trace {
                 if let Some(Some(c)) = pool.shard_candidate_sizes().first() {
                     trajectory.push(*c);
                 }
+                if let Some(Some(state)) = pool.shard_arena_states().first() {
+                    weights.push(state.weights());
+                }
             }
         }
         let io = pool.io_stats();
+        let arena = if shards == 1 {
+            pool.shard_arena_states().into_iter().flatten().next()
+        } else {
+            None
+        };
         Ok(ReplayOutcome {
             stats: pool.stats(),
             io,
             physical_reads: io.reads,
             candidate_trajectory: trajectory,
+            weight_trajectory: weights,
+            arena,
         })
     }
 
@@ -483,6 +543,29 @@ mod tests {
         assert!(out.candidate_trajectory.iter().all(|&c| c >= 1));
         let lru = t.replay_sequential(PolicyKind::Lru, 12).unwrap();
         assert!(lru.candidate_trajectory.is_empty());
+    }
+
+    #[test]
+    fn arena_replay_is_deterministic_and_shard_agnostic() {
+        let t = tiny_trace();
+        let a = t.replay_sequential(PolicyKind::Arena, 8).unwrap();
+        let b = t.replay_sequential(PolicyKind::Arena, 8).unwrap();
+        assert_eq!(a, b, "arena replay must be bit-for-bit reproducible");
+        assert_eq!(a.weight_trajectory.len(), t.accesses.len());
+
+        let sharded = t.replay_sharded(PolicyKind::Arena, 8, 1).unwrap();
+        assert_eq!(sharded.stats, a.stats, "one-shard arena drifted");
+        assert_eq!(sharded.weight_trajectory, a.weight_trajectory);
+        assert_eq!(sharded.arena, a.arena);
+
+        let arena = a.arena.expect("arena snapshot");
+        assert!(arena.accesses > 0);
+        assert_eq!(a.stats.authority_switches, arena.switches);
+        assert_eq!(a.stats.best_expert_misses, arena.best_expert_misses());
+        // Non-arena replays report no arena data at all.
+        let lru = t.replay_sequential(PolicyKind::Lru, 8).unwrap();
+        assert!(lru.weight_trajectory.is_empty());
+        assert!(lru.arena.is_none());
     }
 
     #[test]

@@ -26,9 +26,11 @@
 #![warn(missing_docs)]
 
 mod dataset;
+mod phases;
 mod queryset;
 mod trajectory;
 
 pub use dataset::{Dataset, DatasetKind, Place, Scale};
+pub use phases::PhasedWorkload;
 pub use queryset::{Distribution, QueryKind, QuerySetSpec};
 pub use trajectory::{session, SessionSpec};

@@ -16,7 +16,7 @@
 
 use asb::buffer::{PolicyKind, SpatialCriterion};
 use asb::exp::Trace;
-use asb::workload::{DatasetKind, QuerySetSpec, Scale};
+use asb::workload::{DatasetKind, PhasedWorkload, QuerySetSpec, Scale};
 use serde::{Deserialize, Serialize};
 use std::path::{Path, PathBuf};
 
@@ -37,7 +37,7 @@ fn databases() -> [(&'static str, DatasetKind); 2] {
     ]
 }
 
-fn policies() -> [(&'static str, PolicyKind); 4] {
+fn policies() -> [(&'static str, PolicyKind); 5] {
     [
         ("lru", PolicyKind::Lru),
         ("lru-2", PolicyKind::LruK { k: 2 }),
@@ -49,6 +49,7 @@ fn policies() -> [(&'static str, PolicyKind); 4] {
             },
         ),
         ("asb", PolicyKind::Asb),
+        ("arena", PolicyKind::Arena),
     ]
 }
 
@@ -176,6 +177,123 @@ fn replays_match_expected_json() {
         actual, expected,
         "replay outcomes drifted from tests/golden/expected.json"
     );
+}
+
+/// Queries per phase of the committed phase-change traces.
+const PHASE_QUERIES_PER_PHASE: usize = 80;
+/// Documented regret bound for the committed phase traces: the arena may
+/// trail the best expert in hindsight by at most this many misses
+/// (DESIGN.md §13). CI's arena-matrix job enforces the same bound.
+const PHASE_REGRET_BOUND: i64 = 32;
+
+fn load_phase_trace(name: &str, db: DatasetKind) -> Trace {
+    let path = golden_dir().join(format!("phase_{name}.trace"));
+    if blessing() {
+        let w = PhasedWorkload::adversarial(PHASE_QUERIES_PER_PHASE);
+        let t = Trace::record_phased(db, Scale::Tiny, SEED, &w).expect("record phase trace");
+        std::fs::create_dir_all(golden_dir()).expect("golden dir");
+        t.save(&path).expect("write phase trace");
+        return t;
+    }
+    Trace::load(&path).unwrap_or_else(|e| {
+        panic!("{e}\n(run with ASB_BLESS_GOLDEN=1 to regenerate the golden files)")
+    })
+}
+
+/// The committed phase-change traces must be exactly what recording
+/// produces today (phased recording is deterministic too).
+#[test]
+fn phase_recording_reproduces_the_committed_traces() {
+    if blessing() {
+        return; // load_phase_trace rewrites the files in the other tests
+    }
+    let w = PhasedWorkload::adversarial(PHASE_QUERIES_PER_PHASE);
+    for (name, db) in databases() {
+        let committed = load_phase_trace(name, db);
+        let fresh = Trace::record_phased(db, Scale::Tiny, SEED, &w).expect("record");
+        assert_eq!(fresh, committed, "phase_{name}: recording drifted");
+    }
+}
+
+/// On the committed phase-change traces the expert arena must strictly
+/// beat plain ASB (the point of mixing: no fixed policy survives every
+/// regime), stay within the documented regret bound, and replay
+/// bit-for-bit — identical stats *and* weight trajectory — sequentially
+/// and through a one-shard pool.
+#[test]
+fn arena_beats_asb_on_the_committed_phase_traces() {
+    for (name, db) in databases() {
+        let trace = load_phase_trace(name, db);
+        let asb = trace
+            .replay_sequential(PolicyKind::Asb, CAPACITY)
+            .expect("asb replay");
+        let arena = trace
+            .replay_sequential(PolicyKind::Arena, CAPACITY)
+            .expect("arena replay");
+        assert!(
+            arena.stats.misses < asb.stats.misses,
+            "phase_{name}: arena {} misses vs asb {}",
+            arena.stats.misses,
+            asb.stats.misses
+        );
+        let state = arena.arena.as_ref().expect("arena snapshot");
+        assert!(
+            state.regret() <= PHASE_REGRET_BOUND,
+            "phase_{name}: regret {} exceeds bound {PHASE_REGRET_BOUND}",
+            state.regret()
+        );
+        assert_eq!(arena.weight_trajectory.len(), trace.accesses.len());
+
+        let again = trace
+            .replay_sequential(PolicyKind::Arena, CAPACITY)
+            .expect("arena replay");
+        assert_eq!(arena, again, "phase_{name}: arena replay not reproducible");
+        let sharded = trace
+            .replay_sharded(PolicyKind::Arena, CAPACITY, 1)
+            .expect("sharded replay");
+        assert_eq!(sharded.stats, arena.stats, "phase_{name}: shard drift");
+        assert_eq!(
+            sharded.weight_trajectory, arena.weight_trajectory,
+            "phase_{name}: weight trajectory drifted across pool shapes"
+        );
+    }
+}
+
+/// Seed-matrix variant behind CI's `arena-matrix` job: record fresh
+/// phase-change traces at `ASB_ARENA_SEED` (default: the golden seed)
+/// for both databases and check that the arena never loses to plain ASB
+/// and honours the documented regret bound. Strictness (arena *beats*
+/// ASB) is asserted only on the committed traces above; here the seed
+/// varies, so the claim is the robustness one: never worse, bounded
+/// regret.
+#[test]
+fn arena_matrix_holds_at_the_env_seed() {
+    let seed = std::env::var("ASB_ARENA_SEED")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(SEED);
+    let w = PhasedWorkload::adversarial(PHASE_QUERIES_PER_PHASE);
+    for (name, db) in databases() {
+        let trace = Trace::record_phased(db, Scale::Tiny, seed, &w).expect("record");
+        let asb = trace
+            .replay_sequential(PolicyKind::Asb, CAPACITY)
+            .expect("asb replay");
+        let arena = trace
+            .replay_sequential(PolicyKind::Arena, CAPACITY)
+            .expect("arena replay");
+        assert!(
+            arena.stats.misses <= asb.stats.misses,
+            "{name} seed {seed}: arena {} misses vs asb {}",
+            arena.stats.misses,
+            asb.stats.misses
+        );
+        let state = arena.arena.as_ref().expect("arena snapshot");
+        assert!(
+            state.regret() <= PHASE_REGRET_BOUND,
+            "{name} seed {seed}: regret {} exceeds bound {PHASE_REGRET_BOUND}",
+            state.regret()
+        );
+    }
 }
 
 /// The golden traces replay identically across repeated runs (no hidden

@@ -700,3 +700,94 @@ fn page_id_routing_matches_between_runs() {
     }
     assert_eq!(first, pool.shard_stats());
 }
+
+// ---------------------------------------------------------------------------
+// Scenario 9: expert-arena mixer under 2-shard concurrency.
+// ---------------------------------------------------------------------------
+
+/// Two threads hammer overlapping page sets through a 2-shard Arena pool
+/// with eviction pressure (12 pages, 8-frame pool → 4 frames per shard).
+/// Whatever the interleaving, each shard's mixer must end in a lawful
+/// state: weights strictly positive and summing to one, the leader the
+/// argmax weight, every expert's ghost cache bounded by the shard
+/// capacity, and the pool-wide retained history within the documented
+/// `3 × roster × capacity` bound. The usual pool invariants (no lost
+/// reads, no leaked guards) must hold too.
+fn arena_scenario() {
+    let (disk, ids) = disk_with_pages(12);
+    let pool = ShardedBuffer::new(disk, PolicyKind::Arena, 8, 2);
+
+    let a = pool.clone();
+    let ids_a = ids.clone();
+    let ta = thread::spawn(move || {
+        for (i, &id) in ids_a[..9].iter().enumerate() {
+            a.fetch(id, AccessContext::query(QueryId::new(i as u64)))
+                .unwrap();
+        }
+    });
+    let b = pool.clone();
+    let ids_b = ids.clone();
+    let tb = thread::spawn(move || {
+        for (i, &id) in ids_b[3..].iter().enumerate() {
+            b.fetch(id, AccessContext::query(QueryId::new(100 + i as u64)))
+                .unwrap();
+        }
+    });
+    ta.join();
+    tb.join();
+
+    let stats = pool.stats();
+    assert_eq!(stats.logical_reads, 18, "a read was lost");
+    assert_eq!(stats.hits + stats.misses, stats.logical_reads);
+    assert!(pool.resident() <= pool.capacity());
+    assert_eq!(pool.live_guards(), 0, "every guard must have been dropped");
+
+    let shard_caps: Vec<usize> = vec![4, 4]; // 8 frames split over 2 shards
+    let states = pool.shard_arena_states();
+    assert_eq!(states.len(), 2);
+    let mut roster_len = 0;
+    for (shard, (state, cap)) in states.iter().zip(&shard_caps).enumerate() {
+        let state = state
+            .as_ref()
+            .unwrap_or_else(|| panic!("shard {shard}: Arena pool must expose a mixer state"));
+        roster_len = state.experts.len();
+        let sum: f64 = state.weights().iter().sum();
+        assert!(
+            (sum - 1.0).abs() < 1e-9,
+            "shard {shard}: weights sum to {sum}, not 1"
+        );
+        assert!(
+            state.weights().iter().all(|&w| w > 0.0),
+            "shard {shard}: fixed-share must keep every weight positive"
+        );
+        let argmax = state
+            .weights()
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).unwrap().then(b.0.cmp(&a.0)))
+            .map(|(i, _)| i)
+            .unwrap();
+        assert_eq!(
+            state.leader, argmax,
+            "shard {shard}: leader must be the argmax weight"
+        );
+        for e in &state.experts {
+            assert!(
+                e.ghost_len <= *cap,
+                "shard {shard}: expert {} ghost cache {} exceeds shard capacity {cap}",
+                e.label,
+                e.ghost_len
+            );
+        }
+    }
+    assert!(
+        pool.retained_history() <= 3 * roster_len * pool.capacity(),
+        "retained history {} exceeds the documented 3*roster*capacity bound",
+        pool.retained_history()
+    );
+}
+
+#[test]
+fn arena_mixer_state_is_lawful_under_concurrency() {
+    explore_scenario("arena-mixer", 0x4152_454e_415f_4d58, arena_scenario);
+}

@@ -1,7 +1,7 @@
 //! Cross-policy laws: classic results from the caching literature that the
 //! implementation must respect.
 
-use asb::buffer::{AsbParams, BufferManager, PolicyKind, SpatialCriterion};
+use asb::buffer::{ArenaParams, AsbParams, BufferManager, PolicyKind, Roster, SpatialCriterion};
 use asb::geom::{Rect, SpatialStats};
 use asb::storage::{AccessContext, DiskManager, PageId, PageMeta, PageStore, QueryId};
 use bytes::Bytes;
@@ -75,6 +75,7 @@ proptest! {
             PolicyKind::LruK { k: 2 },
             PolicyKind::Spatial(SpatialCriterion::Area),
             PolicyKind::Asb,
+            PolicyKind::Arena,
         ] {
             let m = misses(policy, capacity, &trace, &ids);
             prop_assert!(m >= distinct, "{policy:?}: fewer misses than cold misses");
@@ -96,6 +97,7 @@ proptest! {
             PolicyKind::LruK { k: 3 },
             PolicyKind::Spatial(SpatialCriterion::Margin),
             PolicyKind::Asb,
+            PolicyKind::Arena,
         ] {
             let m = misses(policy, 20, &trace, &ids);
             let distinct = {
@@ -128,6 +130,12 @@ fn policy_kinds_serialize_roundtrip() {
             step_fraction: 0.02,
             criterion: SpatialCriterion::Margin,
         }),
+        PolicyKind::Arena,
+        PolicyKind::ArenaWith(ArenaParams {
+            decay: 0.1,
+            share: 0.01,
+            roster: Roster::Lean,
+        }),
     ];
     for kind in kinds {
         let json = serde_json::to_string(&kind).expect("serialize");
@@ -151,6 +159,7 @@ fn runs_are_deterministic() {
         PolicyKind::Asb,
         PolicyKind::LruK { k: 2 },
         PolicyKind::TwoQ,
+        PolicyKind::Arena,
     ] {
         let a = misses(policy, 12, &trace, &ids);
         let b = misses(policy, 12, &trace, &ids);
@@ -267,5 +276,112 @@ proptest! {
             }
             check_asb_invariants(&buf, capacity, &mut prev, &mut prev_overflow)?;
         }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Expert-arena mixer laws (multiplicative weights over a policy roster),
+// under arbitrary access sequences.
+// ---------------------------------------------------------------------------
+
+/// Runs one trace through an arena buffer and returns the final buffer —
+/// callers inspect `arena_state()` / `retained_history()` / `stats()`.
+fn arena_run(
+    params: ArenaParams,
+    capacity: usize,
+    trace: &[(usize, u64)],
+    ids: &[asb::storage::PageId],
+) -> BufferManager {
+    let (mut disk, _) = build_disk(ids.len() as u64);
+    let mut buf = BufferManager::with_policy(PolicyKind::ArenaWith(params), capacity);
+    for &(slot, q) in trace {
+        buf.fetch(&mut disk, ids[slot], AccessContext::query(QueryId::new(q)))
+            .expect("read");
+    }
+    buf
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// After every trace the expert weights form a probability vector —
+    /// strictly positive and summing to one — and the reported leader is
+    /// the argmax of the weights (lowest index on ties).
+    #[test]
+    fn arena_weights_are_normalized_and_leader_is_argmax(
+        trace in prop::collection::vec((0usize..40, 0u64..10), 1..400),
+        capacity in 2usize..24,
+        lean in 0u8..2,
+    ) {
+        let (_, ids) = build_disk(40);
+        let params = ArenaParams {
+            roster: if lean == 1 { Roster::Lean } else { Roster::Full },
+            ..ArenaParams::default()
+        };
+        let state = arena_run(params, capacity, &trace, &ids)
+            .arena_state()
+            .expect("arena exposes its state");
+        let weights = state.weights();
+        let sum: f64 = weights.iter().sum();
+        prop_assert!((sum - 1.0).abs() < 1e-9, "weights sum to {sum}");
+        prop_assert!(weights.iter().all(|&w| w > 0.0), "non-positive weight in {weights:?}");
+        let argmax = weights
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).unwrap().then(b.0.cmp(&a.0)))
+            .map(|(i, _)| i)
+            .unwrap();
+        prop_assert_eq!(state.leader, argmax, "leader is not the weight argmax");
+    }
+
+    /// With decay and share both zero the weights never move, so the
+    /// leader stays expert zero forever and the arena's evictions are
+    /// bit-identical to running that expert alone: same misses on every
+    /// trace. (Lean roster's expert zero is plain LRU.)
+    #[test]
+    fn arena_with_zero_decay_is_its_first_expert(
+        trace in prop::collection::vec((0usize..40, 0u64..10), 1..400),
+        capacity in 2usize..24,
+    ) {
+        let (_, ids) = build_disk(40);
+        let params = ArenaParams { decay: 0.0, share: 0.0, roster: Roster::Lean };
+        let buf = arena_run(params, capacity, &trace, &ids);
+        let state = buf.arena_state().expect("arena state");
+        prop_assert_eq!(state.leader, 0, "zero-decay leader moved");
+        prop_assert_eq!(state.switches, 0, "zero-decay arena switched authority");
+        let lru = misses(PolicyKind::Lru, capacity, &trace, &ids);
+        prop_assert_eq!(buf.stats().misses, lru, "zero-decay arena diverged from LRU");
+    }
+
+    /// Ghost memory stays bounded: every expert's ghost cache holds at
+    /// most `capacity` pages (ISSUE bound: 1x buffer capacity per expert),
+    /// and the unified `retained_history` count — ghosts plus the
+    /// mirrored/simulated policies' own history — stays within the
+    /// documented 3x-roster-capacity envelope.
+    #[test]
+    fn arena_ghost_memory_is_bounded(
+        trace in prop::collection::vec((0usize..60, 0u64..10), 1..500),
+        capacity in 2usize..20,
+        lean in 0u8..2,
+    ) {
+        let (_, ids) = build_disk(60);
+        let roster = if lean == 1 { Roster::Lean } else { Roster::Full };
+        let params = ArenaParams { roster, ..ArenaParams::default() };
+        let buf = arena_run(params, capacity, &trace, &ids);
+        let state = buf.arena_state().expect("arena state");
+        for e in &state.experts {
+            prop_assert!(
+                e.ghost_len <= capacity,
+                "expert {} ghost cache holds {} > capacity {capacity}",
+                e.label,
+                e.ghost_len
+            );
+        }
+        let bound = 3 * roster.len() * capacity;
+        let retained = buf.retained_history();
+        prop_assert!(
+            retained <= bound,
+            "retained history {retained} exceeds bound {bound}"
+        );
     }
 }
