@@ -88,6 +88,70 @@ impl<S: PageStore> SharedBuffer<S> {
         buffer.fetch(store, id, ctx)
     }
 
+    /// [`fetch`](SharedBuffer::fetch), additionally reporting whether the
+    /// request was a buffer hit. The classification is exact: the pool
+    /// mutex is held across the fetch and the counter read-back, so no
+    /// concurrent request can move the hit counter in between.
+    pub fn fetch_classified(
+        &self,
+        id: PageId,
+        ctx: AccessContext,
+    ) -> Result<(PageReadGuard, bool)> {
+        let mut g = self.inner.lock();
+        let Inner { store, buffer } = &mut *g;
+        let hits_before = buffer.stats().hits;
+        let guard = buffer.fetch(store, id, ctx)?;
+        Ok((guard, buffer.stats().hits > hits_before))
+    }
+
+    /// Reads a batch of pages under a single pool-lock acquisition,
+    /// returning one `(guard, hit)` pair per id in input order.
+    ///
+    /// The batch runs the same two phases as
+    /// [`ShardedBuffer::fetch_batch`](crate::ShardedBuffer::fetch_batch) —
+    /// probe every distinct id first, then resolve the misses — so a
+    /// batched replay through either pool records identical statistics
+    /// (the property `tests/serve.rs` pins down). An id repeated within
+    /// the batch is deferred until its first occurrence has resolved and
+    /// classifies as the hit it would have been sequentially.
+    pub fn fetch_batch(
+        &self,
+        ids: &[PageId],
+        ctx: AccessContext,
+    ) -> Result<Vec<(PageReadGuard, bool)>> {
+        let mut g = self.inner.lock();
+        let Inner { store, buffer } = &mut *g;
+        let mut out: Vec<Option<(PageReadGuard, bool)>> = (0..ids.len()).map(|_| None).collect();
+        let mut seen = std::collections::HashSet::new();
+        let mut deferred = vec![false; ids.len()];
+        for (i, &id) in ids.iter().enumerate() {
+            if !seen.insert(id) {
+                deferred[i] = true;
+            } else if let Some(guard) = buffer.probe(id, ctx) {
+                out[i] = Some((guard, true));
+            }
+        }
+        for (i, &id) in ids.iter().enumerate() {
+            if out[i].is_some() {
+                continue;
+            }
+            if deferred[i] {
+                let hits_before = buffer.stats().hits;
+                let guard = buffer.fetch(store, id, ctx)?;
+                let hit = buffer.stats().hits > hits_before;
+                out[i] = Some((guard, hit));
+            } else {
+                out[i] = Some((buffer.fetch_missed(store, id, ctx)?, false));
+            }
+        }
+        // invariant: the resolve loop above fills every slot the probe
+        // pass left empty, so no `None` survives to this point.
+        Ok(out
+            .into_iter()
+            .map(|o| o.expect("outcome filled"))
+            .collect())
+    }
+
     /// Reads a page for modification, returning a [`PageWriteGuard`] whose
     /// commit (or drop, best-effort) publishes through the buffered-write
     /// path.

@@ -712,6 +712,22 @@ impl BufferManager {
         self.backoff_ms += effort.backoff_ms;
     }
 
+    /// The post-probe miss path of [`fetch`](BufferManager::fetch): the
+    /// retrying store read plus admission, with the miss itself already
+    /// counted by [`probe`](BufferManager::probe). Batched pools probe a
+    /// whole batch under one lock acquisition and then resolve the misses
+    /// through this, so batched accounting is indistinguishable from the
+    /// sequential path's.
+    pub(crate) fn fetch_missed<IO: StoreIo + ?Sized>(
+        &mut self,
+        io: &mut IO,
+        id: PageId,
+        ctx: AccessContext,
+    ) -> Result<PageReadGuard> {
+        let page = self.fetch_with_retry(io, id, ctx)?;
+        self.admit_fetched(page, ctx, io)
+    }
+
     /// Fetches `id`, retrying transient failures (including checksum
     /// mismatches of the delivered copy) under the retry policy.
     fn fetch_with_retry<IO: StoreIo + ?Sized>(

@@ -3,7 +3,7 @@
 
 use crate::policy::{PolicyEvents, ReplacementPolicy, VictimRanker};
 use asb_storage::{AccessContext, Page, PageId, QueryId};
-use std::collections::{HashMap, HashSet};
+use std::collections::{BTreeSet, HashMap};
 
 /// Reference history of one page: `HIST(p)` of the paper.
 #[derive(Debug, Clone)]
@@ -34,7 +34,11 @@ struct Hist {
 pub struct LruKPolicy {
     k: usize,
     history: HashMap<PageId, Hist>,
-    resident: HashSet<PageId>,
+    /// Resident pages in page-id order: the victim scan iterates this set,
+    /// and a canonical order keeps full HIST ties (possible when a batched
+    /// fetch admits several pages at one tick) deterministic across
+    /// processes — hash order would break byte-reproducible benchmarks.
+    resident: BTreeSet<PageId>,
 }
 
 impl LruKPolicy {
@@ -48,7 +52,7 @@ impl LruKPolicy {
         LruKPolicy {
             k,
             history: HashMap::new(),
-            resident: HashSet::new(),
+            resident: BTreeSet::new(),
         }
     }
 

@@ -9,7 +9,21 @@
 use crate::guard::{PageReadGuard, PageWriteGuard};
 use crate::manager::BufferStats;
 use crate::policies::ArenaState;
-use asb_storage::{AccessContext, PageId, Result};
+use asb_storage::{AccessContext, IoStats, PageId, Result};
+
+/// The result of a classified read: the pinned guard plus whether the
+/// request was served from the buffer (`hit`) or had to reach the backing
+/// store. Serving front ends use the flag to attribute per-session hit
+/// rates without reverse-engineering them from pool-wide statistics.
+#[derive(Debug)]
+pub struct FetchOutcome {
+    /// The pinned read guard, exactly as [`BufferPool::fetch`] returns it.
+    pub guard: PageReadGuard,
+    /// `true` when the first residency probe served the page; `false`
+    /// when the backing store was read (including when the read was
+    /// coalesced into another request's in-flight fetch).
+    pub hit: bool,
+}
 
 /// A cloneable, thread-safe buffer pool handing out RAII page guards.
 ///
@@ -23,6 +37,42 @@ pub trait BufferPool {
     /// the backing store; transient faults are retried under the pool's
     /// retry policy.
     fn fetch(&self, id: PageId, ctx: AccessContext) -> Result<PageReadGuard>;
+
+    /// [`fetch`](BufferPool::fetch), additionally reporting whether the
+    /// request was a buffer hit. Accounting is identical to `fetch` — the
+    /// flag mirrors the hit/miss the pool's statistics recorded for this
+    /// request.
+    fn fetch_classified(&self, id: PageId, ctx: AccessContext) -> Result<FetchOutcome>;
+
+    /// Reads a batch of pages, returning one outcome per id in input
+    /// order. Implementations may amortize locking across the batch
+    /// (e.g. one shard-lock acquisition for all resident pages of a
+    /// shard), but the per-request accounting must be indistinguishable
+    /// from issuing the same `fetch_classified` calls in input order.
+    fn fetch_batch(&self, ids: &[PageId], ctx: AccessContext) -> Result<Vec<FetchOutcome>> {
+        ids.iter()
+            .map(|&id| self.fetch_classified(id, ctx))
+            .collect()
+    }
+
+    /// Number of independently locked shards (1 for coarse-locked pools).
+    fn shard_count(&self) -> usize {
+        1
+    }
+
+    /// The shard that serves `id` (always 0 for coarse-locked pools).
+    /// Batching front ends group page requests by shard so each group's
+    /// store latency can be charged to one simulated I/O channel.
+    fn shard_of(&self, id: PageId) -> usize {
+        let _ = id;
+        0
+    }
+
+    /// Physical I/O statistics of the backing store, including its
+    /// simulated-time clock (`IoStats::simulated_ms`). Latency harnesses
+    /// difference this around a batch to convert store activity into
+    /// simulated service time.
+    fn io_stats(&self) -> IoStats;
 
     /// Reads a page for modification. Edits are private to the guard
     /// until committed (or dropped, best-effort).
@@ -53,9 +103,25 @@ pub trait BufferPool {
     fn arena_states(&self) -> Vec<Option<ArenaState>>;
 }
 
-impl<S: asb_storage::PageStore + Send + 'static> BufferPool for crate::SharedBuffer<S> {
+impl<S: asb_storage::ConcurrentPageStore + 'static> BufferPool for crate::SharedBuffer<S> {
     fn fetch(&self, id: PageId, ctx: AccessContext) -> Result<PageReadGuard> {
         crate::SharedBuffer::fetch(self, id, ctx)
+    }
+
+    fn fetch_classified(&self, id: PageId, ctx: AccessContext) -> Result<FetchOutcome> {
+        crate::SharedBuffer::fetch_classified(self, id, ctx)
+            .map(|(guard, hit)| FetchOutcome { guard, hit })
+    }
+
+    fn fetch_batch(&self, ids: &[PageId], ctx: AccessContext) -> Result<Vec<FetchOutcome>> {
+        Ok(crate::SharedBuffer::fetch_batch(self, ids, ctx)?
+            .into_iter()
+            .map(|(guard, hit)| FetchOutcome { guard, hit })
+            .collect())
+    }
+
+    fn io_stats(&self) -> IoStats {
+        crate::SharedBuffer::io_stats(self)
     }
 
     fn fetch_mut(&self, id: PageId, ctx: AccessContext) -> Result<PageWriteGuard> {
@@ -94,6 +160,30 @@ impl<S: asb_storage::PageStore + Send + 'static> BufferPool for crate::SharedBuf
 impl<S: asb_storage::ConcurrentPageStore + 'static> BufferPool for crate::ShardedBuffer<S> {
     fn fetch(&self, id: PageId, ctx: AccessContext) -> Result<PageReadGuard> {
         crate::ShardedBuffer::fetch(self, id, ctx)
+    }
+
+    fn fetch_classified(&self, id: PageId, ctx: AccessContext) -> Result<FetchOutcome> {
+        crate::ShardedBuffer::fetch_classified(self, id, ctx)
+            .map(|(guard, hit)| FetchOutcome { guard, hit })
+    }
+
+    fn fetch_batch(&self, ids: &[PageId], ctx: AccessContext) -> Result<Vec<FetchOutcome>> {
+        Ok(crate::ShardedBuffer::fetch_batch(self, ids, ctx)?
+            .into_iter()
+            .map(|(guard, hit)| FetchOutcome { guard, hit })
+            .collect())
+    }
+
+    fn shard_count(&self) -> usize {
+        crate::ShardedBuffer::shard_count(self)
+    }
+
+    fn shard_of(&self, id: PageId) -> usize {
+        crate::ShardedBuffer::shard_of(self, id)
+    }
+
+    fn io_stats(&self) -> IoStats {
+        crate::ShardedBuffer::io_stats(self)
     }
 
     fn fetch_mut(&self, id: PageId, ctx: AccessContext) -> Result<PageWriteGuard> {
@@ -145,6 +235,28 @@ mod tests {
             let guard = pool.fetch(id, AccessContext::default()).unwrap();
             assert_eq!(guard.id, id);
         }
+        // Everything is resident now: classified fetches must report hits,
+        // and a batch (with a repeat) must classify every id as a hit too.
+        let out = pool
+            .fetch_classified(ids[0], AccessContext::default())
+            .unwrap();
+        assert!(out.hit);
+        drop(out);
+        let batch: Vec<PageId> = ids.iter().chain([&ids[0]]).copied().collect();
+        let outcomes = pool.fetch_batch(&batch, AccessContext::default()).unwrap();
+        assert_eq!(outcomes.len(), batch.len());
+        for (outcome, &id) in outcomes.iter().zip(&batch) {
+            assert_eq!(outcome.guard.id, id);
+            assert!(outcome.hit);
+        }
+        drop(outcomes);
+        // Shard routing is total and stable over the declared shard count.
+        assert!(pool.shard_count() >= 1);
+        for &id in ids {
+            assert!(pool.shard_of(id) < pool.shard_count());
+            assert_eq!(pool.shard_of(id), pool.shard_of(id));
+        }
+        assert!(pool.io_stats().reads as usize >= 1);
         let mut w = pool.fetch_mut(ids[0], AccessContext::default()).unwrap();
         w.set_payload(Bytes::from_static(b"trait")).unwrap();
         w.commit().unwrap();
@@ -172,6 +284,26 @@ mod tests {
             })
             .collect();
         (d, ids)
+    }
+
+    #[test]
+    fn batch_with_repeats_classifies_like_sequential_fetches() {
+        let (disk, ids) = disk_with_pages(6);
+        let sharded = ShardedBuffer::new(disk, PolicyKind::Lru, 8, 2);
+        let batch = vec![ids[0], ids[1], ids[0]];
+        let outcomes = sharded
+            .fetch_batch(&batch, AccessContext::default())
+            .unwrap();
+        assert!(!outcomes[0].1, "cold id must classify as a miss");
+        assert!(!outcomes[1].1, "cold id must classify as a miss");
+        assert!(
+            outcomes[2].1,
+            "repeat must see the first occurrence's admission"
+        );
+        let stats = sharded.stats();
+        assert_eq!(stats.logical_reads, 3);
+        assert_eq!(stats.hits, 1);
+        assert_eq!(stats.misses, 2);
     }
 
     #[test]

@@ -195,7 +195,10 @@ impl<S: ConcurrentPageStore> ShardedBuffer<S> {
         }
     }
 
-    fn shard_of(&self, id: PageId) -> usize {
+    /// The shard that serves `id` (splitmix64 of the raw page id, modulo
+    /// the shard count — a stable, uniform routing). Public so batching
+    /// front ends can group page requests by shard before fetching.
+    pub fn shard_of(&self, id: PageId) -> usize {
         (splitmix64(id.raw()) % self.inner.shards.len() as u64) as usize
     }
 
@@ -223,15 +226,35 @@ impl<S: ConcurrentPageStore> ShardedBuffer<S> {
     /// [`RetryPolicy`], and a checksum-corrupted frame is evicted and
     /// re-fetched instead of served.
     pub fn fetch(&self, id: PageId, ctx: AccessContext) -> Result<PageReadGuard> {
+        self.fetch_classified(id, ctx).map(|(guard, _)| guard)
+    }
+
+    /// [`fetch`](ShardedBuffer::fetch), additionally reporting whether the
+    /// request was a buffer hit. `hit` is `true` exactly when the first
+    /// residency probe served the page — a read coalesced into another
+    /// request's in-flight fetch still reports `false`, matching the miss
+    /// its probe recorded in the shard's statistics.
+    pub fn fetch_classified(
+        &self,
+        id: PageId,
+        ctx: AccessContext,
+    ) -> Result<(PageReadGuard, bool)> {
         let shard = self.shard_of(id);
         {
             let mut buf = self.inner.shards[shard].lock();
             if let Some(guard) = buf.probe(id, ctx) {
-                return Ok(guard);
+                return Ok((guard, true));
             }
         }
-        // The miss is already counted; the shard lock is released so the
-        // flight (ours or another thread's) can take it from the closure.
+        self.resolve_miss(shard, id, ctx)
+            .map(|guard| (guard, false))
+    }
+
+    /// The post-probe miss path shared by [`fetch_classified`] and
+    /// [`fetch_batch`]: the miss is already counted, the shard lock is
+    /// released so the flight (ours or another thread's) can take it from
+    /// the closure.
+    fn resolve_miss(&self, shard: usize, id: PageId, ctx: AccessContext) -> Result<PageReadGuard> {
         match self
             .inner
             .scheduler
@@ -250,6 +273,64 @@ impl<S: ConcurrentPageStore> ShardedBuffer<S> {
                 }
             }
         }
+    }
+
+    /// Reads a batch of pages, returning one `(guard, hit)` pair per id in
+    /// input order. Resident pages of a shard are probed under a single
+    /// shard-lock acquisition; the misses then run through the normal
+    /// single-flight path. Accounting is indistinguishable from issuing
+    /// the same [`fetch_classified`](ShardedBuffer::fetch_classified)
+    /// calls in input order: each id is probed exactly once, and an id
+    /// repeated within the batch is deferred until its first occurrence
+    /// has resolved (so the repeat classifies as the hit it would have
+    /// been sequentially).
+    pub fn fetch_batch(
+        &self,
+        ids: &[PageId],
+        ctx: AccessContext,
+    ) -> Result<Vec<(PageReadGuard, bool)>> {
+        let mut out: Vec<Option<(PageReadGuard, bool)>> = (0..ids.len()).map(|_| None).collect();
+        // First occurrences probe in the batched phase; repeats resolve
+        // afterwards through the sequential path so their probe sees the
+        // first occurrence's admission.
+        let mut seen = std::collections::HashSet::new();
+        let mut deferred = vec![false; ids.len()];
+        let mut by_shard: Vec<Vec<usize>> = vec![Vec::new(); self.inner.shards.len()];
+        for (i, &id) in ids.iter().enumerate() {
+            if seen.insert(id) {
+                by_shard[self.shard_of(id)].push(i);
+            } else {
+                deferred[i] = true;
+            }
+        }
+        for (shard, idxs) in by_shard.iter().enumerate() {
+            if idxs.is_empty() {
+                continue;
+            }
+            let mut buf = self.inner.shards[shard].lock();
+            for &i in idxs {
+                if let Some(guard) = buf.probe(ids[i], ctx) {
+                    out[i] = Some((guard, true));
+                }
+            }
+        }
+        for (i, &id) in ids.iter().enumerate() {
+            if out[i].is_some() {
+                continue;
+            }
+            if deferred[i] {
+                out[i] = Some(self.fetch_classified(id, ctx)?);
+            } else {
+                let shard = self.shard_of(id);
+                out[i] = Some((self.resolve_miss(shard, id, ctx)?, false));
+            }
+        }
+        // invariant: the resolve loop above fills every slot the probe
+        // pass left empty, so no `None` survives to this point.
+        Ok(out
+            .into_iter()
+            .map(|o| o.expect("outcome filled"))
+            .collect())
     }
 
     /// The miss path run by a flight leader: re-check residency, read the

@@ -13,6 +13,14 @@ use asb_storage::Result;
 use asb_workload::{DatasetKind, PhasedWorkload, Scale};
 use serde::{Deserialize, Serialize};
 
+/// The two golden databases every committed benchmark trajectory runs on,
+/// as `(label, kind)` pairs — the labels appear verbatim in the committed
+/// JSON files (`BENCH_replacement.json`, `BENCH_serve.json`).
+pub const GOLDEN_DBS: [(&str, DatasetKind); 2] = [
+    ("mainland", DatasetKind::Mainland),
+    ("world", DatasetKind::World),
+];
+
 /// Buffer capacity (pages) used for every benchmark replay.
 pub const BENCH_CAPACITY: usize = 12;
 /// Seed of the benchmark workloads.
@@ -68,10 +76,7 @@ pub fn replacement_bench(
 ) -> Result<ReplacementBench> {
     let workload = PhasedWorkload::adversarial(queries_per_phase);
     let mut entries = Vec::new();
-    for (name, db) in [
-        ("mainland", DatasetKind::Mainland),
-        ("world", DatasetKind::World),
-    ] {
+    for (name, db) in GOLDEN_DBS {
         let trace = Trace::record_phased(db, Scale::Tiny, seed, &workload)?;
         for policy in [PolicyKind::Lru, PolicyKind::Asb, PolicyKind::Arena] {
             let out = trace.replay_sequential(policy, capacity)?;

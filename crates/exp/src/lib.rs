@@ -36,7 +36,7 @@ mod trace;
 
 pub use bench::{
     replacement_bench, BenchEntry, ReplacementBench, BENCH_CAPACITY, BENCH_QUERIES_PER_PHASE,
-    BENCH_SEED,
+    BENCH_SEED, GOLDEN_DBS,
 };
 pub use crash::{crash_sweep, CrashConfig, CrashDivergence, CrashSweepReport};
 pub use ext::{ext_cross_sam, ext_moving_objects, ext_object_pages, extension, EXTENSIONS};

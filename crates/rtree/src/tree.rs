@@ -73,6 +73,30 @@ pub struct TreeSnapshot {
     config: RTreeConfig,
 }
 
+impl TreeSnapshot {
+    /// The root page of the snapshotted tree — the entry point for
+    /// external traversals (e.g. a serving front end expanding nodes
+    /// itself to batch page requests across sessions).
+    pub fn root(&self) -> PageId {
+        self.root
+    }
+
+    /// Height of the snapshotted tree (1 = the root is a leaf).
+    pub fn height(&self) -> u8 {
+        self.height
+    }
+
+    /// Number of items in the snapshotted tree.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the snapshotted tree was empty.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+}
+
 enum AnyEntry {
     Leaf(LeafEntry),
     Dir(DirEntry),

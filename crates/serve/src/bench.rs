@@ -1,0 +1,303 @@
+//! The serving benchmark behind `BENCH_serve.json`.
+//!
+//! One deterministic mixed-request serving run per `(golden database,
+//! policy)` pair: the same seeded sessions replayed through LRU, ASB and
+//! the expert arena on a sharded pool. Latency is simulated ticks, so the
+//! whole benchmark is a pure function of the configuration constants —
+//! `serve bench --json` regenerates the committed file byte-for-byte on
+//! any machine, and CI diffs a fresh run against it with a p99 tolerance
+//! gate ([`check_regression`]).
+
+use crate::engine::{serve, ServeConfig};
+use asb_core::{PolicyKind, ShardedBuffer};
+use asb_exp::GOLDEN_DBS;
+use asb_rtree::RTree;
+use asb_storage::{DiskManager, Result};
+use asb_workload::{session_requests, Dataset, Request, RequestMix, Scale, SessionSpec};
+use serde::{Deserialize, Serialize};
+
+/// Seed of the benchmark workload and serve loop.
+pub const SERVE_BENCH_SEED: u64 = 42;
+/// Concurrent sessions per benchmark run.
+pub const SERVE_BENCH_SESSIONS: usize = 128;
+/// Requests per session.
+pub const SERVE_BENCH_REQUESTS: usize = 8;
+/// Buffer capacity of the serving pool, as a fraction of the tree's page
+/// count (the paper sizes buffers relative to the tree, and an absolute
+/// capacity cannot exercise replacement on both golden databases at once
+/// — their trees differ 3× in size).
+pub const SERVE_BENCH_BUFFER_FRAC: f64 = 0.85;
+/// Shard count of the serving pool.
+pub const SERVE_BENCH_SHARDS: usize = 4;
+/// The policies every benchmark run compares.
+pub const SERVE_BENCH_POLICIES: [PolicyKind; 3] =
+    [PolicyKind::Lru, PolicyKind::Asb, PolicyKind::Arena];
+
+/// Default p99 regression tolerance of the CI gate: a fresh run may not
+/// exceed the committed baseline's p99 by more than 5 %.
+pub const P99_TOLERANCE: f64 = 0.05;
+
+/// One `(database, policy)` serving-benchmark row.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ServeBenchEntry {
+    /// Database name (`"mainland"` / `"world"`).
+    pub db: String,
+    /// Policy label (`"LRU"` / `"ASB"` / `"ARENA"`).
+    pub policy: String,
+    /// Tree size in pages.
+    pub tree_pages: usize,
+    /// Buffer capacity in pages ([`SERVE_BENCH_BUFFER_FRAC`] of the tree).
+    pub capacity: usize,
+    /// Requests completed.
+    pub requests: u64,
+    /// Batched rounds executed.
+    pub rounds: u64,
+    /// Median latency in simulated ticks (µs).
+    pub p50_ticks: u64,
+    /// 99th-percentile latency in ticks.
+    pub p99_ticks: u64,
+    /// 99.9th-percentile latency in ticks.
+    pub p999_ticks: u64,
+    /// Completed requests per simulated second.
+    pub throughput_rps: f64,
+    /// Pool-wide hit rate of the run, in `[0, 1]`.
+    pub hit_rate: f64,
+}
+
+/// The full serving benchmark: configuration header plus one row per
+/// `(database, policy)` pair.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ServeBench {
+    /// Seed the sessions and serve loop were generated from.
+    pub seed: u64,
+    /// Concurrent sessions.
+    pub sessions: usize,
+    /// Requests per session.
+    pub requests_per_session: usize,
+    /// Buffer capacity as a fraction of each tree's page count.
+    pub buffer_frac: f64,
+    /// Pool shard count.
+    pub shards: usize,
+    /// Mean think time between a session's requests, in ticks.
+    pub think_ticks: u64,
+    /// Benchmark rows, databases outer, policies inner.
+    pub entries: Vec<ServeBenchEntry>,
+}
+
+/// The benchmark's session streams for one dataset: the browsing request
+/// mix, one seeded stream per session.
+pub fn bench_sessions(
+    dataset: &Dataset,
+    seed: u64,
+    sessions: usize,
+    steps: usize,
+) -> Vec<Vec<Request>> {
+    (0..sessions as u64)
+        .map(|i| {
+            session_requests(
+                dataset,
+                SessionSpec::default(),
+                RequestMix::browsing(),
+                steps,
+                seed.wrapping_add(i.wrapping_mul(0x00C0_FFEE)),
+            )
+        })
+        .collect()
+}
+
+/// Runs the serving benchmark: the seeded browsing sessions on both
+/// golden databases, served through LRU, ASB and the default expert arena
+/// on a sharded pool.
+pub fn serve_bench(
+    seed: u64,
+    sessions: usize,
+    requests_per_session: usize,
+    buffer_frac: f64,
+    shards: usize,
+) -> Result<ServeBench> {
+    let cfg = ServeConfig {
+        seed,
+        ..ServeConfig::default()
+    };
+    let mut entries = Vec::new();
+    for (name, db) in GOLDEN_DBS {
+        let dataset = Dataset::generate(db, Scale::Tiny, seed);
+        let streams = bench_sessions(&dataset, seed, sessions, requests_per_session);
+        for policy in SERVE_BENCH_POLICIES {
+            let tree = RTree::bulk_load(DiskManager::new(), dataset.items())?;
+            let tree_pages = tree.page_count();
+            let capacity = ((tree_pages as f64 * buffer_frac).round() as usize).max(2 * shards);
+            let snapshot = tree.snapshot();
+            let pool = ShardedBuffer::new(tree.into_store(), policy, capacity, shards);
+            pool.reset_io_stats();
+            let outcome = serve(&pool, &snapshot, &streams, &cfg)?;
+            let r = outcome.report;
+            entries.push(ServeBenchEntry {
+                db: name.to_string(),
+                policy: policy.label(),
+                tree_pages,
+                capacity,
+                requests: r.requests,
+                rounds: r.rounds,
+                p50_ticks: r.p50_ticks,
+                p99_ticks: r.p99_ticks,
+                p999_ticks: r.p999_ticks,
+                throughput_rps: r.throughput_rps,
+                hit_rate: r.hit_rate,
+            });
+        }
+    }
+    Ok(ServeBench {
+        seed,
+        sessions,
+        requests_per_session,
+        buffer_frac,
+        shards,
+        think_ticks: cfg.think_ticks,
+        entries,
+    })
+}
+
+/// Runs [`serve_bench`] with the committed `BENCH_serve.json`
+/// configuration constants.
+pub fn default_serve_bench() -> Result<ServeBench> {
+    serve_bench(
+        SERVE_BENCH_SEED,
+        SERVE_BENCH_SESSIONS,
+        SERVE_BENCH_REQUESTS,
+        SERVE_BENCH_BUFFER_FRAC,
+        SERVE_BENCH_SHARDS,
+    )
+}
+
+/// Compares a fresh benchmark run against a committed baseline. Returns
+/// one human-readable violation per failed check (empty = gate passes):
+///
+/// * every baseline `(db, policy)` row must exist in the current run;
+/// * a row's p99 may not exceed the baseline p99 by more than
+///   `p99_tolerance` (relative);
+/// * request counts must match exactly (same workload, same seed — a
+///   mismatch means the run is not comparable at all).
+pub fn check_regression(
+    current: &ServeBench,
+    baseline: &ServeBench,
+    p99_tolerance: f64,
+) -> Vec<String> {
+    let mut violations = Vec::new();
+    for base in &baseline.entries {
+        let Some(cur) = current
+            .entries
+            .iter()
+            .find(|e| e.db == base.db && e.policy == base.policy)
+        else {
+            violations.push(format!(
+                "{}/{}: row missing from current run",
+                base.db, base.policy
+            ));
+            continue;
+        };
+        if cur.requests != base.requests {
+            violations.push(format!(
+                "{}/{}: request count changed ({} vs baseline {}) — runs not comparable",
+                base.db, base.policy, cur.requests, base.requests
+            ));
+            continue;
+        }
+        let limit = base.p99_ticks as f64 * (1.0 + p99_tolerance);
+        if cur.p99_ticks as f64 > limit {
+            violations.push(format!(
+                "{}/{}: p99 regressed {} -> {} ticks (> {:.0}% over baseline)",
+                base.db,
+                base.policy,
+                base.p99_ticks,
+                cur.p99_ticks,
+                p99_tolerance * 100.0
+            ));
+        }
+    }
+    violations
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_is_reproducible_and_arena_p99_holds() {
+        let a = default_serve_bench().unwrap();
+        let b = default_serve_bench().unwrap();
+        assert_eq!(
+            a, b,
+            "serving benchmark must be a pure function of its config"
+        );
+        assert_eq!(a.entries.len(), 6);
+        for db in ["mainland", "world"] {
+            let row = |policy: &str| {
+                a.entries
+                    .iter()
+                    .find(|e| e.db == db && e.policy == policy)
+                    .unwrap()
+            };
+            let (lru, asb, arena) = (row("LRU"), row("ASB"), row("ARENA"));
+            // Same sessions, same think times: every policy answers the
+            // same requests.
+            let expected = (SERVE_BENCH_SESSIONS * SERVE_BENCH_REQUESTS) as u64;
+            assert_eq!(lru.requests, expected);
+            assert_eq!(asb.requests, expected);
+            assert_eq!(arena.requests, expected);
+            // The acceptance bar: the self-tuning arena's tail latency is
+            // no worse than plain LRU's on both golden databases.
+            assert!(
+                arena.p99_ticks <= lru.p99_ticks,
+                "{db}: arena p99 {} vs lru p99 {}",
+                arena.p99_ticks,
+                lru.p99_ticks
+            );
+            for e in [lru, asb, arena] {
+                assert!(e.p50_ticks <= e.p99_ticks && e.p99_ticks <= e.p999_ticks);
+                assert!(e.throughput_rps > 0.0);
+                assert!((0.0..=1.0).contains(&e.hit_rate));
+            }
+        }
+    }
+
+    #[test]
+    fn regression_gate_flags_p99_growth_and_missing_rows() {
+        let base = ServeBench {
+            seed: 1,
+            sessions: 2,
+            requests_per_session: 2,
+            buffer_frac: 0.5,
+            shards: 2,
+            think_ticks: 100,
+            entries: vec![ServeBenchEntry {
+                db: "mainland".into(),
+                policy: "LRU".into(),
+                tree_pages: 8,
+                capacity: 4,
+                requests: 4,
+                rounds: 8,
+                p50_ticks: 100,
+                p99_ticks: 1000,
+                p999_ticks: 2000,
+                throughput_rps: 10.0,
+                hit_rate: 0.5,
+            }],
+        };
+        let mut cur = base.clone();
+        assert!(check_regression(&cur, &base, 0.05).is_empty());
+        cur.entries[0].p99_ticks = 1050; // exactly at the 5% limit
+        assert!(check_regression(&cur, &base, 0.05).is_empty());
+        cur.entries[0].p99_ticks = 1051;
+        let v = check_regression(&cur, &base, 0.05);
+        assert_eq!(v.len(), 1);
+        assert!(v[0].contains("p99 regressed"), "{v:?}");
+        cur.entries[0].p99_ticks = 1000;
+        cur.entries[0].requests = 5;
+        let v = check_regression(&cur, &base, 0.05);
+        assert!(v[0].contains("not comparable"), "{v:?}");
+        cur.entries.clear();
+        let v = check_regression(&cur, &base, 0.05);
+        assert!(v[0].contains("row missing"), "{v:?}");
+    }
+}

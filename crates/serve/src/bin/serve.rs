@@ -1,0 +1,216 @@
+//! `serve` — the batched multi-session serving front end.
+//!
+//! ```text
+//! serve run   [--db 1|2] [--policy lru|asb|arena] [--sessions N]
+//!             [--requests N] [--capacity N] [--shards N] [--seed N]
+//! serve bench --json PATH [--check BASELINE]
+//! ```
+//!
+//! `run` serves one seeded multi-session workload and prints the latency
+//! percentiles, throughput and hit rate — the interactive way to poke at
+//! a configuration.
+//!
+//! `bench --json PATH` runs the full deterministic serving benchmark
+//! (LRU/ASB/ARENA on both golden databases) and writes it as JSON — this
+//! regenerates the repo's committed `BENCH_serve.json` byte-for-byte.
+//! With `--check BASELINE` the fresh run is additionally gated against a
+//! committed baseline: any p99 more than 5 % over the baseline (or any
+//! missing/incomparable row) prints a violation and exits non-zero.
+
+use asb_core::{PolicyKind, ShardedBuffer};
+use asb_rtree::RTree;
+use asb_serve::{
+    bench_sessions, check_regression, default_serve_bench, serve, ServeBench, ServeConfig,
+    P99_TOLERANCE, SERVE_BENCH_BUFFER_FRAC, SERVE_BENCH_REQUESTS, SERVE_BENCH_SEED,
+    SERVE_BENCH_SESSIONS, SERVE_BENCH_SHARDS,
+};
+use asb_storage::DiskManager;
+use asb_workload::{Dataset, DatasetKind, Scale};
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut args = std::env::args().skip(1);
+    match args.next().as_deref() {
+        Some("run") => run(args),
+        Some("bench") => bench(args),
+        Some(o) => {
+            eprintln!("error: unknown command {o} (expected `run` or `bench`)");
+            ExitCode::FAILURE
+        }
+        None => {
+            eprintln!("usage: serve run [options] | serve bench --json PATH [--check BASELINE]");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn run(mut it: impl Iterator<Item = String>) -> ExitCode {
+    let mut db = DatasetKind::Mainland;
+    let mut policy = PolicyKind::Arena;
+    let mut sessions = SERVE_BENCH_SESSIONS;
+    let mut requests = SERVE_BENCH_REQUESTS;
+    // 0 = auto: the benchmark's buffer fraction of the tree's page count.
+    let mut capacity = 0usize;
+    let mut shards = SERVE_BENCH_SHARDS;
+    let mut seed = SERVE_BENCH_SEED;
+    while let Some(arg) = it.next() {
+        let mut next = || it.next().ok_or_else(|| format!("{arg} needs a value"));
+        let r: Result<(), String> = (|| {
+            match arg.as_str() {
+                "--db" => {
+                    db = match next()?.as_str() {
+                        "1" => DatasetKind::Mainland,
+                        "2" => DatasetKind::World,
+                        o => return Err(format!("unknown db {o}")),
+                    }
+                }
+                "--policy" => {
+                    policy = match next()?.as_str() {
+                        "lru" => PolicyKind::Lru,
+                        "asb" => PolicyKind::Asb,
+                        "arena" => PolicyKind::Arena,
+                        o => return Err(format!("unknown policy {o}")),
+                    }
+                }
+                "--sessions" => sessions = next()?.parse().map_err(|e| format!("{e}"))?,
+                "--requests" => requests = next()?.parse().map_err(|e| format!("{e}"))?,
+                "--capacity" => capacity = next()?.parse().map_err(|e| format!("{e}"))?,
+                "--shards" => shards = next()?.parse().map_err(|e| format!("{e}"))?,
+                "--seed" => seed = next()?.parse().map_err(|e| format!("{e}"))?,
+                o => return Err(format!("unknown argument {o}")),
+            }
+            Ok(())
+        })();
+        if let Err(e) = r {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    }
+    if sessions == 0 || requests == 0 || shards == 0 {
+        eprintln!("error: --sessions/--requests/--shards must be at least 1");
+        return ExitCode::FAILURE;
+    }
+
+    let dataset = Dataset::generate(db, Scale::Tiny, seed);
+    let streams = bench_sessions(&dataset, seed, sessions, requests);
+    let tree = match RTree::bulk_load(DiskManager::new(), dataset.items()) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("error: bulk load failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let pages = tree.page_count();
+    if capacity == 0 {
+        capacity = ((pages as f64 * SERVE_BENCH_BUFFER_FRAC).round() as usize).max(2 * shards);
+    }
+    let snapshot = tree.snapshot();
+    let pool = ShardedBuffer::new(tree.into_store(), policy, capacity, shards);
+    pool.reset_io_stats();
+    let cfg = ServeConfig {
+        seed,
+        ..ServeConfig::default()
+    };
+    let outcome = match serve(&pool, &snapshot, &streams, &cfg) {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("error: serve loop failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let r = &outcome.report;
+    println!(
+        "# db={db:?} policy={} sessions={sessions} requests/session={requests} \
+         tree_pages={pages} capacity={capacity} shards={shards} seed={seed}",
+        policy.label()
+    );
+    println!(
+        "requests={} rounds={} batched_pages={} duration={:.1}ms",
+        r.requests,
+        r.rounds,
+        r.batched_pages,
+        r.duration_ticks as f64 / 1e3
+    );
+    println!(
+        "latency p50={} p99={} p999={} ticks (1 tick = 1 simulated us)",
+        r.p50_ticks, r.p99_ticks, r.p999_ticks
+    );
+    println!(
+        "throughput={:.0} req/s hit_rate={:.1}%",
+        r.throughput_rps,
+        100.0 * r.hit_rate
+    );
+    ExitCode::SUCCESS
+}
+
+fn bench(mut it: impl Iterator<Item = String>) -> ExitCode {
+    let mut json: Option<String> = None;
+    let mut check: Option<String> = None;
+    while let Some(arg) = it.next() {
+        let mut next = || it.next().ok_or_else(|| format!("{arg} needs a value"));
+        let r: Result<(), String> = (|| {
+            match arg.as_str() {
+                "--json" => json = Some(next()?),
+                "--check" => check = Some(next()?),
+                o => return Err(format!("unknown argument {o}")),
+            }
+            Ok(())
+        })();
+        if let Err(e) = r {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    }
+    let Some(path) = json else {
+        eprintln!("error: bench requires --json PATH");
+        return ExitCode::FAILURE;
+    };
+
+    let bench = match default_serve_bench() {
+        Ok(b) => b,
+        Err(e) => {
+            eprintln!("error: benchmark failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let out = serde_json::to_string_pretty(&bench).expect("serialize benchmark");
+    if let Err(e) = std::fs::write(&path, out + "\n") {
+        eprintln!("error: {path}: {e}");
+        return ExitCode::FAILURE;
+    }
+    for e in &bench.entries {
+        println!(
+            "# serve {}/{:<6} p50={:<6} p99={:<6} p999={:<6} rps={:<8.0} hit%={:.1}",
+            e.db,
+            e.policy,
+            e.p50_ticks,
+            e.p99_ticks,
+            e.p999_ticks,
+            e.throughput_rps,
+            100.0 * e.hit_rate,
+        );
+    }
+    println!("# wrote {path}");
+
+    if let Some(baseline_path) = check {
+        let baseline: ServeBench = match std::fs::read_to_string(&baseline_path)
+            .map_err(|e| e.to_string())
+            .and_then(|s| serde_json::from_str(&s).map_err(|e| e.to_string()))
+        {
+            Ok(b) => b,
+            Err(e) => {
+                eprintln!("error: {baseline_path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        let violations = check_regression(&bench, &baseline, P99_TOLERANCE);
+        if !violations.is_empty() {
+            for v in &violations {
+                eprintln!("regression: {v}");
+            }
+            return ExitCode::FAILURE;
+        }
+        println!("# regression gate passed against {baseline_path}");
+    }
+    ExitCode::SUCCESS
+}

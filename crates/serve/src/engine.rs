@@ -1,0 +1,623 @@
+//! The deterministic batched serve loop.
+//!
+//! The engine is a discrete-event simulation of a spatial map server: many
+//! closed-loop sessions each keep one request outstanding (window, k-NN or
+//! join, from [`asb_workload::session_requests`]), and the server answers
+//! them in *rounds*. Each round gathers the page frontier of every active
+//! request, dedupes it, groups it by buffer-pool shard
+//! ([`BufferPool::shard_of`]) and fetches each shard's group as one batch
+//! ([`BufferPool::fetch_batch`]). Shards are modelled as parallel I/O
+//! channels: the round costs the *maximum* shard service time, where a
+//! shard's time is the store's simulated clock advance
+//! ([`BufferPool::io_stats`]) plus a fixed in-memory cost per page served.
+//! A request's latency is its completion tick minus its arrival tick, so
+//! queueing delay — arriving while a long round is in flight — is part of
+//! the measurement, exactly as a client would see it.
+//!
+//! Everything (session trajectories, think times, batch composition,
+//! store latency) derives from seeds and the simulated clock; no wall
+//! time is read anywhere. Equal inputs produce bit-for-bit equal
+//! [`ServeOutcome`]s, which `tests/serve.rs` pins down.
+
+use crate::histogram::LatencyHistogram;
+use asb_core::BufferPool;
+use asb_geom::{Point, Rect};
+use asb_rtree::{Node, NodeKind, TreeSnapshot};
+use asb_storage::{AccessContext, PageId, QueryId, Result};
+use asb_workload::Request;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::Serialize;
+use std::collections::{BTreeMap, BinaryHeap};
+
+/// Simulated in-memory service cost per page delivered from the buffer,
+/// in ticks (1 tick = 1 simulated microsecond).
+pub const HIT_TICKS: u64 = 20;
+
+/// Fixed per-round dispatch overhead (batch assembly, response fan-out).
+pub const ROUND_OVERHEAD_TICKS: u64 = 50;
+
+/// Converts the store's simulated milliseconds into engine ticks (µs).
+fn ms_to_ticks(ms: f64) -> u64 {
+    (ms * 1000.0).round() as u64
+}
+
+/// Tunables of a serve run (the workload itself — sessions and their
+/// request streams — is passed to [`serve`] separately).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+pub struct ServeConfig {
+    /// Seed for think times and arrival staggering.
+    pub seed: u64,
+    /// Mean think time between a session's requests, in ticks; each gap
+    /// is drawn uniformly from `[think/2, 3·think/2]`.
+    pub think_ticks: u64,
+    /// Maximum pages one request may ask for per round (its frontier is
+    /// consumed in slices of this size).
+    pub frontier_limit: usize,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            seed: 42,
+            think_ticks: 20_000,
+            frontier_limit: 8,
+        }
+    }
+}
+
+/// One completed request, as the client observed it.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct Response {
+    /// Index of the issuing session.
+    pub session: usize,
+    /// Position of the request in its session's stream.
+    pub seq: usize,
+    /// Request kind label (`"window"` / `"nearest"` / `"join"`).
+    pub kind: &'static str,
+    /// Tick the client issued the request.
+    pub arrival: u64,
+    /// Tick the response was delivered.
+    pub completion: u64,
+    /// `completion - arrival`: service time plus queueing delay.
+    pub latency: u64,
+    /// Pages served to this request from the buffer.
+    pub hits: u64,
+    /// Pages that had to read the store.
+    pub misses: u64,
+    /// Result payload: matching object ids (window, sorted; k-NN, by
+    /// ascending distance) or the single pair count (join).
+    pub results: Vec<u64>,
+}
+
+/// Per-session aggregate statistics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize)]
+pub struct SessionStats {
+    /// Requests completed.
+    pub requests: u64,
+    /// Page accesses served from the buffer.
+    pub hits: u64,
+    /// Page accesses that read the store.
+    pub misses: u64,
+}
+
+impl SessionStats {
+    /// Buffer hit rate of this session's page accesses, in `[0, 1]`.
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+/// Aggregate result of a serve run.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct ServeReport {
+    /// Requests completed across all sessions.
+    pub requests: u64,
+    /// Batched rounds executed.
+    pub rounds: u64,
+    /// Pages fetched through batches (hits and misses).
+    pub batched_pages: u64,
+    /// Simulated duration of the whole run, in ticks.
+    pub duration_ticks: u64,
+    /// Median request latency in ticks.
+    pub p50_ticks: u64,
+    /// 99th-percentile request latency in ticks.
+    pub p99_ticks: u64,
+    /// 99.9th-percentile request latency in ticks.
+    pub p999_ticks: u64,
+    /// Completed requests per simulated second.
+    pub throughput_rps: f64,
+    /// Pool-wide hit rate of the run's page accesses, in `[0, 1]`.
+    pub hit_rate: f64,
+    /// The full latency histogram (merge per-shard copies with
+    /// [`LatencyHistogram::merge`] when aggregating runs).
+    pub histogram: LatencyHistogram,
+    /// Per-session statistics, indexed like the input sessions.
+    pub sessions: Vec<SessionStats>,
+}
+
+/// Everything a serve run produced: the aggregate report plus every
+/// response in completion order.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct ServeOutcome {
+    /// Aggregate latency/throughput/hit-rate report.
+    pub report: ServeReport,
+    /// All responses, in completion order.
+    pub responses: Vec<Response>,
+}
+
+/// A k-NN search candidate: a tree node to expand or an object to emit.
+/// Mirrors `RTree::nearest_neighbors` exactly, so the engine's best-first
+/// traversal visits the same pages in the same order.
+#[derive(PartialEq)]
+struct Candidate {
+    dist: f64,
+    /// `Ok`: a node page to expand; `Err`: an object id to emit.
+    target: std::result::Result<PageId, u64>,
+}
+
+impl Eq for Candidate {}
+impl Ord for Candidate {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        // Reverse: BinaryHeap is a max-heap, we need the minimum.
+        other
+            .dist
+            .partial_cmp(&self.dist)
+            .expect("finite distances")
+    }
+}
+impl PartialOrd for Candidate {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// The incremental traversal state of one in-flight request.
+enum Work {
+    /// Breadth-first window scan: unexpanded pages plus matches so far.
+    Window {
+        region: Rect,
+        frontier: Vec<PageId>,
+        results: Vec<u64>,
+    },
+    /// Best-first k-NN: the candidate heap plus emitted neighbours.
+    Nearest {
+        point: Point,
+        k: usize,
+        heap: BinaryHeap<Candidate>,
+        best: Vec<u64>,
+    },
+    /// Window-restricted spatial self-join over node pairs.
+    Join {
+        region: Rect,
+        pairs: Vec<(PageId, PageId)>,
+        count: u64,
+    },
+}
+
+struct Active {
+    session: usize,
+    seq: usize,
+    kind: &'static str,
+    arrival: u64,
+    ctx: AccessContext,
+    hits: u64,
+    misses: u64,
+    /// Pages requested this round (the slice of the frontier the next
+    /// `advance` call consumes).
+    asked: Vec<PageId>,
+    work: Work,
+}
+
+impl Active {
+    fn new(
+        session: usize,
+        seq: usize,
+        arrival: u64,
+        qid: u64,
+        request: &Request,
+        snapshot: &TreeSnapshot,
+    ) -> Active {
+        let root = snapshot.root();
+        let work = match request {
+            Request::Window(region) => Work::Window {
+                region: *region,
+                frontier: vec![root],
+                results: Vec::new(),
+            },
+            Request::Nearest(point, k) => {
+                let mut heap = BinaryHeap::new();
+                heap.push(Candidate {
+                    dist: 0.0,
+                    target: Ok(root),
+                });
+                Work::Nearest {
+                    point: *point,
+                    k: (*k).max(1),
+                    heap,
+                    best: Vec::new(),
+                }
+            }
+            Request::Join(region) => Work::Join {
+                region: *region,
+                pairs: vec![(root, root)],
+                count: 0,
+            },
+        };
+        Active {
+            session,
+            seq,
+            kind: request.kind(),
+            arrival,
+            ctx: AccessContext::query(QueryId::new(qid)),
+            hits: 0,
+            misses: 0,
+            asked: Vec::new(),
+            work,
+        }
+    }
+
+    /// The distinct pages this request needs next round, capped at
+    /// `limit`. Never empty unless the request is done.
+    fn wants(&mut self, limit: usize) -> &[PageId] {
+        let limit = limit.max(1);
+        self.asked.clear();
+        match &mut self.work {
+            Work::Window { frontier, .. } => {
+                self.asked.extend(frontier.iter().take(limit).copied());
+            }
+            Work::Nearest { heap, .. } => {
+                // `settle` already drained leading object candidates, so
+                // the top (if any) is a node page.
+                if let Some(c) = heap.peek() {
+                    if let Ok(page) = c.target {
+                        self.asked.push(page);
+                    }
+                }
+            }
+            Work::Join { pairs, .. } => {
+                let take = (limit / 2).max(1);
+                for &(a, b) in pairs.iter().take(take) {
+                    if !self.asked.contains(&a) {
+                        self.asked.push(a);
+                    }
+                    if !self.asked.contains(&b) {
+                        self.asked.push(b);
+                    }
+                }
+            }
+        }
+        &self.asked
+    }
+
+    /// Consumes the pages asked for this round and advances the
+    /// traversal. `delivered` holds every page the round fetched.
+    fn advance(&mut self, delivered: &BTreeMap<PageId, Node>) {
+        match &mut self.work {
+            Work::Window {
+                region,
+                frontier,
+                results,
+            } => {
+                let taken: Vec<PageId> = frontier.drain(..self.asked.len()).collect();
+                for id in taken {
+                    let node = &delivered[&id];
+                    match &node.kind {
+                        NodeKind::Dir(entries) => {
+                            for e in entries {
+                                if e.mbr.intersects(region) {
+                                    frontier.push(e.child);
+                                }
+                            }
+                        }
+                        NodeKind::Leaf(entries) => {
+                            for e in entries {
+                                if e.mbr.intersects(region) {
+                                    results.push(e.object_id);
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+            Work::Nearest { point, heap, .. } => {
+                if let Some(&page) = self.asked.first() {
+                    let node = &delivered[&page];
+                    heap.pop();
+                    match &node.kind {
+                        NodeKind::Dir(entries) => {
+                            for e in entries {
+                                heap.push(Candidate {
+                                    dist: e.mbr.min_dist(point),
+                                    target: Ok(e.child),
+                                });
+                            }
+                        }
+                        NodeKind::Leaf(entries) => {
+                            for e in entries {
+                                heap.push(Candidate {
+                                    dist: e.mbr.min_dist(point),
+                                    target: Err(e.object_id),
+                                });
+                            }
+                        }
+                    }
+                }
+                self.settle();
+            }
+            Work::Join {
+                region,
+                pairs,
+                count,
+            } => {
+                let take = pairs
+                    .iter()
+                    .take_while({
+                        let asked = &self.asked;
+                        move |(a, b)| asked.contains(a) && asked.contains(b)
+                    })
+                    .count();
+                let taken: Vec<(PageId, PageId)> = pairs.drain(..take).collect();
+                for (a, b) in taken {
+                    let na = &delivered[&a];
+                    let nb = &delivered[&b];
+                    match (&na.kind, &nb.kind) {
+                        (NodeKind::Dir(ea), NodeKind::Dir(eb)) => {
+                            for (i, x) in ea.iter().enumerate() {
+                                if !x.mbr.intersects(region) {
+                                    continue;
+                                }
+                                let j0 = if a == b { i } else { 0 };
+                                for y in &eb[j0..] {
+                                    if y.mbr.intersects(region) && x.mbr.intersects(&y.mbr) {
+                                        let (lo, hi) = if x.child.raw() <= y.child.raw() {
+                                            (x.child, y.child)
+                                        } else {
+                                            (y.child, x.child)
+                                        };
+                                        pairs.push((lo, hi));
+                                    }
+                                }
+                            }
+                        }
+                        (NodeKind::Leaf(ea), NodeKind::Leaf(eb)) => {
+                            for (i, x) in ea.iter().enumerate() {
+                                if !x.mbr.intersects(region) {
+                                    continue;
+                                }
+                                let j0 = if a == b { i + 1 } else { 0 };
+                                for y in &eb[j0..] {
+                                    if y.mbr.intersects(region) && x.mbr.intersects(&y.mbr) {
+                                        *count += 1;
+                                    }
+                                }
+                            }
+                        }
+                        // A bulk-loaded R*-tree is balanced, so synchronized
+                        // descent only ever pairs equal levels.
+                        _ => unreachable!("join pairs stay level-synchronized"),
+                    }
+                }
+            }
+        }
+        self.asked.clear();
+    }
+
+    /// Drains leading object candidates off the k-NN heap into the
+    /// result list (they need no page access).
+    fn settle(&mut self) {
+        if let Work::Nearest { k, heap, best, .. } = &mut self.work {
+            while best.len() < *k {
+                match heap.peek() {
+                    Some(c) if c.target.is_err() => {
+                        let c = heap.pop().expect("peeked");
+                        best.push(c.target.unwrap_err());
+                    }
+                    _ => break,
+                }
+            }
+        }
+    }
+
+    fn done(&self) -> bool {
+        match &self.work {
+            Work::Window { frontier, .. } => frontier.is_empty(),
+            Work::Nearest { k, heap, best, .. } => best.len() == *k || heap.is_empty(),
+            Work::Join { pairs, .. } => pairs.is_empty(),
+        }
+    }
+
+    fn into_results(self) -> Vec<u64> {
+        match self.work {
+            Work::Window { mut results, .. } => {
+                results.sort_unstable();
+                results
+            }
+            Work::Nearest { best, .. } => best,
+            Work::Join { count, .. } => vec![count],
+        }
+    }
+}
+
+/// Runs the batched serve loop until every session's request stream is
+/// exhausted. `sessions[i]` is session `i`'s request stream (generate one
+/// with [`asb_workload::session_requests`]); each session is closed-loop —
+/// it issues its next request a think-time after its previous response.
+///
+/// The pool's buffer statistics accumulate across the run (callers that
+/// want a clean measurement should pass a fresh pool or `clear` it);
+/// request latency is measured purely in simulated ticks, so equal inputs
+/// give bit-for-bit equal outcomes on any machine.
+pub fn serve(
+    pool: &dyn BufferPool,
+    snapshot: &TreeSnapshot,
+    sessions: &[Vec<Request>],
+    cfg: &ServeConfig,
+) -> Result<ServeOutcome> {
+    let mut rngs: Vec<StdRng> = (0..sessions.len())
+        .map(|i| {
+            StdRng::seed_from_u64(
+                cfg.seed ^ (i as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ 0x5E7E_11F0,
+            )
+        })
+        .collect();
+    // Per session: the arrival tick and stream position of its next
+    // request; `None` while a request is in flight or the stream is done.
+    let mut pending: Vec<Option<(u64, usize)>> = rngs
+        .iter_mut()
+        .enumerate()
+        .map(|(i, rng)| {
+            if sessions[i].is_empty() {
+                None
+            } else {
+                Some((rng.gen_range(0..=cfg.think_ticks), 0))
+            }
+        })
+        .collect();
+
+    let mut now = 0u64;
+    let mut next_qid = 1u64;
+    let mut active: Vec<Active> = Vec::new();
+    let mut histogram = LatencyHistogram::new();
+    let mut session_stats = vec![SessionStats::default(); sessions.len()];
+    let mut responses = Vec::new();
+    let mut rounds = 0u64;
+    let mut batched_pages = 0u64;
+
+    loop {
+        // Admit every request that has arrived by now, in session order.
+        for s in 0..sessions.len() {
+            if let Some((t, seq)) = pending[s] {
+                if t <= now {
+                    pending[s] = None;
+                    active.push(Active::new(
+                        s,
+                        seq,
+                        t,
+                        next_qid,
+                        &sessions[s][seq],
+                        snapshot,
+                    ));
+                    next_qid += 1;
+                }
+            }
+        }
+        if active.is_empty() {
+            // Idle: jump the clock to the next arrival, or finish.
+            match pending.iter().flatten().map(|&(t, _)| t).min() {
+                Some(t) => {
+                    now = now.max(t);
+                    continue;
+                }
+                None => break,
+            }
+        }
+
+        // One batched round: gather every active request's frontier,
+        // dedupe, group by shard, fetch shard groups as batches.
+        rounds += 1;
+        let mut wanted: BTreeMap<PageId, Vec<usize>> = BTreeMap::new();
+        for (idx, a) in active.iter_mut().enumerate() {
+            for &id in a.wants(cfg.frontier_limit) {
+                wanted.entry(id).or_default().push(idx);
+            }
+        }
+        let mut by_shard: Vec<Vec<PageId>> = vec![Vec::new(); pool.shard_count().max(1)];
+        for &id in wanted.keys() {
+            by_shard[pool.shard_of(id)].push(id);
+        }
+        // The whole round is stamped with the oldest active request's
+        // query id (group-commit semantics).
+        let ctx = active
+            .iter()
+            .min_by_key(|a| (a.arrival, a.session, a.seq))
+            .expect("active round")
+            .ctx;
+
+        // Shards are parallel I/O channels: the round costs the slowest
+        // shard's service time plus the fixed dispatch overhead.
+        let mut round_cost = 0u64;
+        let mut delivered: BTreeMap<PageId, Node> = BTreeMap::new();
+        for pages in by_shard.iter().filter(|p| !p.is_empty()) {
+            let before = pool.io_stats().simulated_ms;
+            let outcomes = pool.fetch_batch(pages, ctx)?;
+            let store_ms = pool.io_stats().simulated_ms - before;
+            let shard_cost = ms_to_ticks(store_ms) + HIT_TICKS * pages.len() as u64;
+            for (outcome, &id) in outcomes.iter().zip(pages) {
+                let node = Node::decode(outcome.guard.page())?;
+                for &idx in &wanted[&id] {
+                    if outcome.hit {
+                        active[idx].hits += 1;
+                    } else {
+                        active[idx].misses += 1;
+                    }
+                }
+                delivered.insert(id, node);
+                batched_pages += 1;
+            }
+            round_cost = round_cost.max(shard_cost);
+        }
+        now += round_cost + ROUND_OVERHEAD_TICKS;
+
+        // Advance every active request; completed ones respond and their
+        // session starts thinking about its next request.
+        let mut still = Vec::new();
+        for mut a in std::mem::take(&mut active) {
+            a.advance(&delivered);
+            if !a.done() {
+                still.push(a);
+                continue;
+            }
+            let latency = now - a.arrival;
+            histogram.record(latency);
+            let stats = &mut session_stats[a.session];
+            stats.requests += 1;
+            stats.hits += a.hits;
+            stats.misses += a.misses;
+            if a.seq + 1 < sessions[a.session].len() {
+                let think = cfg.think_ticks / 2 + rngs[a.session].gen_range(0..=cfg.think_ticks);
+                pending[a.session] = Some((now + think, a.seq + 1));
+            }
+            responses.push(Response {
+                session: a.session,
+                seq: a.seq,
+                kind: a.kind,
+                arrival: a.arrival,
+                completion: now,
+                latency,
+                hits: a.hits,
+                misses: a.misses,
+                results: a.into_results(),
+            });
+        }
+        active = still;
+    }
+
+    let requests: u64 = session_stats.iter().map(|s| s.requests).sum();
+    let hits: u64 = session_stats.iter().map(|s| s.hits).sum();
+    let misses: u64 = session_stats.iter().map(|s| s.misses).sum();
+    let duration_ticks = now.max(1);
+    let report = ServeReport {
+        requests,
+        rounds,
+        batched_pages,
+        duration_ticks,
+        p50_ticks: histogram.p50(),
+        p99_ticks: histogram.p99(),
+        p999_ticks: histogram.p999(),
+        throughput_rps: requests as f64 * 1_000_000.0 / duration_ticks as f64,
+        hit_rate: if hits + misses == 0 {
+            0.0
+        } else {
+            hits as f64 / (hits + misses) as f64
+        },
+        histogram,
+        sessions: session_stats,
+    };
+    Ok(ServeOutcome { report, responses })
+}

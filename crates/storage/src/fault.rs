@@ -135,6 +135,10 @@ struct FaultState {
     /// Per-store operation counter; each read/write claims one index.
     ops: u64,
     stats: FaultStats,
+    /// `stats.injected_ms` as of the last `reset_io_stats`, so the I/O
+    /// clock window exposed through `io_stats` resets with the inner
+    /// store's counters while the lifetime fault statistics keep accruing.
+    injected_baseline_ms: f64,
 }
 
 /// A [`PageStore`] decorator injecting deterministic, seed-scheduled faults.
@@ -159,6 +163,7 @@ impl<S> FaultyStore<S> {
             state: Mutex::new(FaultState {
                 ops: 0,
                 stats: FaultStats::default(),
+                injected_baseline_ms: 0.0,
             }),
         }
     }
@@ -316,12 +321,21 @@ impl<S: ConcurrentPageStore> ConcurrentPageStore for FaultyStore<S> {
         Ok(self.deliver(op, page))
     }
 
+    /// The inner store's statistics with the latency injected by spikes
+    /// since the last reset added onto the simulated clock — a latency
+    /// harness differencing `simulated_ms` around a batch therefore sees
+    /// fault-profile service time, not just the disk model's.
     fn io_stats(&self) -> IoStats {
-        self.inner.io_stats()
+        let mut io = self.inner.io_stats();
+        let st = self.state.lock();
+        io.simulated_ms += st.stats.injected_ms - st.injected_baseline_ms;
+        io
     }
 
     fn reset_io_stats(&self) {
-        self.inner.reset_io_stats()
+        self.inner.reset_io_stats();
+        let mut st = self.state.lock();
+        st.injected_baseline_ms = st.stats.injected_ms;
     }
 }
 
@@ -450,5 +464,37 @@ mod tests {
         let stats = store.fault_stats();
         assert_eq!(stats.latency_spikes, 3);
         assert!((stats.injected_ms - 15.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn injected_spike_time_flows_into_io_stats_and_resets_with_them() {
+        let (disk, ids) = disk_with_pages(1);
+        let store = FaultyStore::new(
+            disk,
+            FaultConfig {
+                seed: 2,
+                latency_spike: 1.0,
+                spike_ms: 5.0,
+                ..FaultConfig::default()
+            },
+        );
+        for _ in 0..3 {
+            store
+                .read_shared(ids[0], AccessContext::default())
+                .expect("read");
+        }
+        let inner_only = store.inner().io_stats().simulated_ms;
+        let io = ConcurrentPageStore::io_stats(&store);
+        assert!((io.simulated_ms - (inner_only + 15.0)).abs() < 1e-9);
+
+        // A reset opens a fresh measurement window on the combined clock
+        // without clearing the lifetime fault statistics.
+        store.reset_io_stats();
+        assert!(ConcurrentPageStore::io_stats(&store).simulated_ms.abs() < 1e-9);
+        assert!((store.fault_stats().injected_ms - 15.0).abs() < 1e-9);
+        store
+            .read_shared(ids[0], AccessContext::default())
+            .expect("read");
+        assert!(ConcurrentPageStore::io_stats(&store).simulated_ms > 0.0);
     }
 }

@@ -28,9 +28,11 @@
 mod dataset;
 mod phases;
 mod queryset;
+mod requests;
 mod trajectory;
 
 pub use dataset::{Dataset, DatasetKind, Place, Scale};
 pub use phases::PhasedWorkload;
 pub use queryset::{Distribution, QueryKind, QuerySetSpec};
+pub use requests::{session_requests, Request, RequestMix};
 pub use trajectory::{session, SessionSpec};

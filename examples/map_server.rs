@@ -1,92 +1,77 @@
-//! A simulated interactive map server: several users pan and zoom across
-//! the map at once, and the server answers every viewport with a window
-//! query against **one shared, lock-striped buffer pool**
-//! ([`asb::buffer::ShardedBuffer`]). Each session runs on its own thread
-//! with its own read-only view of the same R\*-tree; pages any session
-//! faults in are hits for every other session.
+//! A simulated interactive map server, now a thin wrapper over the
+//! [`asb::serve`] crate: many closed-loop sessions issue pan/zoom window
+//! queries, k-NN lookups and window-restricted spatial joins against one
+//! shared, lock-striped buffer pool, and the serving engine batches each
+//! round's page requests per shard ([`asb::buffer::BufferPool::fetch_batch`]).
 //!
-//! Pan/zoom trajectories have strong locality (adjacent viewports overlap),
-//! mixed with jumps (the user searches for another city), which is exactly
-//! where replacement policy choices show — the example races four policies
-//! over identical trajectories and prints the comparison.
+//! Latency is measured on the storage layer's simulated clock (1 tick =
+//! 1 µs), so the percentiles printed here are bit-for-bit reproducible —
+//! the same numbers `serve bench --json` commits to `BENCH_serve.json`.
+//! The example races several policies over identical session streams and
+//! prints the latency/throughput comparison.
 //!
 //! ```text
 //! cargo run --release --example map_server
 //! ```
 
-use asb::buffer::{PolicyKind, ShardedBuffer, SpatialCriterion};
+use asb::buffer::{PolicyKind, ShardedBuffer};
 use asb::rtree::RTree;
+use asb::serve::{bench_sessions, serve, ServeConfig};
 use asb::storage::DiskManager;
-use asb::workload::{session, Dataset, DatasetKind, Scale, SessionSpec};
+use asb::workload::{Dataset, DatasetKind, Scale};
 
-const SESSIONS: usize = 4;
-const SHARDS: usize = 8;
+const SESSIONS: usize = 128;
+const REQUESTS_PER_SESSION: usize = 8;
+const SHARDS: usize = 4;
+const SEED: u64 = 42;
 
 fn main() {
-    let dataset = Dataset::generate(DatasetKind::Mainland, Scale::Small, 11);
-    // One pan/zoom trajectory per concurrent session, each from its own seed.
-    let trajectories: Vec<_> = (0..SESSIONS as u64)
-        .map(|t| session(&dataset, SessionSpec::default(), 1_000, 99 + t))
-        .collect();
-    let viewports: usize = trajectories.iter().map(Vec::len).sum();
+    let dataset = Dataset::generate(DatasetKind::Mainland, Scale::Tiny, SEED);
+    let streams = bench_sessions(&dataset, SEED, SESSIONS, REQUESTS_PER_SESSION);
+    let requests: usize = streams.iter().map(Vec::len).sum();
 
     let policies = [
         PolicyKind::Lru,
         PolicyKind::LruK { k: 2 },
-        PolicyKind::Spatial(SpatialCriterion::Area),
         PolicyKind::Asb,
+        PolicyKind::Arena,
     ];
 
     println!(
-        "map server: {SESSIONS} concurrent sessions, {viewports} viewport requests total, \
-         one pool of {SHARDS} shards\n"
+        "map server: {SESSIONS} concurrent sessions, {requests} requests total \
+         (window / k-NN / join), one pool of {SHARDS} shards\n"
     );
     println!(
-        "{:<8} {:>12} {:>10} {:>12} {:>12}",
-        "policy", "disk reads", "hit ratio", "sim I/O [ms]", "wall [ms]"
+        "{:<8} {:>10} {:>10} {:>10} {:>10} {:>10}",
+        "policy", "p50 [us]", "p99 [us]", "p999 [us]", "req/s", "hit ratio"
     );
 
-    let mut baseline = None;
     for policy in policies {
         let tree = RTree::bulk_load(DiskManager::new(), dataset.items()).expect("bulk load");
-        let buffer_pages = (tree.page_count() / 40).max(16); // 2.5% buffer
+        let buffer_pages = (tree.page_count() * 17 / 20).max(2 * SHARDS);
         let snapshot = tree.snapshot();
         let pool = ShardedBuffer::new(tree.into_store(), policy, buffer_pages, SHARDS);
         pool.reset_io_stats();
 
-        let started = std::time::Instant::now();
-        std::thread::scope(|s| {
-            for (t, trajectory) in trajectories.iter().enumerate() {
-                let pool = pool.clone();
-                s.spawn(move || {
-                    let mut view = RTree::attach(pool, snapshot);
-                    // Disjoint query-id ranges: accesses from different
-                    // sessions are never correlated.
-                    view.seed_query_counter((t as u64) << 32);
-                    for vp in trajectory {
-                        view.execute(vp).expect("viewport query");
-                    }
-                });
-            }
-        });
-        let wall = started.elapsed();
-
-        let stats = pool.stats();
-        let io = pool.io_stats();
+        let cfg = ServeConfig {
+            seed: SEED,
+            ..ServeConfig::default()
+        };
+        let outcome = serve(&pool, &snapshot, &streams, &cfg).expect("serve loop");
+        let r = &outcome.report;
         println!(
-            "{:<8} {:>12} {:>9.1}% {:>12.0} {:>12.1}",
+            "{:<8} {:>10} {:>10} {:>10} {:>10.0} {:>9.1}%",
             policy.label(),
-            io.reads,
-            stats.hit_ratio() * 100.0,
-            io.simulated_ms,
-            wall.as_secs_f64() * 1e3,
+            r.p50_ticks,
+            r.p99_ticks,
+            r.p999_ticks,
+            r.throughput_rps,
+            100.0 * r.hit_rate,
         );
-        baseline.get_or_insert(io.reads);
     }
 
-    let base = baseline.expect("at least one policy ran");
     println!(
-        "\n(LRU baseline: {base} disk reads; all sessions of a policy share one pool, \
-         so pages faulted in by one session are hits for the others)"
+        "\n(all sessions of a policy share one pool, so pages faulted in by one session \
+         are buffer hits for the others; latencies are simulated ticks, not wall time)"
     );
 }

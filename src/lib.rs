@@ -21,7 +21,9 @@
 //! * [`workload`] — synthetic datasets and the paper's five query-set
 //!   families,
 //! * [`exp`] — the experiment harness that regenerates every data figure of
-//!   the paper's evaluation.
+//!   the paper's evaluation,
+//! * [`serve`] — a batched multi-session serving front end with a
+//!   deterministic latency-percentile harness (`BENCH_serve.json`).
 //!
 //! # Quickstart
 //!
@@ -63,6 +65,7 @@ pub use asb_exp as exp;
 pub use asb_geom as geom;
 pub use asb_quadtree as quadtree;
 pub use asb_rtree as rtree;
+pub use asb_serve as serve;
 pub use asb_storage as storage;
 pub use asb_workload as workload;
 pub use asb_zbtree as zbtree;

@@ -791,3 +791,82 @@ fn arena_scenario() {
 fn arena_mixer_state_is_lawful_under_concurrency() {
     explore_scenario("arena-mixer", 0x4152_454e_415f_4d58, arena_scenario);
 }
+
+// ---------------------------------------------------------------------------
+// Scenario 10: batched fetches (the serving front end's access pattern).
+// ---------------------------------------------------------------------------
+
+/// Two threads issue overlapping `fetch_batch` calls — with duplicate ids
+/// inside one batch — against a 2-shard pool under eviction pressure (10
+/// pages, 6 frames). The batched path must behave exactly like the
+/// sequential one in every interleaving: every id gets its response (one
+/// outcome per id, in input order), every guard is returned and dropped
+/// (pin balance restored), and no accounting is lost (hits + misses equals
+/// logical reads; physical reads never exceed misses thanks to
+/// single-flight miss coalescing).
+fn batch_scenario() {
+    let (disk, ids) = disk_with_pages(10);
+    let pool = ShardedBuffer::new(disk, PolicyKind::Lru, 6, 2);
+
+    let a = pool.clone();
+    let ids_a = ids.clone();
+    let ta = thread::spawn(move || {
+        // Two batches; the second repeats an id within the batch.
+        for (q, slots) in [vec![0, 1, 2, 3, 4], vec![2, 7, 2, 8]]
+            .into_iter()
+            .enumerate()
+        {
+            let batch: Vec<PageId> = slots.iter().map(|&s| ids_a[s]).collect();
+            let outcomes = a
+                .fetch_batch(&batch, AccessContext::query(QueryId::new(q as u64)))
+                .unwrap();
+            assert_eq!(outcomes.len(), batch.len(), "a response was lost");
+            for ((guard, _hit), &slot) in outcomes.iter().zip(&slots) {
+                assert_eq!(guard.id, ids_a[slot], "responses must stay in input order");
+                assert_eq!(guard.payload.as_ref(), &[slot as u8]);
+            }
+        }
+    });
+    let b = pool.clone();
+    let ids_b = ids.clone();
+    let tb = thread::spawn(move || {
+        let first: Vec<PageId> = ids_b[3..9].to_vec();
+        let second = vec![ids_b[9], ids_b[0], ids_b[9]];
+        for (q, batch) in [first, second].into_iter().enumerate() {
+            let outcomes = b
+                .fetch_batch(&batch, AccessContext::query(QueryId::new(100 + q as u64)))
+                .unwrap();
+            assert_eq!(outcomes.len(), batch.len(), "a response was lost");
+            for ((guard, _hit), &id) in outcomes.iter().zip(&batch) {
+                assert_eq!(guard.id, id, "responses must stay in input order");
+            }
+        }
+    });
+    ta.join();
+    tb.join();
+
+    let stats = pool.stats();
+    assert_eq!(stats.logical_reads, 18, "a batched read was lost");
+    assert_eq!(
+        stats.hits + stats.misses,
+        stats.logical_reads,
+        "hit/miss accounting diverged from logical reads"
+    );
+    assert!(
+        pool.io_stats().reads <= stats.misses,
+        "physical reads ({}) must never exceed misses ({})",
+        pool.io_stats().reads,
+        stats.misses
+    );
+    assert!(pool.resident() <= pool.capacity());
+    assert_eq!(
+        pool.live_guards(),
+        0,
+        "every batch guard must have been dropped — pin balance restored"
+    );
+}
+
+#[test]
+fn batched_fetches_preserve_pool_invariants_under_concurrency() {
+    explore_scenario("batch-serve", 0x4241_5443_485f_5356, batch_scenario);
+}

@@ -1,0 +1,110 @@
+//! Property-based tests for the serving layer's latency histogram
+//! (`asb::serve::LatencyHistogram`): the fixed-bucket log-scale layout
+//! must estimate quantiles within its advertised relative error, merge
+//! associatively and commutatively (per-shard histograms sum into the
+//! pool-wide one in any order), and keep percentiles monotone.
+
+use asb::serve::{LatencyHistogram, RELATIVE_ERROR, SUB_BUCKETS};
+use proptest::prelude::*;
+
+/// Latency samples spanning the scales the serving engine produces:
+/// sub-bucket exact values, mid-range ticks, and heavy-tail outliers.
+fn samples() -> impl Strategy<Value = Vec<u64>> {
+    prop::collection::vec(
+        prop_oneof![
+            0u64..16,
+            16u64..4096,
+            4096u64..1_000_000,
+            1_000_000u64..u64::MAX / 2,
+        ],
+        1..200,
+    )
+}
+
+fn build(values: &[u64]) -> LatencyHistogram {
+    let mut h = LatencyHistogram::new();
+    for &v in values {
+        h.record(v);
+    }
+    h
+}
+
+/// The exact `q`-quantile of a value set: the `⌈q·n⌉`-th smallest value,
+/// matching the histogram's rank convention.
+fn exact_quantile(sorted: &[u64], q: f64) -> u64 {
+    let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+    sorted[rank - 1]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// A quantile estimate never undershoots the exact quantile (it
+    /// reports a bucket upper bound) and overshoots by at most one
+    /// bucket's width: exact below [`SUB_BUCKETS`], within
+    /// [`RELATIVE_ERROR`] relative above.
+    #[test]
+    fn quantiles_are_within_one_bucket(values in samples(), qs in prop::collection::vec(0.0f64..1.0, 1..8)) {
+        let h = build(&values);
+        let mut sorted = values.clone();
+        sorted.sort_unstable();
+        for q in qs {
+            let est = h.quantile(q);
+            let exact = exact_quantile(&sorted, q);
+            prop_assert!(est >= exact, "q={q}: estimate {est} under exact {exact}");
+            if exact < SUB_BUCKETS as u64 {
+                prop_assert_eq!(est, exact, "sub-bucket values are exact");
+            } else {
+                let err = est - exact;
+                prop_assert!(
+                    (err as f64) <= exact as f64 * RELATIVE_ERROR,
+                    "q={q}: estimate {est} vs exact {exact} (err {err})"
+                );
+            }
+        }
+    }
+
+    /// Merging is commutative and associative, and merging equals
+    /// recording the concatenated sample set directly — so per-shard
+    /// histograms can be combined in any grouping.
+    #[test]
+    fn merge_is_order_independent(a in samples(), b in samples(), c in samples()) {
+        let (ha, hb, hc) = (build(&a), build(&b), build(&c));
+
+        let mut ab = ha.clone();
+        ab.merge(&hb);
+        let mut ba = hb.clone();
+        ba.merge(&ha);
+        prop_assert_eq!(&ab, &ba, "merge must commute");
+
+        let mut ab_c = ab.clone();
+        ab_c.merge(&hc);
+        let mut bc = hb.clone();
+        bc.merge(&hc);
+        let mut a_bc = ha.clone();
+        a_bc.merge(&bc);
+        prop_assert_eq!(&ab_c, &a_bc, "merge must associate");
+
+        let mut all = a.clone();
+        all.extend(&b);
+        all.extend(&c);
+        prop_assert_eq!(&ab_c, &build(&all), "merge must equal direct recording");
+        prop_assert_eq!(ab_c.total(), (a.len() + b.len() + c.len()) as u64);
+    }
+
+    /// Percentiles are monotone in the quantile: p50 ≤ p99 ≤ p999 ≤ max.
+    #[test]
+    fn percentiles_are_monotone(values in samples()) {
+        let h = build(&values);
+        prop_assert!(h.p50() <= h.p99());
+        prop_assert!(h.p99() <= h.p999());
+        let max = *values.iter().max().expect("non-empty");
+        // p999 reports max's bucket upper bound at worst.
+        let bound = if max < SUB_BUCKETS as u64 {
+            max
+        } else {
+            max + (max as f64 * RELATIVE_ERROR) as u64
+        };
+        prop_assert!(h.p999() <= bound, "p999 {} vs max {max}", h.p999());
+    }
+}
