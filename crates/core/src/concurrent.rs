@@ -22,8 +22,8 @@ use crate::manager::{BufferManager, BufferStats};
 use crate::policies::ArenaState;
 use crate::sync::{AtomicU64, Mutex, Ordering};
 use asb_storage::{
-    AccessContext, ConcurrentPageStore, IoStats, Page, PageId, PageMeta, PageStore, Result,
-    StorageError,
+    AccessContext, ConcurrentPageStore, IoStats, Page, PageError, PageId, PageMeta, PageStore,
+    Result, StorageError,
 };
 use bytes::Bytes;
 use std::sync::Arc;
@@ -105,7 +105,10 @@ impl<S: PageStore> SharedBuffer<S> {
     }
 
     /// Reads a batch of pages under a single pool-lock acquisition,
-    /// returning one `(guard, hit)` pair per id in input order.
+    /// returning one *independent* `Result<(guard, hit), PageError>` per id
+    /// in input order: a failing page fails its own slot without aborting
+    /// its siblings (the partial-failure contract the serving layer's
+    /// graceful degradation is built on).
     ///
     /// The batch runs the same two phases as
     /// [`ShardedBuffer::fetch_batch`](crate::ShardedBuffer::fetch_batch) —
@@ -113,43 +116,59 @@ impl<S: PageStore> SharedBuffer<S> {
     /// batched replay through either pool records identical statistics
     /// (the property `tests/serve.rs` pins down). An id repeated within
     /// the batch is deferred until its first occurrence has resolved and
-    /// classifies as the hit it would have been sequentially.
+    /// classifies as the hit it would have been sequentially; a repeat of
+    /// a failed id re-attempts with its own accounting, exactly as
+    /// back-to-back sequential fetches would.
     pub fn fetch_batch(
         &self,
         ids: &[PageId],
         ctx: AccessContext,
-    ) -> Result<Vec<(PageReadGuard, bool)>> {
+    ) -> Vec<std::result::Result<(PageReadGuard, bool), PageError>> {
+        type Slot = std::result::Result<(PageReadGuard, bool), PageError>;
         let mut g = self.inner.lock();
         let Inner { store, buffer } = &mut *g;
-        let mut out: Vec<Option<(PageReadGuard, bool)>> = (0..ids.len()).map(|_| None).collect();
+        let mut out: Vec<Option<Slot>> = (0..ids.len()).map(|_| None).collect();
         let mut seen = std::collections::HashSet::new();
         let mut deferred = vec![false; ids.len()];
         for (i, &id) in ids.iter().enumerate() {
             if !seen.insert(id) {
                 deferred[i] = true;
             } else if let Some(guard) = buffer.probe(id, ctx) {
-                out[i] = Some((guard, true));
+                out[i] = Some(Ok((guard, true)));
             }
         }
         for (i, &id) in ids.iter().enumerate() {
             if out[i].is_some() {
                 continue;
             }
-            if deferred[i] {
+            let slot = if deferred[i] {
                 let hits_before = buffer.stats().hits;
-                let guard = buffer.fetch(store, id, ctx)?;
-                let hit = buffer.stats().hits > hits_before;
-                out[i] = Some((guard, hit));
+                buffer.fetch(store, id, ctx).map(|guard| {
+                    let hit = buffer.stats().hits > hits_before;
+                    (guard, hit)
+                })
             } else {
-                out[i] = Some((buffer.fetch_missed(store, id, ctx)?, false));
-            }
+                buffer
+                    .fetch_missed(store, id, ctx)
+                    .map(|guard| (guard, false))
+            };
+            out[i] = Some(slot.map_err(|e| PageError::new(id, e)));
         }
         // invariant: the resolve loop above fills every slot the probe
         // pass left empty, so no `None` survives to this point.
-        Ok(out
-            .into_iter()
+        out.into_iter()
             .map(|o| o.expect("outcome filled"))
-            .collect())
+            .collect()
+    }
+
+    /// Serves `id` from buffer-resident state only: a hit pins and returns
+    /// the frame; a miss is counted in the pool's statistics and returns
+    /// `None` **without touching the backing store** (no retry, no store
+    /// read). The serving layer uses this behind an open circuit breaker,
+    /// where the store is presumed down and a miss must degrade instead of
+    /// burning retry budget.
+    pub fn fetch_resident(&self, id: PageId, ctx: AccessContext) -> Option<PageReadGuard> {
+        self.inner.lock().buffer.probe(id, ctx)
     }
 
     /// Reads a page for modification, returning a [`PageWriteGuard`] whose

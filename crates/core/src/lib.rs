@@ -74,7 +74,7 @@ pub use policies::{
     SlruPolicy, SpatialPolicy, TwoQPolicy,
 };
 pub use policy::{PolicyEvents, PolicyKind, ReplacementPolicy, VictimRanker};
-pub use pool::{BufferPool, FetchOutcome};
+pub use pool::{BufferPool, FetchOutcome, PageFetchResult};
 pub use sharded::ShardedBuffer;
 
 // Re-exported for convenience: the criterion enum lives in asb-geom because

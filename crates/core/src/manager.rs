@@ -46,6 +46,12 @@ pub struct BufferStats {
     pub wal_appends: u64,
     /// Checkpoint records appended to the attached write-ahead log.
     pub checkpoints: u64,
+    /// Page fetches that failed permanently and were surfaced to the
+    /// caller: the retry budget was exhausted on a transient fault, or the
+    /// error was non-transient to begin with (e.g. a permanent device
+    /// failure). One count per failed request — the per-page give-up slots
+    /// of a partial-failure `fetch_batch` each count once.
+    pub give_ups: u64,
     /// Admissions skipped because every frame was pinned by a live guard.
     /// The operation still succeeds — a read is served from the fetched
     /// copy without caching it, a buffered write falls back to writing
@@ -90,6 +96,7 @@ impl std::ops::Add for BufferStats {
             writebacks: self.writebacks + rhs.writebacks,
             wal_appends: self.wal_appends + rhs.wal_appends,
             checkpoints: self.checkpoints + rhs.checkpoints,
+            give_ups: self.give_ups + rhs.give_ups,
             pin_overflows: self.pin_overflows + rhs.pin_overflows,
             authority_switches: self.authority_switches + rhs.authority_switches,
             best_expert_misses: self.best_expert_misses + rhs.best_expert_misses,
@@ -712,6 +719,15 @@ impl BufferManager {
         self.backoff_ms += effort.backoff_ms;
     }
 
+    /// Counts one fetch that failed permanently and is being surfaced to
+    /// the caller (see [`BufferStats::give_ups`]). The sharded pool calls
+    /// this for every request a failed flight disappoints — leader and
+    /// joiners alike — so the count matches what the same requests would
+    /// have accrued sequentially.
+    pub(crate) fn note_give_up(&mut self) {
+        self.stats.give_ups += 1;
+    }
+
     /// The post-probe miss path of [`fetch`](BufferManager::fetch): the
     /// retrying store read plus admission, with the miss itself already
     /// counted by [`probe`](BufferManager::probe). Batched pools probe a
@@ -738,6 +754,9 @@ impl BufferManager {
     ) -> Result<Page> {
         let (result, effort) = fetch_page_with_retry(io, self.retry, id, ctx);
         self.apply_fetch_effort(effort);
+        if result.is_err() {
+            self.note_give_up();
+        }
         result
     }
 

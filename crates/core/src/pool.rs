@@ -9,7 +9,7 @@
 use crate::guard::{PageReadGuard, PageWriteGuard};
 use crate::manager::BufferStats;
 use crate::policies::ArenaState;
-use asb_storage::{AccessContext, IoStats, PageId, Result};
+use asb_storage::{AccessContext, IoStats, PageError, PageId, Result};
 
 /// The result of a classified read: the pinned guard plus whether the
 /// request was served from the buffer (`hit`) or had to reach the backing
@@ -24,6 +24,11 @@ pub struct FetchOutcome {
     /// coalesced into another request's in-flight fetch).
     pub hit: bool,
 }
+
+/// One slot of a [`BufferPool::fetch_batch`] result: the classified guard,
+/// or the typed per-page failure. There is no batch-wide error — a page
+/// that cannot be served fails only its own slot.
+pub type PageFetchResult = std::result::Result<FetchOutcome, PageError>;
 
 /// A cloneable, thread-safe buffer pool handing out RAII page guards.
 ///
@@ -44,16 +49,28 @@ pub trait BufferPool {
     /// request.
     fn fetch_classified(&self, id: PageId, ctx: AccessContext) -> Result<FetchOutcome>;
 
-    /// Reads a batch of pages, returning one outcome per id in input
-    /// order. Implementations may amortize locking across the batch
-    /// (e.g. one shard-lock acquisition for all resident pages of a
-    /// shard), but the per-request accounting must be indistinguishable
-    /// from issuing the same `fetch_classified` calls in input order.
-    fn fetch_batch(&self, ids: &[PageId], ctx: AccessContext) -> Result<Vec<FetchOutcome>> {
+    /// Reads a batch of pages, returning one *independent* result per id
+    /// in input order: a failing page fails its own slot with a typed
+    /// [`PageError`] and never aborts its siblings. Implementations may
+    /// amortize locking across the batch (e.g. one shard-lock acquisition
+    /// for all resident pages of a shard), but the per-request accounting
+    /// must be indistinguishable from issuing the same `fetch_classified`
+    /// calls in input order.
+    fn fetch_batch(&self, ids: &[PageId], ctx: AccessContext) -> Vec<PageFetchResult> {
         ids.iter()
-            .map(|&id| self.fetch_classified(id, ctx))
+            .map(|&id| {
+                self.fetch_classified(id, ctx)
+                    .map_err(|e| PageError::new(id, e))
+            })
             .collect()
     }
+
+    /// Serves `id` from buffer-resident state only: a hit pins and
+    /// returns the frame; a miss is counted in the pool's statistics and
+    /// returns `None` without touching the backing store. This is the
+    /// degraded read path a serving front end falls back to when a
+    /// circuit breaker has declared the backing store unhealthy.
+    fn fetch_resident(&self, id: PageId, ctx: AccessContext) -> Option<PageReadGuard>;
 
     /// Number of independently locked shards (1 for coarse-locked pools).
     fn shard_count(&self) -> usize {
@@ -113,11 +130,15 @@ impl<S: asb_storage::ConcurrentPageStore + 'static> BufferPool for crate::Shared
             .map(|(guard, hit)| FetchOutcome { guard, hit })
     }
 
-    fn fetch_batch(&self, ids: &[PageId], ctx: AccessContext) -> Result<Vec<FetchOutcome>> {
-        Ok(crate::SharedBuffer::fetch_batch(self, ids, ctx)?
+    fn fetch_batch(&self, ids: &[PageId], ctx: AccessContext) -> Vec<PageFetchResult> {
+        crate::SharedBuffer::fetch_batch(self, ids, ctx)
             .into_iter()
-            .map(|(guard, hit)| FetchOutcome { guard, hit })
-            .collect())
+            .map(|slot| slot.map(|(guard, hit)| FetchOutcome { guard, hit }))
+            .collect()
+    }
+
+    fn fetch_resident(&self, id: PageId, ctx: AccessContext) -> Option<PageReadGuard> {
+        crate::SharedBuffer::fetch_resident(self, id, ctx)
     }
 
     fn io_stats(&self) -> IoStats {
@@ -167,11 +188,15 @@ impl<S: asb_storage::ConcurrentPageStore + 'static> BufferPool for crate::Sharde
             .map(|(guard, hit)| FetchOutcome { guard, hit })
     }
 
-    fn fetch_batch(&self, ids: &[PageId], ctx: AccessContext) -> Result<Vec<FetchOutcome>> {
-        Ok(crate::ShardedBuffer::fetch_batch(self, ids, ctx)?
+    fn fetch_batch(&self, ids: &[PageId], ctx: AccessContext) -> Vec<PageFetchResult> {
+        crate::ShardedBuffer::fetch_batch(self, ids, ctx)
             .into_iter()
-            .map(|(guard, hit)| FetchOutcome { guard, hit })
-            .collect())
+            .map(|slot| slot.map(|(guard, hit)| FetchOutcome { guard, hit }))
+            .collect()
+    }
+
+    fn fetch_resident(&self, id: PageId, ctx: AccessContext) -> Option<PageReadGuard> {
+        crate::ShardedBuffer::fetch_resident(self, id, ctx)
     }
 
     fn shard_count(&self) -> usize {
@@ -243,13 +268,20 @@ mod tests {
         assert!(out.hit);
         drop(out);
         let batch: Vec<PageId> = ids.iter().chain([&ids[0]]).copied().collect();
-        let outcomes = pool.fetch_batch(&batch, AccessContext::default()).unwrap();
+        let outcomes = pool.fetch_batch(&batch, AccessContext::default());
         assert_eq!(outcomes.len(), batch.len());
-        for (outcome, &id) in outcomes.iter().zip(&batch) {
+        for (slot, &id) in outcomes.iter().zip(&batch) {
+            let outcome = slot.as_ref().expect("healthy store: no slot may fail");
             assert_eq!(outcome.guard.id, id);
             assert!(outcome.hit);
         }
         drop(outcomes);
+        // Everything is resident, so the degraded read path serves it too.
+        let resident = pool
+            .fetch_resident(ids[1], AccessContext::default())
+            .expect("resident page must be served without the store");
+        assert_eq!(resident.id, ids[1]);
+        drop(resident);
         // Shard routing is total and stable over the declared shard count.
         assert!(pool.shard_count() >= 1);
         for &id in ids {
@@ -291,15 +323,16 @@ mod tests {
         let (disk, ids) = disk_with_pages(6);
         let sharded = ShardedBuffer::new(disk, PolicyKind::Lru, 8, 2);
         let batch = vec![ids[0], ids[1], ids[0]];
-        let outcomes = sharded
-            .fetch_batch(&batch, AccessContext::default())
-            .unwrap();
-        assert!(!outcomes[0].1, "cold id must classify as a miss");
-        assert!(!outcomes[1].1, "cold id must classify as a miss");
-        assert!(
-            outcomes[2].1,
-            "repeat must see the first occurrence's admission"
-        );
+        let outcomes = sharded.fetch_batch(&batch, AccessContext::default());
+        let hit = |i: usize| {
+            outcomes[i]
+                .as_ref()
+                .expect("healthy store: no slot may fail")
+                .1
+        };
+        assert!(!hit(0), "cold id must classify as a miss");
+        assert!(!hit(1), "cold id must classify as a miss");
+        assert!(hit(2), "repeat must see the first occurrence's admission");
         let stats = sharded.stats();
         assert_eq!(stats.logical_reads, 3);
         assert_eq!(stats.hits, 1);

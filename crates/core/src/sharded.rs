@@ -47,8 +47,8 @@ use crate::policies::ArenaState;
 use crate::policy::PolicyKind;
 use crate::sync::{AtomicU64, Mutex, Ordering, RwLock};
 use asb_storage::{
-    AccessContext, ConcurrentPageStore, FlightOutcome, FlightStats, IoStats, Lsn, Page, PageId,
-    PageMeta, PageStore, Result, RetryPolicy, SharedWal, SingleFlight, StorageError,
+    AccessContext, ConcurrentPageStore, FlightOutcome, FlightStats, IoStats, Lsn, Page, PageError,
+    PageId, PageMeta, PageStore, Result, RetryPolicy, SharedWal, SingleFlight, StorageError,
 };
 use bytes::Bytes;
 use std::sync::Arc;
@@ -262,7 +262,16 @@ impl<S: ConcurrentPageStore> ShardedBuffer<S> {
         {
             FlightOutcome::Led(result) => result,
             FlightOutcome::Joined(shared) => {
-                let page = shared?;
+                let page = match shared {
+                    Ok(page) => page,
+                    Err(e) => {
+                        // The flight we joined gave up; this request fails
+                        // with it and counts its own give-up, as it would
+                        // have sequentially.
+                        self.inner.shards[shard].lock().note_give_up();
+                        return Err(e);
+                    }
+                };
                 let mut buf = self.inner.shards[shard].lock();
                 match buf.pin_resident(id, ctx) {
                     Some(guard) => Ok(guard),
@@ -275,21 +284,27 @@ impl<S: ConcurrentPageStore> ShardedBuffer<S> {
         }
     }
 
-    /// Reads a batch of pages, returning one `(guard, hit)` pair per id in
-    /// input order. Resident pages of a shard are probed under a single
-    /// shard-lock acquisition; the misses then run through the normal
-    /// single-flight path. Accounting is indistinguishable from issuing
-    /// the same [`fetch_classified`](ShardedBuffer::fetch_classified)
-    /// calls in input order: each id is probed exactly once, and an id
-    /// repeated within the batch is deferred until its first occurrence
-    /// has resolved (so the repeat classifies as the hit it would have
-    /// been sequentially).
+    /// Reads a batch of pages, returning one *independent* result per id
+    /// in input order: a failing page fails its own slot with a typed
+    /// [`PageError`] and never aborts its siblings (the partial-failure
+    /// contract the serving layer's graceful degradation is built on).
+    ///
+    /// Resident pages of a shard are probed under a single shard-lock
+    /// acquisition; the misses then run through the normal single-flight
+    /// path. Accounting is indistinguishable from issuing the same
+    /// [`fetch_classified`](ShardedBuffer::fetch_classified) calls in
+    /// input order: each id is probed exactly once, and an id repeated
+    /// within the batch is deferred until its first occurrence has
+    /// resolved (so the repeat classifies as the hit it would have been
+    /// sequentially; a repeat of a failed id re-attempts and accrues its
+    /// own accounting, exactly as back-to-back sequential fetches would).
     pub fn fetch_batch(
         &self,
         ids: &[PageId],
         ctx: AccessContext,
-    ) -> Result<Vec<(PageReadGuard, bool)>> {
-        let mut out: Vec<Option<(PageReadGuard, bool)>> = (0..ids.len()).map(|_| None).collect();
+    ) -> Vec<std::result::Result<(PageReadGuard, bool), PageError>> {
+        type Slot = std::result::Result<(PageReadGuard, bool), PageError>;
+        let mut out: Vec<Option<Slot>> = (0..ids.len()).map(|_| None).collect();
         // First occurrences probe in the batched phase; repeats resolve
         // afterwards through the sequential path so their probe sees the
         // first occurrence's admission.
@@ -310,7 +325,7 @@ impl<S: ConcurrentPageStore> ShardedBuffer<S> {
             let mut buf = self.inner.shards[shard].lock();
             for &i in idxs {
                 if let Some(guard) = buf.probe(ids[i], ctx) {
-                    out[i] = Some((guard, true));
+                    out[i] = Some(Ok((guard, true)));
                 }
             }
         }
@@ -318,19 +333,30 @@ impl<S: ConcurrentPageStore> ShardedBuffer<S> {
             if out[i].is_some() {
                 continue;
             }
-            if deferred[i] {
-                out[i] = Some(self.fetch_classified(id, ctx)?);
+            let slot = if deferred[i] {
+                self.fetch_classified(id, ctx)
             } else {
                 let shard = self.shard_of(id);
-                out[i] = Some((self.resolve_miss(shard, id, ctx)?, false));
-            }
+                self.resolve_miss(shard, id, ctx)
+                    .map(|guard| (guard, false))
+            };
+            out[i] = Some(slot.map_err(|e| PageError::new(id, e)));
         }
         // invariant: the resolve loop above fills every slot the probe
         // pass left empty, so no `None` survives to this point.
-        Ok(out
-            .into_iter()
+        out.into_iter()
             .map(|o| o.expect("outcome filled"))
-            .collect())
+            .collect()
+    }
+
+    /// Serves `id` from buffer-resident state only: a hit pins and returns
+    /// the frame; a miss is counted in the shard's statistics and returns
+    /// `None` **without touching the backing store** (no retry, no
+    /// single-flight). The serving layer uses this behind an open circuit
+    /// breaker, where the store is presumed down and a miss must degrade
+    /// instead of burning retry budget.
+    pub fn fetch_resident(&self, id: PageId, ctx: AccessContext) -> Option<PageReadGuard> {
+        self.inner.shards[self.shard_of(id)].lock().probe(id, ctx)
     }
 
     /// The miss path run by a flight leader: re-check residency, read the
@@ -364,7 +390,10 @@ impl<S: ConcurrentPageStore> ShardedBuffer<S> {
                 buf.admit_fetched(page.clone(), ctx, &mut PoolIo(&self.inner.store)),
                 Ok(page),
             ),
-            Err(e) => (Err(e.clone()), Err(e)),
+            Err(e) => {
+                buf.note_give_up();
+                (Err(e.clone()), Err(e))
+            }
         }
     }
 

@@ -62,6 +62,14 @@ pub struct ServeBenchEntry {
     pub throughput_rps: f64,
     /// Pool-wide hit rate of the run, in `[0, 1]`.
     pub hit_rate: f64,
+    /// Requests that completed degraded (0 on the fault-free benchmark).
+    pub degraded_requests: u64,
+    /// Requests force-completed past their deadline (0 when fault-free).
+    pub deadline_exceeded: u64,
+    /// Circuit-breaker open transitions across shards (0 when fault-free).
+    pub breaker_opens: u64,
+    /// Distinct pages quarantined during the run (0 when fault-free).
+    pub quarantined_pages: u64,
 }
 
 /// The full serving benchmark: configuration header plus one row per
@@ -144,6 +152,10 @@ pub fn serve_bench(
                 p999_ticks: r.p999_ticks,
                 throughput_rps: r.throughput_rps,
                 hit_rate: r.hit_rate,
+                degraded_requests: r.degraded_requests,
+                deadline_exceeded: r.deadline_exceeded,
+                breaker_opens: r.breaker_opens,
+                quarantined_pages: r.quarantined_pages,
             });
         }
     }
@@ -218,6 +230,30 @@ pub fn check_regression(
     violations
 }
 
+/// Names every `(db, policy)` row of the current run that the baseline
+/// lacks. A non-empty result means the committed baseline is *stale*
+/// (e.g. a policy or database was added without regenerating the JSON) —
+/// the CLI reports each missing key by name and exits with status 2,
+/// distinct from a genuine latency regression.
+pub fn missing_baseline_rows(current: &ServeBench, baseline: &ServeBench) -> Vec<String> {
+    current
+        .entries
+        .iter()
+        .filter(|cur| {
+            !baseline
+                .entries
+                .iter()
+                .any(|b| b.db == cur.db && b.policy == cur.policy)
+        })
+        .map(|cur| {
+            format!(
+                "baseline has no row for db={} policy={}",
+                cur.db, cur.policy
+            )
+        })
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -282,6 +318,10 @@ mod tests {
                 p999_ticks: 2000,
                 throughput_rps: 10.0,
                 hit_rate: 0.5,
+                degraded_requests: 0,
+                deadline_exceeded: 0,
+                breaker_opens: 0,
+                quarantined_pages: 0,
             }],
         };
         let mut cur = base.clone();
@@ -299,5 +339,40 @@ mod tests {
         cur.entries.clear();
         let v = check_regression(&cur, &base, 0.05);
         assert!(v[0].contains("row missing"), "{v:?}");
+    }
+
+    #[test]
+    fn missing_baseline_rows_names_each_absent_key() {
+        let base = ServeBench {
+            seed: 1,
+            sessions: 1,
+            requests_per_session: 1,
+            buffer_frac: 0.5,
+            shards: 1,
+            think_ticks: 100,
+            entries: Vec::new(),
+        };
+        let mut cur = base.clone();
+        assert!(missing_baseline_rows(&cur, &base).is_empty());
+        cur.entries.push(ServeBenchEntry {
+            db: "world".into(),
+            policy: "ASB".into(),
+            tree_pages: 8,
+            capacity: 4,
+            requests: 4,
+            rounds: 8,
+            p50_ticks: 1,
+            p99_ticks: 2,
+            p999_ticks: 3,
+            throughput_rps: 1.0,
+            hit_rate: 0.5,
+            degraded_requests: 0,
+            deadline_exceeded: 0,
+            breaker_opens: 0,
+            quarantined_pages: 0,
+        });
+        let v = missing_baseline_rows(&cur, &base);
+        assert_eq!(v.len(), 1);
+        assert!(v[0].contains("db=world policy=ASB"), "{v:?}");
     }
 }

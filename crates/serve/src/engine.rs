@@ -19,6 +19,7 @@
 //! time is read anywhere. Equal inputs produce bit-for-bit equal
 //! [`ServeOutcome`]s, which `tests/serve.rs` pins down.
 
+use crate::degrade::{BreakerConfig, CircuitBreaker, Outcome, Quarantine};
 use crate::histogram::LatencyHistogram;
 use asb_core::BufferPool;
 use asb_geom::{Point, Rect};
@@ -54,6 +55,19 @@ pub struct ServeConfig {
     /// Maximum pages one request may ask for per round (its frontier is
     /// consumed in slices of this size).
     pub frontier_limit: usize,
+    /// Per-request tick budget. A request still incomplete when a round
+    /// ends past `arrival + deadline_ticks` is force-completed as
+    /// [`Outcome::DeadlineExceeded`] with its partial answer. Deadline
+    /// enforcement is at round granularity: a request that finishes
+    /// within the same round delivers its full answer. The default
+    /// (2,000,000 ticks = 2 simulated seconds) sits far above fault-free
+    /// tail latencies, so healthy runs never see it fire.
+    pub deadline_ticks: u64,
+    /// Per-shard circuit-breaker thresholds guarding store batches.
+    pub breaker: BreakerConfig,
+    /// Ticks a quarantined (permanently failing) page waits before it is
+    /// eligible for a heal probe.
+    pub quarantine_heal_ticks: u64,
 }
 
 impl Default for ServeConfig {
@@ -62,6 +76,9 @@ impl Default for ServeConfig {
             seed: 42,
             think_ticks: 20_000,
             frontier_limit: 8,
+            deadline_ticks: 2_000_000,
+            breaker: BreakerConfig::default(),
+            quarantine_heal_ticks: 500_000,
         }
     }
 }
@@ -85,8 +102,16 @@ pub struct Response {
     pub hits: u64,
     /// Pages that had to read the store.
     pub misses: u64,
+    /// How the answer relates to the exact one: [`Outcome::Exact`] when
+    /// every wanted page was served, [`Outcome::Degraded`] when pruning
+    /// occurred, [`Outcome::DeadlineExceeded`] when the tick budget
+    /// force-completed the request.
+    pub outcome: Outcome,
     /// Result payload: matching object ids (window, sorted; k-NN, by
-    /// ascending distance) or the single pair count (join).
+    /// ascending distance) or the single pair count (join). For degraded
+    /// and deadline-exceeded responses this is a *subset* of the exact
+    /// answer (join: a lower bound on the pair count) — never a
+    /// fabricated result.
     pub results: Vec<u64>,
 }
 
@@ -134,6 +159,15 @@ pub struct ServeReport {
     pub throughput_rps: f64,
     /// Pool-wide hit rate of the run's page accesses, in `[0, 1]`.
     pub hit_rate: f64,
+    /// Requests that completed [`Outcome::Degraded`] (some subtree was
+    /// pruned by a failed slot, an open breaker or a quarantine).
+    pub degraded_requests: u64,
+    /// Requests force-completed as [`Outcome::DeadlineExceeded`].
+    pub deadline_exceeded: u64,
+    /// Circuit-breaker `→ Open` transitions, summed over shards.
+    pub breaker_opens: u64,
+    /// Distinct pages quarantined at least once during the run.
+    pub quarantined_pages: u64,
     /// The full latency histogram (merge per-shard copies with
     /// [`LatencyHistogram::merge`] when aggregating runs).
     pub histogram: LatencyHistogram,
@@ -205,6 +239,12 @@ struct Active {
     seq: usize,
     kind: &'static str,
     arrival: u64,
+    /// Tick past which the request is force-completed
+    /// ([`Outcome::DeadlineExceeded`]).
+    deadline: u64,
+    /// Set when any wanted page went undelivered and its subtree was
+    /// pruned: the eventual answer is a subset of the exact one.
+    degraded: bool,
     ctx: AccessContext,
     hits: u64,
     misses: u64,
@@ -219,6 +259,7 @@ impl Active {
         session: usize,
         seq: usize,
         arrival: u64,
+        deadline_ticks: u64,
         qid: u64,
         request: &Request,
         snapshot: &TreeSnapshot,
@@ -254,6 +295,8 @@ impl Active {
             seq,
             kind: request.kind(),
             arrival,
+            deadline: arrival.saturating_add(deadline_ticks.max(1)),
+            degraded: false,
             ctx: AccessContext::query(QueryId::new(qid)),
             hits: 0,
             misses: 0,
@@ -296,8 +339,13 @@ impl Active {
     }
 
     /// Consumes the pages asked for this round and advances the
-    /// traversal. `delivered` holds every page the round fetched.
+    /// traversal. `delivered` holds every page the round fetched; an
+    /// asked page that went *undelivered* (failed slot, open breaker,
+    /// quarantine) prunes its subtree and marks the request degraded —
+    /// the traversal keeps making progress, and the eventual answer
+    /// stays a subset of the exact one (never a fabrication).
     fn advance(&mut self, delivered: &BTreeMap<PageId, Node>) {
+        let mut pruned = false;
         match &mut self.work {
             Work::Window {
                 region,
@@ -306,7 +354,10 @@ impl Active {
             } => {
                 let taken: Vec<PageId> = frontier.drain(..self.asked.len()).collect();
                 for id in taken {
-                    let node = &delivered[&id];
+                    let Some(node) = delivered.get(&id) else {
+                        pruned = true;
+                        continue;
+                    };
                     match &node.kind {
                         NodeKind::Dir(entries) => {
                             for e in entries {
@@ -327,24 +378,34 @@ impl Active {
             }
             Work::Nearest { point, heap, .. } => {
                 if let Some(&page) = self.asked.first() {
-                    let node = &delivered[&page];
-                    heap.pop();
-                    match &node.kind {
-                        NodeKind::Dir(entries) => {
-                            for e in entries {
-                                heap.push(Candidate {
-                                    dist: e.mbr.min_dist(point),
-                                    target: Ok(e.child),
-                                });
+                    match delivered.get(&page) {
+                        Some(node) => {
+                            heap.pop();
+                            match &node.kind {
+                                NodeKind::Dir(entries) => {
+                                    for e in entries {
+                                        heap.push(Candidate {
+                                            dist: e.mbr.min_dist(point),
+                                            target: Ok(e.child),
+                                        });
+                                    }
+                                }
+                                NodeKind::Leaf(entries) => {
+                                    for e in entries {
+                                        heap.push(Candidate {
+                                            dist: e.mbr.min_dist(point),
+                                            target: Err(e.object_id),
+                                        });
+                                    }
+                                }
                             }
                         }
-                        NodeKind::Leaf(entries) => {
-                            for e in entries {
-                                heap.push(Candidate {
-                                    dist: e.mbr.min_dist(point),
-                                    target: Err(e.object_id),
-                                });
-                            }
+                        None => {
+                            // The best candidate's page is unreachable:
+                            // abandon that subtree and continue best-first
+                            // over the reachable remainder.
+                            heap.pop();
+                            pruned = true;
                         }
                     }
                 }
@@ -364,8 +425,10 @@ impl Active {
                     .count();
                 let taken: Vec<(PageId, PageId)> = pairs.drain(..take).collect();
                 for (a, b) in taken {
-                    let na = &delivered[&a];
-                    let nb = &delivered[&b];
+                    let (Some(na), Some(nb)) = (delivered.get(&a), delivered.get(&b)) else {
+                        pruned = true;
+                        continue;
+                    };
                     match (&na.kind, &nb.kind) {
                         (NodeKind::Dir(ea), NodeKind::Dir(eb)) => {
                             for (i, x) in ea.iter().enumerate() {
@@ -405,6 +468,7 @@ impl Active {
                 }
             }
         }
+        self.degraded |= pruned;
         self.asked.clear();
     }
 
@@ -488,6 +552,12 @@ pub fn serve(
     let mut responses = Vec::new();
     let mut rounds = 0u64;
     let mut batched_pages = 0u64;
+    let mut breakers: Vec<CircuitBreaker> = (0..pool.shard_count().max(1))
+        .map(|_| CircuitBreaker::new(cfg.breaker))
+        .collect();
+    let mut quarantine = Quarantine::new(cfg.quarantine_heal_ticks);
+    let mut degraded_requests = 0u64;
+    let mut deadline_exceeded = 0u64;
 
     loop {
         // Admit every request that has arrived by now, in session order.
@@ -499,6 +569,7 @@ pub fn serve(
                         s,
                         seq,
                         t,
+                        cfg.deadline_ticks,
                         next_qid,
                         &sessions[s][seq],
                         snapshot,
@@ -540,39 +611,111 @@ pub fn serve(
             .ctx;
 
         // Shards are parallel I/O channels: the round costs the slowest
-        // shard's service time plus the fixed dispatch overhead.
+        // shard's service time plus the fixed dispatch overhead. A shard
+        // whose breaker is open never touches the store: its pages are
+        // answered from buffer-resident state only, and whatever is not
+        // resident simply goes undelivered (the wanting requests degrade
+        // in `advance`). A page's failed slot feeds its shard's breaker;
+        // a *give-up* failure additionally quarantines the page so later
+        // rounds stop asking for it until its heal probe is due.
         let mut round_cost = 0u64;
         let mut delivered: BTreeMap<PageId, Node> = BTreeMap::new();
-        for pages in by_shard.iter().filter(|p| !p.is_empty()) {
-            let before = pool.io_stats().simulated_ms;
-            let outcomes = pool.fetch_batch(pages, ctx)?;
-            let store_ms = pool.io_stats().simulated_ms - before;
-            let shard_cost = ms_to_ticks(store_ms) + HIT_TICKS * pages.len() as u64;
-            for (outcome, &id) in outcomes.iter().zip(pages) {
-                let node = Node::decode(outcome.guard.page())?;
-                for &idx in &wanted[&id] {
-                    if outcome.hit {
-                        active[idx].hits += 1;
-                    } else {
-                        active[idx].misses += 1;
+        for (shard, pages) in by_shard.iter().enumerate() {
+            if pages.is_empty() {
+                continue;
+            }
+            let shard_cost = if breakers[shard].allows(now) {
+                let askable: Vec<PageId> = pages
+                    .iter()
+                    .copied()
+                    .filter(|&id| quarantine.allows(id, now))
+                    .collect();
+                let before = pool.io_stats().simulated_ms;
+                let outcomes = pool.fetch_batch(&askable, ctx);
+                let store_ms = pool.io_stats().simulated_ms - before;
+                let mut any_failed = false;
+                for (slot, &id) in outcomes.iter().zip(&askable) {
+                    match slot {
+                        Ok(outcome) => match Node::decode(outcome.guard.page()) {
+                            Ok(node) => {
+                                for &idx in &wanted[&id] {
+                                    if outcome.hit {
+                                        active[idx].hits += 1;
+                                    } else {
+                                        active[idx].misses += 1;
+                                    }
+                                }
+                                quarantine.release(id);
+                                delivered.insert(id, node);
+                                batched_pages += 1;
+                            }
+                            // A page that fetched but will not decode is
+                            // as unusable as a failed slot: undelivered.
+                            Err(_) => any_failed = true,
+                        },
+                        Err(err) => {
+                            any_failed = true;
+                            if err.is_give_up() {
+                                quarantine.put(id, now);
+                            }
+                        }
                     }
                 }
-                delivered.insert(id, node);
-                batched_pages += 1;
-            }
+                // Only batches that actually reached the store are
+                // breaker evidence; an all-quarantined batch is neither
+                // a success nor a failure.
+                if !askable.is_empty() {
+                    if any_failed {
+                        breakers[shard].on_failure(now);
+                    } else {
+                        breakers[shard].on_success();
+                    }
+                }
+                ms_to_ticks(store_ms) + HIT_TICKS * askable.len() as u64
+            } else {
+                // Open breaker: degraded resident-only reads. Every page
+                // costs its in-memory probe; nothing touches the store,
+                // so no retry budget burns while the shard is down.
+                for &id in pages.iter() {
+                    let Some(guard) = pool.fetch_resident(id, ctx) else {
+                        continue;
+                    };
+                    let Ok(node) = Node::decode(guard.page()) else {
+                        continue;
+                    };
+                    for &idx in &wanted[&id] {
+                        active[idx].hits += 1;
+                    }
+                    delivered.insert(id, node);
+                    batched_pages += 1;
+                }
+                HIT_TICKS * pages.len() as u64
+            };
             round_cost = round_cost.max(shard_cost);
         }
         now += round_cost + ROUND_OVERHEAD_TICKS;
 
         // Advance every active request; completed ones respond and their
-        // session starts thinking about its next request.
+        // session starts thinking about its next request. A request that
+        // is still incomplete past its deadline is force-completed with
+        // its partial answer (round-granularity deadline enforcement).
         let mut still = Vec::new();
         for mut a in std::mem::take(&mut active) {
             a.advance(&delivered);
-            if !a.done() {
+            let timed_out = !a.done() && now >= a.deadline;
+            if !a.done() && !timed_out {
                 still.push(a);
                 continue;
             }
+            let outcome = if timed_out {
+                deadline_exceeded += 1;
+                Outcome::DeadlineExceeded
+            } else if a.degraded {
+                degraded_requests += 1;
+                Outcome::Degraded
+            } else {
+                Outcome::Exact
+            };
             let latency = now - a.arrival;
             histogram.record(latency);
             let stats = &mut session_stats[a.session];
@@ -592,6 +735,7 @@ pub fn serve(
                 latency,
                 hits: a.hits,
                 misses: a.misses,
+                outcome,
                 results: a.into_results(),
             });
         }
@@ -616,6 +760,10 @@ pub fn serve(
         } else {
             hits as f64 / (hits + misses) as f64
         },
+        degraded_requests,
+        deadline_exceeded,
+        breaker_opens: breakers.iter().map(CircuitBreaker::opens).sum(),
+        quarantined_pages: quarantine.ever_quarantined(),
         histogram,
         sessions: session_stats,
     };

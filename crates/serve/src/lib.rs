@@ -27,14 +27,22 @@
 #![warn(missing_docs)]
 
 mod bench;
+mod chaos;
+mod degrade;
 mod engine;
 mod histogram;
 
 pub use bench::{
-    bench_sessions, check_regression, default_serve_bench, serve_bench, ServeBench,
-    ServeBenchEntry, P99_TOLERANCE, SERVE_BENCH_BUFFER_FRAC, SERVE_BENCH_POLICIES,
+    bench_sessions, check_regression, default_serve_bench, missing_baseline_rows, serve_bench,
+    ServeBench, ServeBenchEntry, P99_TOLERANCE, SERVE_BENCH_BUFFER_FRAC, SERVE_BENCH_POLICIES,
     SERVE_BENCH_REQUESTS, SERVE_BENCH_SEED, SERVE_BENCH_SESSIONS, SERVE_BENCH_SHARDS,
 };
+pub use chaos::{
+    chaos_sweep, check_chaos, default_chaos_bench, last_leaf_ids, missing_chaos_cells, ChaosBench,
+    ChaosCell, ChaosConfig, CHAOS_DEADLINE_TICKS, CHAOS_FAULT_PROFILES, CHAOS_SEEDS,
+    DEGRADED_RATE_CEILING, P999_INFLATION_CEILING,
+};
+pub use degrade::{BreakerConfig, BreakerState, CircuitBreaker, Outcome, Quarantine};
 pub use engine::{
     serve, Response, ServeConfig, ServeOutcome, ServeReport, SessionStats, HIT_TICKS,
     ROUND_OVERHEAD_TICKS,

@@ -160,6 +160,54 @@ impl std::fmt::Display for StorageError {
 
 impl std::error::Error for StorageError {}
 
+/// A [`StorageError`] attributed to one specific page of a batched
+/// operation.
+///
+/// The partial-failure batch contract (`BufferPool::fetch_batch` in
+/// `asb-core`) returns one `Result<_, PageError>` slot per requested page,
+/// so one poisoned page fails *its* slot without aborting its siblings.
+/// The id is carried explicitly because the failing page may differ from
+/// the page a caller asked for (e.g. a dirty victim whose write-back
+/// failed while making room).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PageError {
+    /// The page whose slot failed.
+    pub id: PageId,
+    /// Why it failed.
+    pub error: StorageError,
+}
+
+impl PageError {
+    /// Attributes `error` to `id`.
+    pub fn new(id: PageId, error: StorageError) -> Self {
+        PageError { id, error }
+    }
+
+    /// Whether retrying this page's slot may succeed (see
+    /// [`StorageError::is_transient`]).
+    pub fn is_transient(&self) -> bool {
+        self.error.is_transient()
+    }
+
+    /// Whether the failure is a typed give-up or permanent device failure
+    /// — the signal the serving layer uses to quarantine a page instead of
+    /// spending retry budget on it again.
+    pub fn is_give_up(&self) -> bool {
+        matches!(
+            self.error,
+            StorageError::RetriesExhausted { .. } | StorageError::DeviceFailed(_)
+        )
+    }
+}
+
+impl std::fmt::Display for PageError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "page {} failed: {}", self.id, self.error)
+    }
+}
+
+impl std::error::Error for PageError {}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -241,6 +289,26 @@ mod tests {
         assert!(msg.contains("2 dirty frame(s)"));
         assert!(msg.contains("P4"));
         assert!(msg.contains("P9"));
+    }
+
+    #[test]
+    fn page_error_classifies_give_ups_and_transients() {
+        let id = PageId::new(5);
+        let transient = PageError::new(id, StorageError::TransientRead(id));
+        assert!(transient.is_transient());
+        assert!(!transient.is_give_up());
+        let gave_up = PageError::new(
+            id,
+            StorageError::RetriesExhausted {
+                id,
+                attempts: 4,
+                last: Box::new(StorageError::TransientRead(id)),
+            },
+        );
+        assert!(gave_up.is_give_up());
+        assert!(!gave_up.is_transient());
+        assert!(PageError::new(id, StorageError::DeviceFailed(id)).is_give_up());
+        assert!(gave_up.to_string().contains("page P5 failed"));
     }
 
     #[test]

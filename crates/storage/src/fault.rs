@@ -108,6 +108,23 @@ impl FaultConfig {
         }
     }
 
+    /// A brown-out: the device stays up but goes slow-tailed — latency
+    /// spikes at `rate` with a spike an order of magnitude above the
+    /// simulated disk's ~10 ms random access, plus a trickle of transient
+    /// read faults at a tenth of `rate` (slow devices time out
+    /// occasionally). The regime a remote or disaggregated memory tier
+    /// degrades into, where a serving layer must shed latency rather than
+    /// fail.
+    pub fn brownout(seed: u64, rate: f64) -> Self {
+        FaultConfig {
+            seed,
+            read_transient: rate / 10.0,
+            latency_spike: rate,
+            spike_ms: 120.0,
+            ..FaultConfig::default()
+        }
+    }
+
     /// A schedule that never faults (the default).
     pub fn reliable() -> Self {
         FaultConfig::default()
@@ -135,6 +152,10 @@ struct FaultState {
     /// Per-store operation counter; each read/write claims one index.
     ops: u64,
     stats: FaultStats,
+    /// Raw ids of pages marked permanently failed. Behind the same mutex
+    /// as the counters so chaos harnesses can poison and heal pages
+    /// mid-run through a `&self` handle shared with a buffer pool.
+    permanent: HashSet<u64>,
     /// `stats.injected_ms` as of the last `reset_io_stats`, so the I/O
     /// clock window exposed through `io_stats` resets with the inner
     /// store's counters while the lifetime fault statistics keep accruing.
@@ -149,7 +170,6 @@ struct FaultState {
 pub struct FaultyStore<S> {
     inner: S,
     config: FaultConfig,
-    permanent: HashSet<u64>,
     state: Mutex<FaultState>,
 }
 
@@ -159,10 +179,10 @@ impl<S> FaultyStore<S> {
         FaultyStore {
             inner,
             config,
-            permanent: HashSet::new(),
             state: Mutex::new(FaultState {
                 ops: 0,
                 stats: FaultStats::default(),
+                permanent: HashSet::new(),
                 injected_baseline_ms: 0.0,
             }),
         }
@@ -170,13 +190,22 @@ impl<S> FaultyStore<S> {
 
     /// Mark a page as permanently failed: every read or write of it returns
     /// [`StorageError::DeviceFailed`] without consulting the schedule.
-    pub fn mark_permanent(&mut self, id: PageId) {
-        self.permanent.insert(id.raw());
+    /// Takes `&self` (the set lives behind the store's interior mutex, like
+    /// the fault counters) so chaos scenarios can poison pages mid-run on a
+    /// store already shared with a buffer pool.
+    pub fn mark_permanent(&self, id: PageId) {
+        self.state.lock().permanent.insert(id.raw());
     }
 
-    /// Clear a permanent failure mark.
-    pub fn heal(&mut self, id: PageId) {
-        self.permanent.remove(&id.raw());
+    /// Clear a permanent failure mark (also `&self`; see
+    /// [`mark_permanent`](FaultyStore::mark_permanent)).
+    pub fn heal(&self, id: PageId) {
+        self.state.lock().permanent.remove(&id.raw());
+    }
+
+    /// Whether `id` is currently marked permanently failed.
+    pub fn is_permanent(&self, id: PageId) -> bool {
+        self.state.lock().permanent.contains(&id.raw())
     }
 
     /// Replace the fault schedule (the operation counter keeps running).
@@ -227,13 +256,12 @@ impl<S> FaultyStore<S> {
     /// latency spike, transient fault. Returns the claimed operation index
     /// on success so the read path can draw its corruption coin from it.
     fn gate(&self, id: PageId, write: bool) -> crate::Result<u64> {
-        if self.permanent.contains(&id.raw()) {
-            let mut st = self.state.lock();
-            st.stats.permanent_denials += 1;
-            return Err(StorageError::DeviceFailed(id));
-        }
         let op = {
             let mut st = self.state.lock();
+            if st.permanent.contains(&id.raw()) {
+                st.stats.permanent_denials += 1;
+                return Err(StorageError::DeviceFailed(id));
+            }
             let op = st.ops;
             st.ops += 1;
             op
@@ -427,6 +455,42 @@ mod tests {
         store.heal(ids[0]);
         assert!(store.read(ids[0], AccessContext::default()).is_ok());
         assert_eq!(store.fault_stats().permanent_denials, 1);
+    }
+
+    #[test]
+    fn poison_and_heal_work_through_a_shared_reference() {
+        // The chaos harness poisons pages mid-run on a store that a buffer
+        // pool already owns — only `&self` access exists at that point.
+        let (disk, ids) = disk_with_pages(2);
+        let store = FaultyStore::new(disk, FaultConfig::reliable());
+        let shared: &FaultyStore<DiskManager> = &store;
+        shared.mark_permanent(ids[0]);
+        assert!(shared.is_permanent(ids[0]));
+        assert_eq!(
+            shared.read_shared(ids[0], AccessContext::default()),
+            Err(StorageError::DeviceFailed(ids[0]))
+        );
+        assert!(shared.read_shared(ids[1], AccessContext::default()).is_ok());
+        shared.heal(ids[0]);
+        assert!(!shared.is_permanent(ids[0]));
+        assert!(shared.read_shared(ids[0], AccessContext::default()).is_ok());
+        assert_eq!(store.fault_stats().permanent_denials, 1);
+    }
+
+    #[test]
+    fn brownout_is_slow_tailed_but_mostly_up() {
+        let (disk, ids) = disk_with_pages(4);
+        let store = FaultyStore::new(disk, FaultConfig::brownout(9, 1.0));
+        // Spike rate 1.0: every operation pays the brown-out latency.
+        for &id in &ids {
+            let _ = store.read_shared(id, AccessContext::default());
+        }
+        let stats = store.fault_stats();
+        assert_eq!(stats.latency_spikes, 4);
+        assert!(stats.injected_ms >= 4.0 * 100.0);
+        // The transient trickle is a tenth of the spike rate.
+        assert!(FaultConfig::brownout(9, 0.2).read_transient < 0.021);
+        assert_eq!(FaultConfig::brownout(9, 0.2).corrupt, 0.0);
     }
 
     #[test]

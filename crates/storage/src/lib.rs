@@ -46,7 +46,7 @@ pub use crash::{
     torn_page, CrashClock, CrashEvent, CrashMode, CrashOp, CrashPlan, CrashableStore, WriteFate,
 };
 pub use disk::{DiskManager, DiskProfile, IoStats};
-pub use error::StorageError;
+pub use error::{PageError, StorageError};
 pub use fault::{FaultConfig, FaultStats, FaultyStore};
 pub use objects::{decode_object_page, ObjectRecord, ObjectStore};
 pub use page::{page_checksum, Page, PageId, PageMeta, PageType, PAGE_HEADER_SIZE, PAGE_SIZE};

@@ -366,3 +366,111 @@ fn sharded_pool_survives_multithreaded_chaos() {
         }
     }
 }
+
+/// The batched fetch contract retries transient faults *per page*: with a
+/// generous policy every slot of every batch comes back `Ok`, and only the
+/// pool's `retries` counter records the turbulence. No batch is poisoned
+/// by a sibling page's transient fault.
+#[test]
+fn batched_fetch_retries_transients_per_page() {
+    let (disk, ids) = build_disk(12);
+    let store = FaultyStore::new(disk, FaultConfig::transient(fault_seed(), 0.3));
+    let pool = ShardedBuffer::new(store, PolicyKind::Lru, 8, 2);
+    pool.set_retry_policy(RetryPolicy {
+        max_attempts: 12,
+        base_backoff_ms: 0.1,
+        backoff_multiplier: 2.0,
+    });
+    for round in 0..40u64 {
+        let outcomes = pool.fetch_batch(&ids, ctx(round));
+        assert_eq!(outcomes.len(), ids.len());
+        for (slot, &id) in outcomes.iter().zip(&ids) {
+            let (guard, _hit) = slot
+                .as_ref()
+                .expect("transient faults must be absorbed by per-page retries");
+            assert_eq!(guard.id, id);
+            assert!(guard.verify_checksum());
+        }
+    }
+    let stats = pool.stats();
+    assert_eq!(stats.logical_reads, 40 * ids.len() as u64);
+    assert_eq!(stats.hits + stats.misses, stats.logical_reads);
+    assert!(
+        stats.retries > 0,
+        "a 30% fault rate over 480 batched reads must trigger retries"
+    );
+    assert_eq!(
+        stats.give_ups, 0,
+        "retries exhausted under a 12-attempt policy"
+    );
+}
+
+/// Give-ups are typed *per slot*: pages marked permanently failed come back
+/// as `Err` slots carrying the failing page's id and a give-up error, while
+/// sibling slots in the same batch succeed untouched.
+#[test]
+fn batched_fetch_fails_per_slot_not_per_batch() {
+    let (disk, ids) = build_disk(12);
+    let store = FaultyStore::new(disk, FaultConfig::reliable());
+    store.mark_permanent(ids[3]);
+    store.mark_permanent(ids[7]);
+    let pool = ShardedBuffer::new(store, PolicyKind::Lru, 8, 2);
+    let batch: Vec<PageId> = ids[..10].to_vec();
+    let outcomes = pool.fetch_batch(&batch, ctx(1));
+    assert_eq!(outcomes.len(), batch.len());
+    for (slot, &id) in outcomes.iter().zip(&batch) {
+        if id == ids[3] || id == ids[7] {
+            let err = slot
+                .as_ref()
+                .expect_err("permanently failed page must fail");
+            assert_eq!(err.id, id, "failure attributed to the failing page");
+            assert!(
+                err.is_give_up(),
+                "device failure is a typed give-up: {err:?}"
+            );
+            assert!(!err.is_transient());
+        } else {
+            let (guard, hit) = slot
+                .as_ref()
+                .expect("healthy sibling slots must not be poisoned by a failing page");
+            assert_eq!(guard.id, id);
+            assert!(!hit, "cold pool: every delivered slot is a miss");
+            assert!(guard.verify_checksum());
+        }
+    }
+    drop(outcomes);
+    let stats = pool.stats();
+    assert_eq!(stats.give_ups, 2, "one give-up per failed slot");
+    assert_eq!(stats.logical_reads, batch.len() as u64);
+}
+
+/// Satellite 1 end to end: a pool-shared `FaultyStore` can be poisoned and
+/// healed mid-run through `with_store` (`mark_permanent`/`heal` take
+/// `&self`). A resident copy keeps serving across the device failure; only
+/// a refetch after eviction observes it, and healing restores the page.
+#[test]
+fn pool_shared_store_poison_and_heal_mid_run() {
+    let (disk, ids) = build_disk(8);
+    let store = FaultyStore::new(disk, FaultConfig::reliable());
+    let pool = ShardedBuffer::new(store, PolicyKind::Lru, 2, 1);
+    drop(pool.fetch(ids[2], ctx(0)).expect("warm read"));
+    pool.with_store(|s| s.mark_permanent(ids[2]))
+        .expect("no guards live");
+    // The buffered copy is untouched by the device failure.
+    drop(
+        pool.fetch(ids[2], ctx(1))
+            .expect("resident copy still serves"),
+    );
+    // Evict it (capacity 2, single shard, LRU): two fresh pages push it out.
+    drop(pool.fetch(ids[0], ctx(2)).expect("read"));
+    drop(pool.fetch(ids[1], ctx(3)).expect("read"));
+    let err = pool
+        .fetch(ids[2], ctx(4))
+        .expect_err("refetch hits the dead device");
+    assert!(matches!(err, StorageError::DeviceFailed(id) if id == ids[2]));
+    pool.with_store(|s| s.heal(ids[2])).expect("no guards live");
+    let healed = pool.fetch(ids[2], ctx(5)).expect("healed page reads again");
+    assert!(healed.verify_checksum());
+    drop(healed);
+    assert_eq!(pool.stats().give_ups, 1);
+}

@@ -20,11 +20,14 @@
 
 use asb::buffer::{BufferManager, Flusher, FlusherConfig, PolicyKind, ShardedBuffer, SharedBuffer};
 use asb::geom::SpatialStats;
+use asb::serve::{BreakerConfig, BreakerState, CircuitBreaker};
 use asb::storage::{
-    AccessContext, ConcurrentPageStore, DiskManager, IoStats, Page, PageId, PageMeta, PageStore,
-    QueryId, Result, SharedWal, StorageError, Wal, WalConfig, WalRecord,
+    AccessContext, ConcurrentPageStore, DiskManager, FaultConfig, FaultyStore, IoStats, Page,
+    PageId, PageMeta, PageStore, QueryId, Result, SharedWal, StorageError, Wal, WalConfig,
+    WalRecord,
 };
 use bytes::Bytes;
+use schedule::sync as ssync;
 use schedule::{explore, thread, ExploreConfig, Report};
 use std::collections::HashMap;
 
@@ -817,11 +820,12 @@ fn batch_scenario() {
             .enumerate()
         {
             let batch: Vec<PageId> = slots.iter().map(|&s| ids_a[s]).collect();
-            let outcomes = a
-                .fetch_batch(&batch, AccessContext::query(QueryId::new(q as u64)))
-                .unwrap();
+            let outcomes = a.fetch_batch(&batch, AccessContext::query(QueryId::new(q as u64)));
             assert_eq!(outcomes.len(), batch.len(), "a response was lost");
-            for ((guard, _hit), &slot) in outcomes.iter().zip(&slots) {
+            for (slot_result, &slot) in outcomes.iter().zip(&slots) {
+                let (guard, _hit) = slot_result
+                    .as_ref()
+                    .expect("healthy store: no slot may fail");
                 assert_eq!(guard.id, ids_a[slot], "responses must stay in input order");
                 assert_eq!(guard.payload.as_ref(), &[slot as u8]);
             }
@@ -833,11 +837,13 @@ fn batch_scenario() {
         let first: Vec<PageId> = ids_b[3..9].to_vec();
         let second = vec![ids_b[9], ids_b[0], ids_b[9]];
         for (q, batch) in [first, second].into_iter().enumerate() {
-            let outcomes = b
-                .fetch_batch(&batch, AccessContext::query(QueryId::new(100 + q as u64)))
-                .unwrap();
+            let outcomes =
+                b.fetch_batch(&batch, AccessContext::query(QueryId::new(100 + q as u64)));
             assert_eq!(outcomes.len(), batch.len(), "a response was lost");
-            for ((guard, _hit), &id) in outcomes.iter().zip(&batch) {
+            for (slot_result, &id) in outcomes.iter().zip(&batch) {
+                let (guard, _hit) = slot_result
+                    .as_ref()
+                    .expect("healthy store: no slot may fail");
                 assert_eq!(guard.id, id, "responses must stay in input order");
             }
         }
@@ -869,4 +875,147 @@ fn batch_scenario() {
 #[test]
 fn batched_fetches_preserve_pool_invariants_under_concurrency() {
     explore_scenario("batch-serve", 0x4241_5443_485f_5356, batch_scenario);
+}
+
+// ---------------------------------------------------------------------------
+// Scenario 10: circuit-breaker state machine under concurrent feeding.
+// ---------------------------------------------------------------------------
+
+/// Is `before --event--> after` a lawful breaker transition? Events are
+/// `'s'` (success) and `'f'` (failure); cooldown expiry (`Open -> HalfOpen`)
+/// is applied inside `state(now)` and therefore surfaces as
+/// `before == HalfOpen` on the next record, never as its own event. A
+/// breaker is only fed after `allows` returned true, so `before` is never
+/// `Open`.
+fn legal_breaker_transition(before: BreakerState, event: char, after: BreakerState) -> bool {
+    use BreakerState::*;
+    matches!(
+        (before, event, after),
+        (Closed, 's', Closed)
+            | (HalfOpen, 's', Closed)
+            | (Closed, 'f', Closed)
+            | (Closed, 'f', Open)
+            | (HalfOpen, 'f', Open)
+    )
+}
+
+/// Two threads drive the serving loop's degradation protocol against one
+/// pool: per-partition [`CircuitBreaker`]s behind the sync facade's mutex
+/// (consult + batched fetch + feed as one atomic section, so the
+/// concatenated log is the breaker's linearized history), a shared
+/// simulated clock, one permanently dead page in partition 0. In every
+/// interleaving: every logged transition is lawful, the healthy
+/// partition's breaker never opens, the dead partition's breaker does,
+/// failed slots are typed per page, and pool give-up accounting matches
+/// the failures callers observed.
+fn breaker_scenario() {
+    let (disk, ids) = disk_with_pages(8);
+    let store = FaultyStore::new(disk, FaultConfig::reliable());
+    store.mark_permanent(ids[1]);
+    let pool = ShardedBuffer::new(store, PolicyKind::Lru, 8, 2);
+    let cfg = BreakerConfig {
+        failure_threshold: 2,
+        cooldown_ticks: 25,
+    };
+    type BreakerLog = Vec<(BreakerState, char, BreakerState)>;
+    let breakers: std::sync::Arc<Vec<ssync::Mutex<(CircuitBreaker, BreakerLog)>>> =
+        std::sync::Arc::new(
+            (0..2)
+                .map(|_| ssync::Mutex::new((CircuitBreaker::new(cfg), Vec::new())))
+                .collect(),
+        );
+    let clock = std::sync::Arc::new(ssync::AtomicU64::new(0));
+    let err_slots = std::sync::Arc::new(ssync::AtomicU64::new(0));
+
+    let worker = |t: u64| {
+        let pool = pool.clone();
+        let ids = ids.clone();
+        let breakers = breakers.clone();
+        let clock = clock.clone();
+        let err_slots = err_slots.clone();
+        move || {
+            for round in 0..5u64 {
+                let now = clock.fetch_add(7, ssync::Ordering::Relaxed);
+                for part in 0..2usize {
+                    let pages: Vec<PageId> = ids[part * 4..part * 4 + 4].to_vec();
+                    let ctx = AccessContext::query(QueryId::new(t * 100 + round));
+                    let mut cell = breakers[part].lock();
+                    let (breaker, log) = &mut *cell;
+                    let before = breaker.state(now);
+                    if breaker.allows(now) {
+                        let outcomes = pool.fetch_batch(&pages, ctx);
+                        assert_eq!(outcomes.len(), pages.len(), "a slot was lost");
+                        let mut failed = false;
+                        for (slot, &id) in outcomes.iter().zip(&pages) {
+                            match slot {
+                                Ok((guard, _hit)) => assert_eq!(guard.id, id),
+                                Err(e) => {
+                                    assert_eq!(e.id, id, "failure typed to the wrong page");
+                                    assert!(e.is_give_up(), "dead page must be a give-up");
+                                    err_slots.fetch_add(1, ssync::Ordering::Relaxed);
+                                    failed = true;
+                                }
+                            }
+                        }
+                        let event = if failed {
+                            breaker.on_failure(now);
+                            'f'
+                        } else {
+                            breaker.on_success();
+                            's'
+                        };
+                        log.push((before, event, breaker.state(now)));
+                    } else {
+                        // Open: buffer-resident state only — the store is
+                        // never consulted, so the dead page yields `None`,
+                        // not an error.
+                        for &id in &pages {
+                            if let Some(guard) = pool.fetch_resident(id, ctx) {
+                                assert_eq!(guard.id, id);
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    };
+    let ta = thread::spawn(worker(0));
+    let tb = thread::spawn(worker(1));
+    ta.join();
+    tb.join();
+
+    for (part, cell) in breakers.iter().enumerate() {
+        let (breaker, log) = &mut *cell.lock();
+        for &(before, event, after) in log.iter() {
+            assert!(
+                legal_breaker_transition(before, event, after),
+                "partition {part}: illegal transition {before:?} --{event}--> {after:?}"
+            );
+        }
+        if part == 0 {
+            assert!(log.iter().all(|&(_, e, _)| e == 'f'));
+            assert!(breaker.opens() >= 1, "a permanently dead page must trip");
+        } else {
+            assert!(log.iter().all(|&(_, e, _)| e == 's'));
+            assert_eq!(breaker.opens(), 0, "healthy partition must stay closed");
+        }
+    }
+    let stats = pool.stats();
+    assert_eq!(
+        stats.hits + stats.misses,
+        stats.logical_reads,
+        "hit/miss accounting diverged from logical reads"
+    );
+    assert_eq!(
+        stats.give_ups,
+        err_slots.load(ssync::Ordering::Relaxed),
+        "give-up accounting must match the failures callers observed"
+    );
+    assert!(pool.io_stats().reads <= stats.misses);
+    assert_eq!(pool.live_guards(), 0, "pin balance restored");
+}
+
+#[test]
+fn breaker_state_machine_is_lawful_under_concurrency() {
+    explore_scenario("breaker-serve", 0x4252_4541_4b45_525f, breaker_scenario);
 }
