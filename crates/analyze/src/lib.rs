@@ -1,11 +1,13 @@
 //! `asb-analyze` — workspace invariant lints.
 //!
 //! A dependency-free, source-level lint pass enforcing repo-specific rules
-//! that clippy cannot express (see [`RULES`] for the catalog). The design
-//! trades parsing fidelity for zero dependencies: a line-oriented scanner
-//! with a comment/string stripper and a brace-depth tracker is enough for
-//! every rule here, because the rules target *tokens that should not appear
-//! at all* (outside justified spots) rather than deep syntactic structure.
+//! that clippy cannot express (see [`RULES`] for the catalog). Sources are
+//! tokenized by a small real lexer ([`lexer`]) — raw strings, nested block
+//! comments and lifetimes are resolved once, correctly — and every rule
+//! then works over either the per-line view or the token stream, whichever
+//! fits. The design stays dependency-free: the rules target *patterns that
+//! should not appear at all* (outside justified spots) rather than deep
+//! syntactic structure, so no type information is needed.
 //!
 //! ## Anatomy of a rule
 //!
@@ -13,16 +15,22 @@
 //! into [`Line`]s, each carrying the code text with string/char literals
 //! blanked and comments removed, the comment text itself (rules look for
 //! justification markers there), and whether the line sits inside a
-//! `#[cfg(test)]` region. Violations carry `file:line` and a message; the
-//! driver subtracts the allowlist (`crates/analyze/allowlist.txt`) and the
-//! remainder is fatal.
+//! `#[cfg(test)]` region — plus the significant token stream ([`Tok`])
+//! for the structural rules (lock-order, guard-send, counter-pair).
+//! Violations carry `file:line` and a message; the driver subtracts the
+//! allowlist (`crates/analyze/allowlist.txt`) and the remainder is fatal.
 //!
 //! Adding a rule: add a variant to [`RULES`], implement its check in
-//! [`check_file`], document it in `DESIGN.md` §11, and give it an `explain`
-//! entry — the `explain` text is the contract reviewers hold the rule to.
+//! [`check_file`], document it in `DESIGN.md` §11/§16, and give it an
+//! `explain` entry — the `explain` text is the contract reviewers hold the
+//! rule to.
+
+pub mod lexer;
 
 use std::fmt;
 use std::path::{Path, PathBuf};
+
+use lexer::TokenKind;
 
 /// Identifier, summary and rationale of one lint rule.
 pub struct Rule {
@@ -116,6 +124,56 @@ and SystemTime are banned outside the explicitly allowlisted measurement
 binaries (repro/probe report real elapsed time alongside simulated time,
 which is their job). If code needs time, it needs the simulated clock.",
     },
+    Rule {
+        id: "lock-order",
+        summary: "shard locks acquire first; store/WAL/flight latches below; shard loops ascend",
+        explain: "\
+The pool's deadlock-freedom argument is a total lock order: shard mutex
+above store lock, WAL and single-flight latches below shard, and all-shard
+acquisition strictly in ascending index order. Within any non-test function
+body in crates/core or crates/storage, a shard-lock acquisition
+(`*shard*.lock()`) may not appear after a store-lock (`*store*.read()` /
+`.write()`), WAL (`*wal*.lock()`) or flight-latch (`*flight*/*latch*
+.lock()`, `scheduler.run(`) acquisition in the same body; and iterating
+shards with `.rev()` before locking them inverts the ascending order. This
+is a source-order heuristic over receiver names — the dynamic prong
+(asb_schedule::lock_graph()) checks the runtime property across >=1000
+schedules per scenario; this rule catches the obvious inversion in review.
+A two-phase pattern (store lock released as a temporary before the shard
+lock is taken) is legal: justify with `// lock-order-ok: ...` saying why
+the earlier acquisition is not held.",
+    },
+    Rule {
+        id: "guard-send",
+        summary: "no PinToken/page guard captured by thread::spawn or stored in a struct",
+        explain: "\
+PinToken and the page guards (PageReadGuard/PageWriteGuard) are scoped
+capabilities: they pin a frame and are meant to die in the stack frame that
+made them. Capturing one in a `thread::spawn` closure moves the pin to a
+thread whose lifetime nothing bounds, and storing one in a struct field
+lets it cross the sync facade and outlive the pool's reasoning about
+eviction. Both are flagged in non-test code: a spawn whose closure mentions
+a guard binding (or a guard type) from the enclosing function, and any
+struct/enum whose fields name a guard type (the guard definitions
+themselves, in crates/core/src/guard.rs, are exempt by construction). A
+deliberate exception carries `// guard-send-ok: ...` explaining what bounds
+the guard's lifetime.",
+    },
+    Rule {
+        id: "counter-pair",
+        summary: "paired BufferStats counters increment together, in one lock scope",
+        explain: "\
+Some stats counters are only meaningful as pairs: evictions with
+failed_evictions (crates/core/src/manager.rs) and led with joined
+(crates/storage/src/scheduler.rs). Probes assert relations across a pair,
+so incrementing one member from a function that never touches its sibling
+— or from outside the pair's home file, where the lock scope that makes the
+pair atomic does not exist — silently skews every experiment that reads
+them. Each increment of a paired counter must happen in the pair's home
+file, inside a function body that also increments (or consciously accounts
+for) the sibling; anything else needs a `// counter-ok: ...` marker saying
+why the lone increment keeps the pair's invariant.",
+    },
 ];
 
 /// Look up a rule by id.
@@ -162,265 +220,130 @@ struct Line {
     in_test: bool,
 }
 
+/// A significant token (whitespace and comments dropped) with the 0-based
+/// index of the [`Line`] it starts on. The structural rules walk these.
+#[derive(Debug, Clone)]
+struct Tok {
+    kind: TokenKind,
+    text: String,
+    line: usize,
+}
+
 /// A file preprocessed for linting.
 struct PreparedFile {
     rel_path: PathBuf,
     lines: Vec<Line>,
+    toks: Vec<Tok>,
 }
 
-/// Splits `source` into [`Line`]s: a small state machine over the raw text
-/// that strips comments (tracking nesting of `/* */`), blanks the contents
-/// of string/char literals (so tokens inside literals never match), and
-/// tags `#[cfg(test)]` regions by tracking the brace depth of the item the
-/// attribute applies to.
-fn prepare(source: &str) -> Vec<Line> {
-    #[derive(PartialEq)]
-    enum Mode {
-        Code,
-        LineComment,
-        BlockComment(u32),
-        Str,
-        RawStr(u32),
-        Char,
-    }
-    let mut mode = Mode::Code;
+/// Lexes `source` once and derives both rule views from the token stream:
+/// the per-[`Line`] view (comments separated out, string/char literal
+/// contents blanked so tokens inside literals never match) and the
+/// significant-token stream. `#[cfg(test)]` regions are then marked by
+/// [`mark_test_regions`].
+fn prepare(source: &str) -> (Vec<Line>, Vec<Tok>) {
     let mut lines: Vec<Line> = Vec::new();
     let mut cur = Line::default();
+    let mut toks: Vec<Tok> = Vec::new();
 
-    // cfg(test) tracking: when a `#[cfg(test)]` attribute is pending, the
-    // next `{` at depth 0 of the pending item opens a test region lasting
-    // until its matching `}`.
+    for t in lexer::lex(source) {
+        if !matches!(
+            t.kind,
+            TokenKind::Whitespace | TokenKind::LineComment | TokenKind::BlockComment
+        ) {
+            toks.push(Tok {
+                kind: t.kind,
+                text: t.text.to_string(),
+                line: lines.len(),
+            });
+        }
+        match t.kind {
+            TokenKind::Whitespace => {
+                for c in t.text.chars() {
+                    if c == '\n' {
+                        lines.push(std::mem::take(&mut cur));
+                    } else {
+                        cur.code.push(c);
+                    }
+                }
+            }
+            TokenKind::LineComment => cur.comment.push_str(&t.text[2..]),
+            TokenKind::BlockComment => {
+                let inner = t.text[2..].strip_suffix("*/").unwrap_or(&t.text[2..]);
+                for c in inner.chars() {
+                    if c == '\n' {
+                        lines.push(std::mem::take(&mut cur));
+                    } else {
+                        cur.comment.push(c);
+                    }
+                }
+            }
+            TokenKind::StrLit | TokenKind::RawStrLit | TokenKind::CharLit => {
+                // Keep the delimiting quotes (so the line still *looks*
+                // like it holds a literal) and blank everything else.
+                let n = t.text.chars().count();
+                for (k, c) in t.text.chars().enumerate() {
+                    if c == '\n' {
+                        lines.push(std::mem::take(&mut cur));
+                    } else if (c == '"' || c == '\'') && (k == 0 || k == n - 1) {
+                        cur.code.push(c);
+                    } else {
+                        cur.code.push('_');
+                    }
+                }
+            }
+            _ => cur.code.push_str(t.text),
+        }
+    }
+    if !cur.code.is_empty() || !cur.comment.is_empty() {
+        lines.push(cur);
+    }
+    mark_test_regions(&mut lines);
+    (lines, toks)
+}
+
+/// Tags lines inside `#[cfg(test)]` items: when the attribute is pending,
+/// the next `{` opens a test region at the current brace depth, lasting
+/// until its matching `}`. A pending attribute on a `use` item (no body)
+/// cancels at the `;`. A line is test code if *any* of it sat inside an
+/// open region — so the opening and closing brace lines both count.
+fn mark_test_regions(lines: &mut [Line]) {
     let mut depth: i64 = 0;
-    let mut test_regions: Vec<i64> = Vec::new(); // depths at which a test region opened
-    let mut pending_test_attr = false;
-
-    let chars: Vec<char> = source.chars().collect();
-    let mut i = 0;
-    while i < chars.len() {
-        let c = chars[i];
-        let next = chars.get(i + 1).copied();
-        match mode {
-            Mode::Code => match c {
-                '/' if next == Some('/') => {
-                    mode = Mode::LineComment;
-                    i += 2;
-                    continue;
-                }
-                '/' if next == Some('*') => {
-                    mode = Mode::BlockComment(1);
-                    i += 2;
-                    continue;
-                }
-                '"' => {
-                    // Raw string? Look back for r/br with hashes.
-                    cur.code.push('"');
-                    mode = Mode::Str;
-                }
-                'r' | 'b' => {
-                    // Possible raw string start: r", r#", br", b"...
-                    let mut j = i;
-                    if chars[j] == 'b' && chars.get(j + 1) == Some(&'r') {
-                        j += 1;
-                    }
-                    if chars[j] == 'r' {
-                        let mut hashes = 0u32;
-                        let mut k = j + 1;
-                        while chars.get(k) == Some(&'#') {
-                            hashes += 1;
-                            k += 1;
-                        }
-                        if chars.get(k) == Some(&'"') {
-                            for _ in i..=k {
-                                cur.code.push('_');
-                            }
-                            mode = Mode::RawStr(hashes);
-                            i = k + 1;
-                            continue;
-                        }
-                    }
-                    if c == 'b' && next == Some('"') {
-                        cur.code.push_str("__");
-                        mode = Mode::Str;
-                        i += 2;
-                        continue;
-                    }
-                    cur.code.push(c);
-                }
-                '\'' => {
-                    // Char literal vs lifetime: a lifetime is '\'' followed
-                    // by an identifier NOT closed by another quote nearby.
-                    let is_char = match next {
-                        Some('\\') => true,
-                        Some(_) => {
-                            // 'x' (closing quote right after one char) or
-                            // unicode chars; lifetimes like 'a, 'static
-                            // have no closing quote after the identifier.
-                            let mut k = i + 1;
-                            while k < chars.len() && (chars[k].is_alphanumeric() || chars[k] == '_')
-                            {
-                                k += 1;
-                            }
-                            chars.get(k) == Some(&'\'') && k > i + 1 || {
-                                // single non-identifier char like ' '
-                                chars.get(i + 2) == Some(&'\'')
-                            }
-                        }
-                        None => false,
-                    };
-                    cur.code.push('\'');
-                    if is_char {
-                        mode = Mode::Char;
-                    }
-                }
+    let mut regions: Vec<i64> = Vec::new(); // depths at which a region opened
+    let mut pending = false;
+    for line in lines.iter_mut() {
+        let mut in_region = !regions.is_empty();
+        let mut acc = String::new();
+        for c in line.code.chars() {
+            match c {
                 '{' => {
-                    if pending_test_attr {
-                        test_regions.push(depth);
-                        pending_test_attr = false;
+                    if pending {
+                        regions.push(depth);
+                        pending = false;
                     }
                     depth += 1;
-                    cur.code.push('{');
                 }
                 '}' => {
                     depth -= 1;
-                    if test_regions.last() == Some(&depth) {
-                        test_regions.pop();
+                    if regions.last() == Some(&depth) {
+                        regions.pop();
                     }
-                    cur.code.push('}');
                 }
-                ';' => {
-                    // An attribute pending on a `use`/item ended without a
-                    // body at item depth: cancel (e.g. #[cfg(test)] use ...).
-                    if pending_test_attr && cur.code.trim_start().starts_with("use ") {
-                        pending_test_attr = false;
-                    }
-                    cur.code.push(';');
+                ';' if pending && acc.trim_start().starts_with("use ") => {
+                    pending = false;
                 }
-                '\n' => {
-                    cur.in_test = cur.in_test || !test_regions.is_empty();
-                    lines.push(std::mem::take(&mut cur));
-                }
-                _ => cur.code.push(c),
-            },
-            Mode::LineComment => {
-                if c == '\n' {
-                    mode = Mode::Code;
-                    cur.in_test = cur.in_test || !test_regions.is_empty();
-                    lines.push(std::mem::take(&mut cur));
-                } else {
-                    cur.comment.push(c);
-                }
+                _ => {}
             }
-            Mode::BlockComment(n) => {
-                if c == '*' && next == Some('/') {
-                    mode = if n == 1 {
-                        Mode::Code
-                    } else {
-                        Mode::BlockComment(n - 1)
-                    };
-                    i += 2;
-                    continue;
-                }
-                if c == '/' && next == Some('*') {
-                    mode = Mode::BlockComment(n + 1);
-                    i += 2;
-                    continue;
-                }
-                if c == '\n' {
-                    cur.in_test = cur.in_test || !test_regions.is_empty();
-                    lines.push(std::mem::take(&mut cur));
-                } else {
-                    cur.comment.push(c);
-                }
+            acc.push(c);
+            if !pending && (acc.ends_with("#[cfg(test)]") || acc.ends_with("#[cfg(all(test")) {
+                pending = true;
             }
-            Mode::Str => match c {
-                '\\' => {
-                    cur.code.push('_');
-                    if next.is_some() {
-                        cur.code.push('_');
-                        i += 2;
-                        continue;
-                    }
-                }
-                '"' => {
-                    cur.code.push('"');
-                    mode = Mode::Code;
-                }
-                '\n' => {
-                    cur.in_test = cur.in_test || !test_regions.is_empty();
-                    lines.push(std::mem::take(&mut cur));
-                }
-                _ => cur.code.push('_'),
-            },
-            Mode::RawStr(hashes) => {
-                if c == '"' {
-                    let mut k = i + 1;
-                    let mut seen = 0u32;
-                    while seen < hashes && chars.get(k) == Some(&'#') {
-                        seen += 1;
-                        k += 1;
-                    }
-                    if seen == hashes {
-                        for _ in 0..(1 + hashes) {
-                            cur.code.push('_');
-                        }
-                        mode = Mode::Code;
-                        i = k;
-                        continue;
-                    }
-                }
-                if c == '\n' {
-                    cur.in_test = cur.in_test || !test_regions.is_empty();
-                    lines.push(std::mem::take(&mut cur));
-                } else {
-                    cur.code.push('_');
-                }
+            if !regions.is_empty() {
+                in_region = true;
             }
-            Mode::Char => match c {
-                '\\' => {
-                    cur.code.push('_');
-                    if next.is_some() {
-                        cur.code.push('_');
-                        i += 2;
-                        continue;
-                    }
-                }
-                '\'' => {
-                    cur.code.push('\'');
-                    mode = Mode::Code;
-                }
-                _ => {
-                    cur.code.push('_');
-                    // Defensive: an unterminated char (really a lifetime we
-                    // misjudged) ends at non-identifier chars.
-                    if !c.is_alphanumeric() && c != '_' {
-                        mode = Mode::Code;
-                    }
-                }
-            },
         }
-        // Detect `#[cfg(test)]` / `#[cfg(all(test, ...))]` once the line's
-        // code has accumulated it (checked on the fly for exactness).
-        if mode == Mode::Code
-            && !pending_test_attr
-            && (cur.code.ends_with("#[cfg(test)]")
-                || cur.code.contains("#[cfg(test)]")
-                || cur.code.contains("#[cfg(all(test"))
-        {
-            pending_test_attr = true;
-        }
-        // Sticky per-line flag: a line is test code if *any* of it sat
-        // inside an open test region (checked per character, because the
-        // region may close before the line's newline is reached).
-        if !test_regions.is_empty() {
-            cur.in_test = true;
-        }
-        i += 1;
+        line.in_test = line.in_test || in_region;
     }
-    if !cur.code.is_empty() || !cur.comment.is_empty() {
-        cur.in_test = cur.in_test || !test_regions.is_empty();
-        lines.push(cur);
-    }
-    lines
 }
 
 /// True when line `idx` — or the comment block directly above the statement
@@ -487,10 +410,11 @@ const STORE_TOKENS: &[&str] = &[
 /// Runs every rule over one file. `rel_path` must use forward slashes.
 fn check_file(rel_path: &Path, source: &str, out: &mut Vec<Violation>) {
     let path_str = rel_path.to_string_lossy().replace('\\', "/");
-    let lines = prepare(source);
+    let (lines, toks) = prepare(source);
     let file = PreparedFile {
         rel_path: rel_path.to_path_buf(),
         lines,
+        toks,
     };
 
     rule_no_panic(&file, &path_str, out);
@@ -499,6 +423,9 @@ fn check_file(rel_path: &Path, source: &str, out: &mut Vec<Violation>) {
     rule_wal_order(&file, out);
     rule_guard_scope(&file, out);
     rule_wall_clock(&file, out);
+    rule_lock_order(&file, &path_str, out);
+    rule_guard_send(&file, &path_str, out);
+    rule_counter_pair(&file, &path_str, out);
 }
 
 fn rule_no_panic(file: &PreparedFile, path_str: &str, out: &mut Vec<Violation>) {
@@ -836,6 +763,544 @@ fn rule_wall_clock(file: &PreparedFile, out: &mut Vec<Violation>) {
     }
 }
 
+// ---------------------------------------------------------------------------
+// Token-stream helpers for the structural rules.
+
+/// True when the tokens at `i` match `pat` exactly (by text).
+fn seq_at(toks: &[Tok], i: usize, pat: &[&str]) -> bool {
+    i + pat.len() <= toks.len() && pat.iter().enumerate().all(|(k, p)| toks[i + k].text == *p)
+}
+
+/// Function bodies as `(fn_kw, open_brace, close_brace)` token indices.
+/// The body `{` is the first one at paren/bracket depth 0 after the `fn`
+/// keyword; a `;` first means a bodyless trait method. Nested `fn` items
+/// are folded into their enclosing body (their statements still get
+/// walked, just not as a separate body).
+fn fn_bodies(toks: &[Tok]) -> Vec<(usize, usize, usize)> {
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i < toks.len() {
+        if !(toks[i].kind == TokenKind::Ident && toks[i].text == "fn") {
+            i += 1;
+            continue;
+        }
+        let mut j = i + 1;
+        let mut paren: i64 = 0;
+        let mut open = None;
+        while j < toks.len() {
+            match toks[j].text.as_str() {
+                "(" | "[" => paren += 1,
+                ")" | "]" => paren -= 1,
+                "{" if paren == 0 => {
+                    open = Some(j);
+                    break;
+                }
+                ";" if paren == 0 => break,
+                _ => {}
+            }
+            j += 1;
+        }
+        let Some(open) = open else {
+            i = j + 1;
+            continue;
+        };
+        let mut depth: i64 = 0;
+        let mut k = open;
+        let mut close = toks.len().saturating_sub(1);
+        while k < toks.len() {
+            match toks[k].text.as_str() {
+                "{" => depth += 1,
+                "}" => {
+                    depth -= 1;
+                    if depth == 0 {
+                        close = k;
+                        break;
+                    }
+                }
+                _ => {}
+            }
+            k += 1;
+        }
+        out.push((i, open, close));
+        i = close + 1;
+    }
+    out
+}
+
+/// Splits a token range into statement-ish slices on `;`/`{`/`}`. Nested
+/// blocks' statements come out as separate slices in source order, which
+/// is exactly what the source-order heuristics want.
+fn statements(toks: &[Tok], start: usize, end: usize) -> Vec<(usize, usize)> {
+    let mut out = Vec::new();
+    let mut s = start;
+    for (k, tok) in toks.iter().enumerate().take(end).skip(start) {
+        if matches!(tok.text.as_str(), ";" | "{" | "}") {
+            if k > s {
+                out.push((s, k));
+            }
+            s = k + 1;
+        }
+    }
+    if end > s {
+        out.push((s, end));
+    }
+    out
+}
+
+/// Lowercased identifier texts of the receiver chain ending just before
+/// token `dot` (`self.inner.shards[i].lock` → `[self, inner, shards, i]`).
+/// Walks back over idents, numbers, `.` and `[]`/`()` so field chains and
+/// index/call results are both covered; anything else ends the chain.
+fn receiver_idents(toks: &[Tok], dot: usize, stmt_start: usize) -> Vec<String> {
+    let mut idents = Vec::new();
+    let mut k = dot;
+    while k > stmt_start {
+        k -= 1;
+        let t = &toks[k];
+        match t.kind {
+            TokenKind::Ident => idents.push(t.text.to_ascii_lowercase()),
+            TokenKind::NumLit => {}
+            _ => match t.text.as_str() {
+                "." | "[" | "]" | "(" | ")" | "&" | "*" | "?" => {}
+                _ => break,
+            },
+        }
+    }
+    idents
+}
+
+/// Does the statement mention an identifier containing `needle`?
+fn stmt_names(toks: &[Tok], s: usize, e: usize, needle: &str) -> bool {
+    toks[s..e]
+        .iter()
+        .any(|t| t.kind == TokenKind::Ident && t.text.to_ascii_lowercase().contains(needle))
+}
+
+/// Which class of lock an acquisition belongs to in the pool's total order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum LockClass {
+    Shard,
+    Store,
+    Wal,
+    Flight,
+}
+
+fn class_name(c: LockClass) -> &'static str {
+    match c {
+        LockClass::Shard => "shard-lock",
+        LockClass::Store => "store-lock",
+        LockClass::Wal => "WAL-lock",
+        LockClass::Flight => "flight-latch",
+    }
+}
+
+/// Lock acquisitions in one statement, in source order, plus the token
+/// index of a `.rev()` over a shard iteration if present.
+fn stmt_acquisitions(toks: &[Tok], s: usize, e: usize) -> (Vec<(LockClass, usize)>, Option<usize>) {
+    let mut acqs = Vec::new();
+    let mut rev = None;
+    let mut k = s;
+    while k + 2 < e {
+        if toks[k].text != "." || toks[k + 2].text != "(" {
+            k += 1;
+            continue;
+        }
+        let recv = receiver_idents(toks, k, s);
+        let has = |needle: &str| recv.iter().any(|r| r.contains(needle));
+        match toks[k + 1].text.as_str() {
+            "lock" => {
+                if has("shard") {
+                    acqs.push((LockClass::Shard, k + 1));
+                } else if has("wal") {
+                    acqs.push((LockClass::Wal, k + 1));
+                } else if has("flight") || has("latch") {
+                    acqs.push((LockClass::Flight, k + 1));
+                } else if stmt_names(toks, s, e, "shard") {
+                    // `.map(|s| s.lock())` over the shard table: the
+                    // receiver is a closure variable, but the statement
+                    // names the shards.
+                    acqs.push((LockClass::Shard, k + 1));
+                }
+            }
+            "read" | "write" => {
+                // Lock acquisitions take no arguments; store *I/O* writes
+                // (`store.write(buf)`) do, and stay wal-order's business.
+                let empty = toks.get(k + 3).is_some_and(|t| t.text == ")");
+                if empty && has("store") {
+                    acqs.push((LockClass::Store, k + 1));
+                }
+            }
+            "run" if has("scheduler") || has("flight") => {
+                acqs.push((LockClass::Flight, k + 1));
+            }
+            "rev" if has("shard") => {
+                rev = Some(k + 1);
+            }
+            _ => {}
+        }
+        k += 1;
+    }
+    (acqs, rev)
+}
+
+/// lock-order: see [`RULES`]. Walks each non-test function body in the
+/// hardened crates statement by statement, tracking the first store/WAL/
+/// flight acquisition; a shard acquisition after one is an inversion, and
+/// a `.rev()` over a shard iteration breaks the ascending all-shard order.
+fn rule_lock_order(file: &PreparedFile, path_str: &str, out: &mut Vec<Violation>) {
+    if !in_hardened_crates(path_str) {
+        return;
+    }
+    let toks = &file.toks;
+    let lines = &file.lines;
+    for (fk, open, close) in fn_bodies(toks) {
+        if lines.get(toks[fk].line).is_some_and(|l| l.in_test) {
+            continue;
+        }
+        let mut blocker: Option<(LockClass, usize)> = None; // (class, line idx)
+        for (s, e) in statements(toks, open + 1, close) {
+            if lines.get(toks[s].line).is_some_and(|l| l.in_test) {
+                continue;
+            }
+            let (acqs, rev) = stmt_acquisitions(toks, s, e);
+            if let Some(rt) = rev {
+                let li = toks[rt].line;
+                if !justified(lines, li, "lock-order-ok:") {
+                    out.push(Violation {
+                        file: file.rel_path.clone(),
+                        line: li + 1,
+                        rule: "lock-order",
+                        message: "`.rev()` over a shard iteration inverts the ascending \
+                                  all-shard lock order; iterate shards in ascending index \
+                                  order (or justify with `// lock-order-ok:`)"
+                            .to_string(),
+                        allowed: false,
+                    });
+                }
+            }
+            for &(class, at) in &acqs {
+                let li = toks[at].line;
+                match class {
+                    LockClass::Shard => {
+                        if let Some((bc, bl)) = blocker {
+                            if !justified(lines, li, "lock-order-ok:") {
+                                out.push(Violation {
+                                    file: file.rel_path.clone(),
+                                    line: li + 1,
+                                    rule: "lock-order",
+                                    message: format!(
+                                        "shard lock acquired after the {} acquisition at line \
+                                         {}; the lock order is shard above store/WAL/flight \
+                                         (justify released two-phase acquisitions with \
+                                         `// lock-order-ok:`)",
+                                        class_name(bc),
+                                        bl + 1
+                                    ),
+                                    allowed: false,
+                                });
+                            }
+                        }
+                    }
+                    other => {
+                        if blocker.is_none() {
+                            blocker = Some((other, li));
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Guard types that pin frames; see the guard-send rule.
+const GUARD_TYPES: &[&str] = &["PinToken", "PageReadGuard", "PageWriteGuard"];
+
+/// guard-send: see [`RULES`]. Two checks — guard types in struct/enum
+/// fields (outside the guard definitions themselves), and guard bindings
+/// or guard types inside a `thread::spawn(...)` call's argument.
+fn rule_guard_send(file: &PreparedFile, path_str: &str, out: &mut Vec<Violation>) {
+    let toks = &file.toks;
+    let lines = &file.lines;
+
+    if path_str != "crates/core/src/guard.rs" {
+        let mut i = 0;
+        while i < toks.len() {
+            let kw = &toks[i];
+            if !(kw.kind == TokenKind::Ident && (kw.text == "struct" || kw.text == "enum"))
+                || lines.get(kw.line).is_some_and(|l| l.in_test)
+            {
+                i += 1;
+                continue;
+            }
+            // Body starts at `{` or `(` outside the generics (`->` in
+            // Fn-trait bounds guards its `>`); `;` means a unit struct.
+            let mut j = i + 1;
+            let mut angle: i64 = 0;
+            let mut body = None;
+            while j < toks.len() {
+                match toks[j].text.as_str() {
+                    "<" => angle += 1,
+                    ">" if j > 0 && toks[j - 1].text != "-" => angle -= 1,
+                    "{" | "(" if angle <= 0 => {
+                        body = Some(j);
+                        break;
+                    }
+                    ";" if angle <= 0 => break,
+                    _ => {}
+                }
+                j += 1;
+            }
+            let Some(open) = body else {
+                i = j + 1;
+                continue;
+            };
+            let (oc, cc) = if toks[open].text == "{" {
+                ("{", "}")
+            } else {
+                ("(", ")")
+            };
+            let mut depth: i64 = 0;
+            let mut k = open;
+            while k < toks.len() {
+                if toks[k].text == oc {
+                    depth += 1;
+                } else if toks[k].text == cc {
+                    depth -= 1;
+                    if depth == 0 {
+                        break;
+                    }
+                } else if toks[k].kind == TokenKind::Ident
+                    && GUARD_TYPES.contains(&toks[k].text.as_str())
+                {
+                    let li = toks[k].line;
+                    if !lines.get(li).is_some_and(|l| l.in_test)
+                        && !justified(lines, li, "guard-send-ok:")
+                    {
+                        out.push(Violation {
+                            file: file.rel_path.clone(),
+                            line: li + 1,
+                            rule: "guard-send",
+                            message: format!(
+                                "guard type `{}` stored in a struct/enum field escapes its \
+                                 pin scope; hold guards on the stack (or justify with \
+                                 `// guard-send-ok:`)",
+                                toks[k].text
+                            ),
+                            allowed: false,
+                        });
+                    }
+                }
+                k += 1;
+            }
+            i = k + 1;
+        }
+    }
+
+    for (fk, open, close) in fn_bodies(toks) {
+        if lines.get(toks[fk].line).is_some_and(|l| l.in_test) {
+            continue;
+        }
+        // Guard bindings: a `let` whose name says guard, or whose
+        // initializer calls `.fetch(`/`.fetch_mut(` at the statement's own
+        // bracket depth (a fetch inside a nested closure is that closure's
+        // binding, not this statement's).
+        let mut bindings: Vec<(String, usize)> = Vec::new();
+        let mut k = open + 1;
+        while k < close {
+            if !(toks[k].kind == TokenKind::Ident && toks[k].text == "let") {
+                k += 1;
+                continue;
+            }
+            let mut depth: i64 = 0;
+            let mut e = k + 1;
+            while e < close {
+                match toks[e].text.as_str() {
+                    "(" | "[" | "{" => depth += 1,
+                    ")" | "]" | "}" => depth -= 1,
+                    ";" if depth <= 0 => break,
+                    _ => {}
+                }
+                e += 1;
+            }
+            let name = (k + 1..e)
+                .find(|&x| toks[x].kind == TokenKind::Ident && toks[x].text != "mut")
+                .map(|x| toks[x].text.clone());
+            let mut is_guard = name
+                .as_deref()
+                .is_some_and(|n| n.to_ascii_lowercase().contains("guard"));
+            let mut depth: i64 = 0;
+            for x in k + 1..e {
+                match toks[x].text.as_str() {
+                    "(" | "[" | "{" => depth += 1,
+                    ")" | "]" | "}" => depth -= 1,
+                    "." if depth == 0
+                        && x + 2 < e
+                        && matches!(toks[x + 1].text.as_str(), "fetch" | "fetch_mut")
+                        && toks[x + 2].text == "(" =>
+                    {
+                        is_guard = true;
+                    }
+                    _ => {}
+                }
+            }
+            if is_guard {
+                if let Some(n) = name {
+                    bindings.push((n, k));
+                }
+            }
+            k = e;
+        }
+        // Spawn sites whose argument mentions a guard binding or type.
+        let mut k = open + 1;
+        while k < close {
+            let is_spawn = toks[k].kind == TokenKind::Ident
+                && toks[k].text == "spawn"
+                && toks.get(k + 1).is_some_and(|t| t.text == "(")
+                && (k.saturating_sub(3)..k).any(|x| toks[x].text == "thread");
+            if !is_spawn {
+                k += 1;
+                continue;
+            }
+            let mut depth: i64 = 0;
+            let mut e = k + 1;
+            while e < close {
+                match toks[e].text.as_str() {
+                    "(" => depth += 1,
+                    ")" => {
+                        depth -= 1;
+                        if depth == 0 {
+                            break;
+                        }
+                    }
+                    _ => {}
+                }
+                e += 1;
+            }
+            let captured = (k + 2..e).find(|&x| {
+                toks[x].kind == TokenKind::Ident
+                    && (GUARD_TYPES.contains(&toks[x].text.as_str())
+                        || bindings.iter().any(|(n, at)| *at < k && *n == toks[x].text))
+            });
+            if let Some(x) = captured {
+                let li = toks[k].line;
+                if !lines.get(li).is_some_and(|l| l.in_test)
+                    && !justified(lines, li, "guard-send-ok:")
+                {
+                    out.push(Violation {
+                        file: file.rel_path.clone(),
+                        line: li + 1,
+                        rule: "guard-send",
+                        message: format!(
+                            "`thread::spawn` closure captures guard `{}`; a frame pin must \
+                             not cross to an unbounded thread (justify with \
+                             `// guard-send-ok:`)",
+                            toks[x].text
+                        ),
+                        allowed: false,
+                    });
+                }
+            }
+            k = e + 1;
+        }
+    }
+}
+
+/// A pair of stats counters that must move together, and the one file
+/// whose lock scope makes the pair atomic.
+struct CounterPair {
+    a: &'static str,
+    b: &'static str,
+    home: &'static str,
+}
+
+/// The manifest of paired counters the counter-pair rule enforces.
+const COUNTER_PAIRS: &[CounterPair] = &[
+    CounterPair {
+        a: "evictions",
+        b: "failed_evictions",
+        home: "crates/core/src/manager.rs",
+    },
+    CounterPair {
+        a: "led",
+        b: "joined",
+        home: "crates/storage/src/scheduler.rs",
+    },
+];
+
+/// counter-pair: see [`RULES`]. An increment site is an exact identifier
+/// match followed by `+=` or `.fetch_add(`; outside the pair's home file
+/// it is flagged outright, inside it the sibling must be incremented in
+/// the same function body.
+fn rule_counter_pair(file: &PreparedFile, path_str: &str, out: &mut Vec<Violation>) {
+    let toks = &file.toks;
+    let lines = &file.lines;
+    let mut sites: Vec<(usize, &'static str, usize)> = Vec::new();
+    for (k, t) in toks.iter().enumerate() {
+        if t.kind != TokenKind::Ident {
+            continue;
+        }
+        let Some((pi, member)) = COUNTER_PAIRS.iter().enumerate().find_map(|(pi, p)| {
+            if t.text == p.a {
+                Some((pi, p.a))
+            } else if t.text == p.b {
+                Some((pi, p.b))
+            } else {
+                None
+            }
+        }) else {
+            continue;
+        };
+        let inc = seq_at(toks, k + 1, &["+", "="]) || seq_at(toks, k + 1, &[".", "fetch_add", "("]);
+        if inc && !lines.get(t.line).is_some_and(|l| l.in_test) {
+            sites.push((pi, member, k));
+        }
+    }
+    if sites.is_empty() {
+        return;
+    }
+    let bodies = fn_bodies(toks);
+    let body_of = |k: usize| bodies.iter().position(|&(_, o, c)| o < k && k < c);
+    for &(pi, member, k) in &sites {
+        let pair = &COUNTER_PAIRS[pi];
+        let li = toks[k].line;
+        if justified(lines, li, "counter-ok:") {
+            continue;
+        }
+        let sibling = if member == pair.a { pair.b } else { pair.a };
+        if path_str != pair.home {
+            out.push(Violation {
+                file: file.rel_path.clone(),
+                line: li + 1,
+                rule: "counter-pair",
+                message: format!(
+                    "`{member}` incremented outside its home file {}; the {}/{} pair is \
+                     only atomic under the home lock scope (justify with `// counter-ok:`)",
+                    pair.home, pair.a, pair.b
+                ),
+                allowed: false,
+            });
+            continue;
+        }
+        let body = body_of(k);
+        let sibling_here = sites
+            .iter()
+            .any(|&(pi2, m2, k2)| pi2 == pi && m2 == sibling && body_of(k2) == body);
+        if !sibling_here {
+            out.push(Violation {
+                file: file.rel_path.clone(),
+                line: li + 1,
+                rule: "counter-pair",
+                message: format!(
+                    "`{member}` incremented without its paired `{sibling}` in the same \
+                     function body; probes assert the pair moves together (justify with \
+                     `// counter-ok:`)"
+                ),
+                allowed: false,
+            });
+        }
+    }
+}
+
 /// One allowlist entry: `rule path-prefix reason...`.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct AllowEntry {
@@ -934,9 +1399,17 @@ pub fn collect_files(root: &Path) -> std::io::Result<Vec<PathBuf>> {
     Ok(out)
 }
 
-/// Lints the workspace at `root`. Returns all violations (allowed ones
-/// marked), or an IO/parse error message.
-pub fn check_workspace(root: &Path) -> Result<Vec<Violation>, String> {
+/// Everything one `check` run produced: the violations (allowed ones
+/// marked) and the parsed allowlist, so the driver can compute staleness.
+pub struct CheckOutcome {
+    /// All findings, in file order.
+    pub violations: Vec<Violation>,
+    /// The parsed allowlist entries (empty when no allowlist file exists).
+    pub allowlist: Vec<AllowEntry>,
+}
+
+/// Lints the workspace at `root`, returning violations and the allowlist.
+pub fn check_workspace_full(root: &Path) -> Result<CheckOutcome, String> {
     let allow_path = root.join("crates/analyze/allowlist.txt");
     let allow = if allow_path.is_file() {
         let text = std::fs::read_to_string(&allow_path)
@@ -953,7 +1426,118 @@ pub fn check_workspace(root: &Path) -> Result<Vec<Violation>, String> {
         check_file(&rel, &source, &mut violations);
     }
     apply_allowlist(&mut violations, &allow);
-    Ok(violations)
+    Ok(CheckOutcome {
+        violations,
+        allowlist: allow,
+    })
+}
+
+/// Lints the workspace at `root`. Returns all violations (allowed ones
+/// marked), or an IO/parse error message.
+pub fn check_workspace(root: &Path) -> Result<Vec<Violation>, String> {
+    check_workspace_full(root).map(|o| o.violations)
+}
+
+/// Allowlist entries whose rule/path-prefix no longer matches any
+/// violation — entries that would silence nothing and should be pruned
+/// before they hide a future regression at the same path.
+pub fn stale_entries(allow: &[AllowEntry], violations: &[Violation]) -> Vec<AllowEntry> {
+    allow
+        .iter()
+        .filter(|a| {
+            !violations.iter().any(|v| {
+                v.rule == a.rule
+                    && v.file
+                        .to_string_lossy()
+                        .replace('\\', "/")
+                        .starts_with(&a.path_prefix)
+            })
+        })
+        .cloned()
+        .collect()
+}
+
+/// Rewrites allowlist text with the `stale` entries removed, preserving
+/// comments, blank lines and the order of surviving entries byte-for-byte.
+pub fn prune_allowlist_text(text: &str, stale: &[AllowEntry]) -> String {
+    let mut out = String::new();
+    for raw in text.lines() {
+        let line = raw.trim();
+        let keep = if line.is_empty() || line.starts_with('#') {
+            true
+        } else {
+            let mut parts = line.splitn(3, char::is_whitespace);
+            match (parts.next(), parts.next()) {
+                (Some(rule_id), Some(path)) => !stale
+                    .iter()
+                    .any(|s| s.rule == rule_id && s.path_prefix == path),
+                _ => true,
+            }
+        };
+        if keep {
+            out.push_str(raw);
+            out.push('\n');
+        }
+    }
+    out
+}
+
+/// Escapes `s` for embedding in a JSON string literal.
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Renders the machine-readable `check --json` report: every violation
+/// (with its allowlisted flag), the stale allowlist entries, and summary
+/// counts. Hand-rolled — the report shape is small and stable, and the
+/// lint pass stays dependency-free.
+pub fn render_json(violations: &[Violation], stale: &[AllowEntry]) -> String {
+    let mut out = String::from("{\n  \"violations\": [\n");
+    for (i, v) in violations.iter().enumerate() {
+        let path = v.file.to_string_lossy().replace('\\', "/");
+        out.push_str(&format!(
+            "    {{\"file\": \"{}\", \"line\": {}, \"rule\": \"{}\", \"allowed\": {}, \
+             \"message\": \"{}\"}}{}\n",
+            json_escape(&path),
+            v.line,
+            v.rule,
+            v.allowed,
+            json_escape(&v.message),
+            if i + 1 < violations.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("  ],\n  \"stale_allowlist\": [\n");
+    for (i, s) in stale.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"rule\": \"{}\", \"path_prefix\": \"{}\", \"reason\": \"{}\"}}{}\n",
+            json_escape(&s.rule),
+            json_escape(&s.path_prefix),
+            json_escape(&s.reason),
+            if i + 1 < stale.len() { "," } else { "" }
+        ));
+    }
+    let fatal = violations.iter().filter(|v| !v.allowed).count();
+    let allowed = violations.len() - fatal;
+    out.push_str(&format!(
+        "  ],\n  \"total\": {}, \"allowed\": {}, \"fatal\": {}, \"stale\": {}\n}}\n",
+        violations.len(),
+        allowed,
+        fatal,
+        stale.len()
+    ));
+    out
 }
 
 #[cfg(test)]
@@ -1120,5 +1704,282 @@ mod tests {
         let v = lint("crates/core/src/a.rs", src);
         assert_eq!(v.len(), 1, "only the post-module unwrap is flagged");
         assert_eq!(v[0].line, 3);
+    }
+
+    // --- lexer blind-spot regressions (the old char scanner got these
+    // wrong for every rule; the token lexer pins them) ---
+
+    #[test]
+    fn multi_line_raw_strings_keep_line_numbers_honest() {
+        let src = "fn f() {\n let s = r##\"line\ntwo \"# still\nraw\"##;\n x.unwrap();\n}\n";
+        let v = lint("crates/core/src/a.rs", src);
+        assert_eq!(v.len(), 1, "only the unwrap after the raw string fires");
+        assert_eq!(v[0].line, 5, "line attribution must survive the literal");
+    }
+
+    #[test]
+    fn nested_block_comment_tail_is_still_code() {
+        let hidden = "fn f() { /* x.unwrap() /* panic! */ todo! */ }\n";
+        assert!(lint("crates/core/src/a.rs", hidden).is_empty());
+        let after = "fn f() { /* /* inner */ still comment */ x.unwrap(); }\n";
+        assert_eq!(
+            lint("crates/core/src/a.rs", after).len(),
+            1,
+            "code after a nested comment closes is code again"
+        );
+    }
+
+    #[test]
+    fn lifetime_heavy_code_is_not_swallowed_as_char_literals() {
+        let src = "impl<'a, 'b: 'a> F<'a> for G<'b> {\n fn f(&'a self) { s.unwrap(); }\n}\n";
+        let v = lint("crates/core/src/a.rs", src);
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].line, 2);
+    }
+
+    #[test]
+    fn cfg_test_inside_literals_opens_no_region() {
+        let plain = "fn f() { let s = \"#[cfg(test)]\"; }\nfn g() { y.unwrap(); }\n";
+        assert_eq!(lint("crates/core/src/a.rs", plain).len(), 1);
+        let raw = "fn f() { let s = r#\"#[cfg(test)]\"#; }\nfn g() { y.unwrap(); }\n";
+        assert_eq!(lint("crates/core/src/a.rs", raw).len(), 1);
+    }
+
+    // --- lock-order ---
+
+    #[test]
+    fn lock_order_flags_shard_after_store() {
+        let bad =
+            "fn f(&self) {\n let st = self.store.read();\n let sh = self.shards[0].lock();\n}\n";
+        let v = lint("crates/core/src/a.rs", bad);
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].rule, "lock-order");
+        assert_eq!(v[0].line, 3);
+        let good =
+            "fn f(&self) {\n let sh = self.shards[0].lock();\n let st = self.store.read();\n}\n";
+        assert!(lint("crates/core/src/a.rs", good).is_empty());
+        assert!(
+            lint("crates/exp/src/a.rs", bad).is_empty(),
+            "only the hardened crates carry the lock order"
+        );
+    }
+
+    #[test]
+    fn lock_order_flags_shard_after_wal_and_flight() {
+        let wal = "fn f(&self) {\n let w = self.wal.lock();\n let sh = self.shards[0].lock();\n}\n";
+        let v = lint("crates/core/src/a.rs", wal);
+        assert_eq!(v.len(), 1);
+        assert!(v[0].message.contains("WAL-lock"));
+        let flight =
+            "fn f(&self) {\n let r = self.scheduler.run(id, f);\n let sh = self.shards[0].lock();\n}\n";
+        let v = lint("crates/storage/src/a.rs", flight);
+        assert_eq!(v.len(), 1);
+        assert!(v[0].message.contains("flight-latch"));
+    }
+
+    #[test]
+    fn lock_order_flags_reversed_shard_iteration() {
+        let bad = "fn f(&self) {\n let g: Vec<_> = self.shards.iter().rev().map(|s| s.lock()).collect();\n}\n";
+        let v = lint("crates/core/src/a.rs", bad);
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].rule, "lock-order");
+        assert!(v[0].message.contains("ascending"));
+        let asc =
+            "fn f(&self) {\n let g: Vec<_> = self.shards.iter().map(|s| s.lock()).collect();\n}\n";
+        assert!(lint("crates/core/src/a.rs", asc).is_empty());
+    }
+
+    #[test]
+    fn lock_order_accepts_justified_two_phase_and_test_code() {
+        let ok = "fn f(&self) {\n let id = self.store.write().alloc();\n \
+                  // lock-order-ok: store lock is a released temporary\n \
+                  let sh = self.shards[0].lock();\n}\n";
+        assert!(lint("crates/core/src/a.rs", ok).is_empty());
+        let test_mod = "#[cfg(test)]\nmod t {\n fn f(&self) { let s = self.store.read(); \
+                        let sh = self.shards[0].lock(); }\n}\n";
+        assert!(lint("crates/core/src/a.rs", test_mod).is_empty());
+    }
+
+    // --- guard-send ---
+
+    #[test]
+    fn guard_send_flags_guard_fields_outside_guard_rs() {
+        let bad = "struct Held {\n token: PinToken,\n}\n";
+        let v = lint("crates/rtree/src/a.rs", bad);
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].rule, "guard-send");
+        assert!(
+            lint("crates/core/src/guard.rs", bad).is_empty(),
+            "the guard definitions themselves are exempt"
+        );
+        let ok = "struct Held {\n // guard-send-ok: bounded by the session; dropped in close()\n \
+                  guard: PageReadGuard,\n}\n";
+        assert!(lint("crates/rtree/src/a.rs", ok).is_empty());
+    }
+
+    #[test]
+    fn guard_send_flags_guards_crossing_spawn() {
+        let bad = "fn f(p: &P) {\n let g = p.fetch(id, ctx)?;\n \
+                   let h = thread::spawn(move || use_it(g));\n}\n";
+        let v = lint("crates/exp/src/a.rs", bad);
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].rule, "guard-send");
+        assert_eq!(v[0].line, 3);
+        let fine = "fn f(p: &P) {\n let g = p.fetch(id, ctx)?;\n \
+                    let h = thread::spawn(move || other());\n drop(g);\n}\n";
+        assert!(lint("crates/exp/src/a.rs", fine).is_empty());
+        let inside =
+            "fn f(p: &P) {\n let h = thread::spawn(move || { let g = p.fetch(id, ctx); g.id() });\n}\n";
+        assert!(
+            lint("crates/exp/src/a.rs", inside).is_empty(),
+            "a guard born on the spawned thread stays there"
+        );
+    }
+
+    // --- counter-pair ---
+
+    #[test]
+    fn counter_pair_requires_sibling_in_same_body() {
+        let lone = "fn f(&mut self) {\n self.stats.evictions += 1;\n}\n";
+        let v = lint("crates/core/src/manager.rs", lone);
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].rule, "counter-pair");
+        let both = "fn f(&mut self) {\n if bad {\n self.stats.failed_evictions += 1;\n } \
+                    else {\n self.stats.evictions += 1;\n }\n}\n";
+        assert!(lint("crates/core/src/manager.rs", both).is_empty());
+        let ok = "fn f(&mut self) {\n // counter-ok: failure path counted by the caller\n \
+                  self.stats.evictions += 1;\n}\n";
+        assert!(lint("crates/core/src/manager.rs", ok).is_empty());
+    }
+
+    #[test]
+    fn counter_pair_flags_increments_outside_home() {
+        let src = "fn f(s: &Stats) {\n s.led.fetch_add(1, Ordering::SeqCst);\n}\n";
+        let v = lint("crates/core/src/elsewhere.rs", src);
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].rule, "counter-pair");
+        assert!(v[0].message.contains("home file"));
+        let home = "fn f(s: &Stats) {\n s.led.fetch_add(1, O::SeqCst);\n \
+                    s.joined.fetch_add(1, O::SeqCst);\n}\n";
+        assert!(lint("crates/storage/src/scheduler.rs", home).is_empty());
+    }
+
+    // --- allowlist pruning and the JSON report ---
+
+    #[test]
+    fn stale_entries_and_prune_preserve_live_entries_and_comments() {
+        let text = "# keep this comment\n\
+                    wall-clock crates/exp/src/bin/repro.rs reports real time\n\
+                    wall-clock crates/gone.rs file was deleted\n";
+        let allow = parse_allowlist(text).expect("parse");
+        let violations = vec![Violation {
+            file: PathBuf::from("crates/exp/src/bin/repro.rs"),
+            line: 1,
+            rule: "wall-clock",
+            message: String::new(),
+            allowed: true,
+        }];
+        let stale = stale_entries(&allow, &violations);
+        assert_eq!(stale.len(), 1);
+        assert_eq!(stale[0].path_prefix, "crates/gone.rs");
+        let pruned = prune_allowlist_text(text, &stale);
+        assert!(pruned.contains("# keep this comment"));
+        assert!(pruned.contains("repro.rs"));
+        assert!(!pruned.contains("gone.rs"));
+    }
+
+    #[test]
+    fn json_report_escapes_and_counts() {
+        let v = vec![Violation {
+            file: PathBuf::from("a.rs"),
+            line: 7,
+            rule: "no-panic",
+            message: "quote \" backslash \\ newline \n".to_string(),
+            allowed: false,
+        }];
+        let json = render_json(&v, &[]);
+        assert!(json.contains("\"line\": 7"));
+        assert!(json.contains("quote \\\" backslash \\\\ newline \\n"));
+        assert!(json.contains("\"fatal\": 1"));
+        assert!(json.contains("\"stale\": 0"));
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::lexer::lex;
+    use proptest::prelude::*;
+
+    /// Fragments chosen to collide: literal openers/closers, comment
+    /// delimiters, escapes and lifetimes — concatenating random picks
+    /// builds adversarial near-Rust sources.
+    const FRAGS: &[&str] = &[
+        "fn ",
+        "f",
+        "(",
+        ")",
+        "{",
+        "}",
+        ";",
+        " ",
+        "\n",
+        "let ",
+        "x",
+        "=",
+        "\"",
+        "\\\"",
+        "\\",
+        "'",
+        "'a",
+        "'a'",
+        "'\\n'",
+        "r\"",
+        "r#\"",
+        "\"#",
+        "#",
+        "//",
+        "/*",
+        "*/",
+        "*",
+        "/",
+        "b",
+        "r",
+        "br#\"",
+        "0x1f",
+        "1_000",
+        ".unwrap()",
+        "Ordering::Relaxed",
+        "日本",
+        "\t",
+    ];
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(256))]
+
+        #[test]
+        fn lexing_round_trips_byte_for_byte(
+            picks in prop::collection::vec(0usize..FRAGS.len(), 0..40),
+        ) {
+            let src: String = picks.iter().map(|&i| FRAGS[i]).collect();
+            let joined: String = lex(&src).iter().map(|t| t.text).collect();
+            prop_assert_eq!(joined, src);
+        }
+
+        #[test]
+        fn lexing_is_prefix_stable(
+            picks in prop::collection::vec(0usize..FRAGS.len(), 0..24),
+        ) {
+            let src: String = picks.iter().map(|&i| FRAGS[i]).collect();
+            let toks = lex(&src);
+            for k in 0..=toks.len() {
+                let prefix: String = toks[..k].iter().map(|t| t.text).collect();
+                let again = lex(&prefix);
+                prop_assert_eq!(again.len(), k, "prefix of {} tokens re-lexes to {}", k, again.len());
+                for (a, b) in again.iter().zip(&toks[..k]) {
+                    prop_assert_eq!(a.kind, b.kind);
+                    prop_assert_eq!(a.text, b.text);
+                }
+            }
+        }
     }
 }

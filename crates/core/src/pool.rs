@@ -18,6 +18,8 @@ use asb_storage::{AccessContext, IoStats, PageError, PageId, Result};
 #[derive(Debug)]
 pub struct FetchOutcome {
     /// The pinned read guard, exactly as [`BufferPool::fetch`] returns it.
+    // guard-send-ok: by-value return wrapper — the guard's pin lifetime is
+    // the caller's stack frame, exactly as if fetch() had returned it bare.
     pub guard: PageReadGuard,
     /// `true` when the first residency probe served the page; `false`
     /// when the backing store was read (including when the read was

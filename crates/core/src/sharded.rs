@@ -268,10 +268,14 @@ impl<S: ConcurrentPageStore> ShardedBuffer<S> {
                         // The flight we joined gave up; this request fails
                         // with it and counts its own give-up, as it would
                         // have sequentially.
+                        // lock-order-ok: the flight latch is released when
+                        // run() returns; nothing is held across this lock.
                         self.inner.shards[shard].lock().note_give_up();
                         return Err(e);
                     }
                 };
+                // lock-order-ok: the flight latch is released when run()
+                // returns; the Joined arm holds nothing over this lock.
                 let mut buf = self.inner.shards[shard].lock();
                 match buf.pin_resident(id, ctx) {
                     Some(guard) => Ok(guard),
@@ -454,6 +458,8 @@ impl<S: ConcurrentPageStore> ShardedBuffer<S> {
                     .filter_map(|&id| store.read_shared(id, AccessContext::default()).ok())
                     .collect()
             };
+            // lock-order-ok: the store read lock above lives in its own
+            // block and is released before the shard lock is taken.
             let mut buf = self.inner.shards[shard].lock();
             for page in pages {
                 if buf.admit_prefetched(page, &mut PoolIo(&self.inner.store))? {
@@ -615,6 +621,8 @@ impl<S: ConcurrentPageStore> ShardedBuffer<S> {
     pub fn allocate(&self, meta: PageMeta, payload: Bytes) -> Result<PageId> {
         let id = self.inner.store.write().allocate(meta, payload.clone())?;
         let page = Page::new(id, meta, payload)?;
+        // lock-order-ok: the store write lock is a temporary released at
+        // the end of the allocate statement; see the two-phase doc above.
         let mut shard = self.inner.shards[self.shard_of(id)].lock();
         shard.admit_allocated_via(page, &mut PoolIo(&self.inner.store))?;
         Ok(id)

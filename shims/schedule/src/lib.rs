@@ -37,13 +37,30 @@
 //!
 //! Deadlocks are detected (no runnable thread while some are still blocked)
 //! and reported as a panic carrying the schedule trace.
+//!
+//! # Lock-order checking
+//!
+//! Every run also records a *lock-acquisition graph*: a node per lock
+//! (kind + deterministic per-run registration index), an edge `a -> b`
+//! whenever a thread acquires `b` while holding `a`. [`explore`] unions
+//! the graph across all schedules it runs and panics if the union is
+//! cyclic — catching lock-order inversions whose two halves never ran
+//! close enough together to deadlock in any single explored schedule.
+//! The offending edges, each tagged with the iteration (and derived rng
+//! seed) that first produced it, are written to the artifact directory as
+//! `{name}-seed{seed}-lockcycle.txt`. The per-exploration union is
+//! returned on [`Report::lock_graph`]; [`lock_graph`] exposes the
+//! process-wide union. Locks only ever acquired by their creating thread
+//! contribute no edges — this keeps single-flight latches from
+//! fabricating `map -> latch` orderings that no pair of threads can ever
+//! contend on.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 use std::any::Any;
 use std::cell::RefCell;
-use std::collections::{HashMap, HashSet};
+use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet};
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicU64, Ordering as StdOrdering};
 use std::sync::{Arc, Condvar, Mutex as StdMutex, PoisonError};
@@ -74,6 +91,224 @@ static NEXT_LOCK_ID: AtomicU64 = AtomicU64::new(0);
 
 fn fresh_lock_id() -> u64 {
     NEXT_LOCK_ID.fetch_add(1, StdOrdering::Relaxed)
+}
+
+/// Kind of a model-tracked lock, distinguished in the acquisition graph so
+/// a cycle report names the primitive involved.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum LockKind {
+    /// A [`sync::Mutex`].
+    Mutex,
+    /// A [`sync::RwLock`] (reader and writer acquisitions share the node).
+    RwLock,
+}
+
+/// One lock in the acquisition graph: its kind plus its registration index
+/// within the run. The index counts lock *creations* on controlled threads
+/// (plus lazy registrations at first grant, for locks built outside the
+/// scenario), so it is a pure function of the scenario — unlike the
+/// process-global lock id, which shifts when tests run in parallel.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct LockNode {
+    /// Which primitive this node stands for.
+    pub kind: LockKind,
+    /// Deterministic per-run registration index.
+    pub index: u64,
+}
+
+impl std::fmt::Display for LockNode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self.kind {
+            LockKind::Mutex => write!(f, "M{}", self.index),
+            LockKind::RwLock => write!(f, "R{}", self.index),
+        }
+    }
+}
+
+/// Union lock-acquisition graph of an exploration: an edge `a -> b` means
+/// some explored schedule acquired `b` while holding `a`. Each edge carries
+/// the iteration that first recorded it, so a cycle report points at
+/// concrete reproducible schedules. A cycle in the *union* is a lock-order
+/// inversion even when no single schedule deadlocked — the two halves of
+/// the inversion may live in schedules that never overlapped.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct LockGraph {
+    edges: BTreeMap<(LockNode, LockNode), u64>,
+}
+
+impl LockGraph {
+    /// Iterates `(held, acquired, first_iteration)` edges in sorted order.
+    pub fn edges(&self) -> impl Iterator<Item = (LockNode, LockNode, u64)> + '_ {
+        self.edges.iter().map(|(&(a, b), &it)| (a, b, it))
+    }
+
+    /// Number of distinct edges.
+    pub fn len(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Whether the graph has no edges at all.
+    pub fn is_empty(&self) -> bool {
+        self.edges.is_empty()
+    }
+
+    /// Finds a directed cycle, if one exists. Returns the node sequence
+    /// `[n0, n1, ..., n0]` (first node repeated to close the loop), picking
+    /// deterministically (DFS in node order) when several cycles exist.
+    pub fn cycle(&self) -> Option<Vec<LockNode>> {
+        fn dfs(
+            n: LockNode,
+            adj: &BTreeMap<LockNode, Vec<LockNode>>,
+            color: &mut BTreeMap<LockNode, u8>,
+            stack: &mut Vec<LockNode>,
+        ) -> Option<Vec<LockNode>> {
+            color.insert(n, 1);
+            stack.push(n);
+            for &m in adj.get(&n).map(Vec::as_slice).unwrap_or(&[]) {
+                match color.get(&m).copied().unwrap_or(0) {
+                    0 => {
+                        if let Some(c) = dfs(m, adj, color, stack) {
+                            return Some(c);
+                        }
+                    }
+                    1 => {
+                        let pos = stack.iter().position(|&x| x == m).unwrap_or(0);
+                        let mut cyc = stack[pos..].to_vec();
+                        cyc.push(m);
+                        return Some(cyc);
+                    }
+                    _ => {}
+                }
+            }
+            stack.pop();
+            color.insert(n, 2);
+            None
+        }
+        let mut adj: BTreeMap<LockNode, Vec<LockNode>> = BTreeMap::new();
+        for &(a, b) in self.edges.keys() {
+            adj.entry(a).or_default().push(b);
+            adj.entry(b).or_default();
+        }
+        let mut color: BTreeMap<LockNode, u8> = adj.keys().map(|&n| (n, 0u8)).collect();
+        let mut stack = Vec::new();
+        let nodes: Vec<LockNode> = adj.keys().copied().collect();
+        for n in nodes {
+            if color.get(&n).copied() == Some(0) {
+                if let Some(c) = dfs(n, &adj, &mut color, &mut stack) {
+                    return Some(c);
+                }
+            }
+        }
+        None
+    }
+}
+
+/// Process-wide union of every completed exploration's (acyclic) lock
+/// graph, keyed by `LockNode`. Explorations that panicked on a cycle are
+/// *not* merged, so one failing scenario cannot poison the view other
+/// tests see.
+static GLOBAL_GRAPH: StdMutex<BTreeMap<(LockNode, LockNode), u64>> = StdMutex::new(BTreeMap::new());
+
+/// Snapshot of the process-wide union lock graph accumulated by every
+/// [`explore`] call so far. Diagnostic: node indices are per-run, so the
+/// union is only meaningful across scenarios that build their locks in the
+/// same order (as the workspace's pool scenarios do). Per-scenario
+/// acyclicity is what [`explore`] itself enforces.
+pub fn lock_graph() -> LockGraph {
+    LockGraph {
+        edges: GLOBAL_GRAPH
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .clone(),
+    }
+}
+
+/// Per-lock bookkeeping for the acquisition graph.
+struct LockMeta {
+    node: LockNode,
+    /// Thread that created the lock (None when created off controlled
+    /// threads and first seen at grant time).
+    creator: Option<usize>,
+    /// Whether any thread other than the creator ever acquired it.
+    foreign: bool,
+}
+
+/// Registers a lock created on a controlled thread, assigning its
+/// deterministic per-run node index. No-op off controlled threads (such
+/// locks are registered lazily at first grant instead).
+fn register_lock(id: u64, kind: LockKind) {
+    if let Some(ctx) = current_ctx() {
+        let mut st = ctx.shared.m.lock().unwrap_or_else(PoisonError::into_inner);
+        let node = LockNode {
+            kind,
+            index: st.next_node,
+        };
+        st.next_node += 1;
+        st.lock_meta.insert(
+            id,
+            LockMeta {
+                node,
+                creator: Some(ctx.tid),
+                foreign: false,
+            },
+        );
+    }
+}
+
+/// Records a grant of lock `id` to thread `tid` in the acquisition graph:
+/// adds `held -> id` edges for everything the thread holds, then pushes
+/// `id` onto its held stack.
+///
+/// Creator-private skip: while a lock has only ever been acquired by the
+/// thread that created it, its acquisitions record no edges. This is what
+/// keeps single-flight latches honest — the leader creates a latch and
+/// locks it while holding the map lock, but followers only ever take the
+/// latch bare, so `map -> latch` is an ordering that no two threads can
+/// ever contend on and must not close a cycle.
+fn note_acquire(st: &mut State, tid: usize, id: u64, kind: LockKind) {
+    if !st.lock_meta.contains_key(&id) {
+        let node = LockNode {
+            kind,
+            index: st.next_node,
+        };
+        st.next_node += 1;
+        st.lock_meta.insert(
+            id,
+            LockMeta {
+                node,
+                creator: None,
+                foreign: true,
+            },
+        );
+    }
+    let meta = st.lock_meta.get_mut(&id).expect("lock registered above");
+    if meta.creator != Some(tid) {
+        meta.foreign = true;
+    }
+    let private = meta.creator == Some(tid) && !meta.foreign;
+    let node = meta.node;
+    if !private {
+        let held = st.held[tid].clone();
+        for h in held {
+            if h != id {
+                if let Some(hm) = st.lock_meta.get(&h) {
+                    let edge = (hm.node, node);
+                    st.edges.insert(edge);
+                }
+            }
+        }
+    }
+    st.held[tid].push(id);
+}
+
+/// Removes one held occurrence of `id` from thread `tid`'s stack (guards
+/// can drop out of acquisition order, so this is a search, not a pop).
+fn note_release(st: &mut State, tid: usize, id: u64) {
+    if let Some(held) = st.held.get_mut(tid) {
+        if let Some(pos) = held.iter().rposition(|&h| h == id) {
+            held.remove(pos);
+        }
+    }
 }
 
 /// Why a parked thread cannot run yet.
@@ -119,6 +354,14 @@ struct State {
     sync_points: u64,
     /// First panic payload raised by a controlled thread.
     panic: Option<Box<dyn Any + Send>>,
+    /// Graph bookkeeping: per-lock node/creator metadata.
+    lock_meta: HashMap<u64, LockMeta>,
+    /// Lock ids each thread currently holds, in acquisition order.
+    held: Vec<Vec<u64>>,
+    /// Next per-run [`LockNode`] index to hand out.
+    next_node: u64,
+    /// Held-while-acquiring edges recorded during this run.
+    edges: BTreeSet<(LockNode, LockNode)>,
 }
 
 struct Shared {
@@ -136,6 +379,10 @@ impl Shared {
                 trace: Vec::new(),
                 sync_points: 0,
                 panic: None,
+                lock_meta: HashMap::new(),
+                held: Vec::new(),
+                next_node: 0,
+                edges: BTreeSet::new(),
             }),
             cv: Condvar::new(),
         })
@@ -185,6 +432,7 @@ impl Ctx {
         if let Some(l) = st.locks.get_mut(&id) {
             l.writer = false;
         }
+        note_release(&mut st, self.tid, id);
         self.shared.cv.notify_all();
     }
 
@@ -194,6 +442,7 @@ impl Ctx {
         if let Some(l) = st.locks.get_mut(&id) {
             l.readers = l.readers.saturating_sub(1);
         }
+        note_release(&mut st, self.tid, id);
         self.shared.cv.notify_all();
     }
 }
@@ -216,6 +465,7 @@ where
     let tid = {
         let mut st = shared.m.lock().unwrap_or_else(PoisonError::into_inner);
         st.threads.push(Status::Ready);
+        st.held.push(Vec::new());
         st.threads.len() - 1
     };
     let shared = Arc::clone(shared);
@@ -297,13 +547,20 @@ fn drive_schedule(shared: &Arc<Shared>, mut rng: u64) -> Result<Vec<u32>, Box<dy
             )));
         }
         let pick = runnable[(splitmix64(&mut rng) % runnable.len() as u64) as usize];
-        // Grant the resource the picked thread was waiting for.
+        // Grant the resource the picked thread was waiting for, recording
+        // the acquisition in the lock graph.
         match st.threads[pick] {
-            Status::Blocked(Blocker::Lock(id)) | Status::Blocked(Blocker::Write(id)) => {
+            Status::Blocked(Blocker::Lock(id)) => {
                 st.locks.entry(id).or_default().writer = true;
+                note_acquire(&mut st, pick, id, LockKind::Mutex);
+            }
+            Status::Blocked(Blocker::Write(id)) => {
+                st.locks.entry(id).or_default().writer = true;
+                note_acquire(&mut st, pick, id, LockKind::RwLock);
             }
             Status::Blocked(Blocker::Read(id)) => {
                 st.locks.entry(id).or_default().readers += 1;
+                note_acquire(&mut st, pick, id, LockKind::RwLock);
             }
             _ => {}
         }
@@ -345,7 +602,7 @@ impl ExploreConfig {
 }
 
 /// What an exploration did. Returned by [`explore`].
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Report {
     /// Schedule runs executed.
     pub schedules_run: usize,
@@ -359,6 +616,10 @@ pub struct Report {
     /// Order-sensitive digest of every schedule hash: two explorations
     /// with the same seed must produce the same digest.
     pub digest: u64,
+    /// Union lock-acquisition graph over every explored schedule. Always
+    /// acyclic here — a cycle panics inside [`explore`] instead of
+    /// returning. Bit-for-bit deterministic per seed.
+    pub lock_graph: LockGraph,
 }
 
 /// Explores bounded interleavings of `scenario`, which must spawn its
@@ -380,6 +641,7 @@ where
     let mut digest = 0xcbf2_9ce4_8422_2325u64;
     let mut runs = 0usize;
     let mut controlled = false;
+    let mut union: BTreeMap<(LockNode, LockNode), u64> = BTreeMap::new();
     for iteration in 0..cfg.max_schedules {
         if distinct.len() >= cfg.target_distinct {
             break;
@@ -392,11 +654,15 @@ where
         splitmix64(&mut seed);
         let outcome = drive_schedule(&shared, seed);
         runs += 1;
-        let st = shared.m.lock().unwrap_or_else(PoisonError::into_inner);
+        let mut st = shared.m.lock().unwrap_or_else(PoisonError::into_inner);
         if st.sync_points > 0 {
             controlled = true;
         }
+        let run_edges = std::mem::take(&mut st.edges);
         drop(st);
+        for e in run_edges {
+            union.entry(e).or_insert(iteration as u64);
+        }
         match outcome {
             Ok(trace) => {
                 let h = fnv1a(&trace);
@@ -413,12 +679,59 @@ where
             }
         }
     }
+    let lock_graph = LockGraph { edges: union };
+    if let Some(cycle) = lock_graph.cycle() {
+        write_cycle_artifact(cfg, &lock_graph, &cycle);
+        let pretty: Vec<String> = cycle.iter().map(|n| n.to_string()).collect();
+        panic!(
+            "lock-order cycle in scenario `{}` (seed {}): {} — the union of {} \
+             held-while-acquiring edges across {} schedules is cyclic; see the \
+             lockcycle artifact for per-edge first iterations",
+            cfg.name,
+            cfg.seed,
+            pretty.join(" -> "),
+            lock_graph.len(),
+            runs
+        );
+    }
+    {
+        let mut g = GLOBAL_GRAPH.lock().unwrap_or_else(PoisonError::into_inner);
+        for (edge, it) in &lock_graph.edges {
+            g.entry(*edge).or_insert(*it);
+        }
+    }
     Report {
         schedules_run: runs,
         distinct_schedules: distinct.len(),
         controlled,
         digest,
+        lock_graph,
     }
+}
+
+/// Writes the union-graph cycle report (scenario, seed, cycle, every edge
+/// with the iteration that first recorded it) so CI can upload it.
+/// Best-effort, like [`write_artifact`].
+fn write_cycle_artifact(cfg: &ExploreConfig, graph: &LockGraph, cycle: &[LockNode]) {
+    let Some(dir) = &cfg.artifact_dir else { return };
+    let pretty: Vec<String> = cycle.iter().map(|n| n.to_string()).collect();
+    let mut body = format!(
+        "scenario: {}\nseed: {}\nlock-order cycle: {}\n\nunion edges (held -> acquired, \
+         first recorded at iteration; that iteration's rng seed is listed for replay):\n",
+        cfg.name,
+        cfg.seed,
+        pretty.join(" -> ")
+    );
+    for (a, b, it) in graph.edges() {
+        let mut s = cfg.seed ^ it.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        splitmix64(&mut s);
+        body.push_str(&format!("  {a} -> {b}  (iteration {it}, rng seed {s})\n"));
+    }
+    let _ = std::fs::create_dir_all(dir);
+    let _ = std::fs::write(
+        dir.join(format!("{}-seed{}-lockcycle.txt", cfg.name, cfg.seed)),
+        body,
+    );
 }
 
 /// Writes the failing schedule (seed, iteration, pick trace, message) so CI
@@ -460,7 +773,10 @@ pub mod sync {
     //! is a scheduling point; elsewhere they behave exactly like the real
     //! primitives.
 
-    use super::{current_ctx, fresh_lock_id, yield_point, Blocker, Ctx, Status};
+    use super::{
+        current_ctx, fresh_lock_id, note_acquire, register_lock, yield_point, Blocker, Ctx,
+        LockKind, Status,
+    };
     use std::sync::PoisonError;
 
     pub use std::sync::atomic::Ordering;
@@ -529,10 +845,13 @@ pub mod sync {
     }
 
     impl<T> Mutex<T> {
-        /// Creates a mutex protecting `value`.
+        /// Creates a mutex protecting `value`. On a controlled thread the
+        /// lock is registered in the run's acquisition graph.
         pub fn new(value: T) -> Self {
+            let id = fresh_lock_id();
+            register_lock(id, LockKind::Mutex);
             Mutex {
-                id: fresh_lock_id(),
+                id,
                 inner: std::sync::Mutex::new(value),
             }
         }
@@ -574,6 +893,7 @@ pub mod sync {
                     return None;
                 }
                 l.writer = true;
+                note_acquire(&mut st, c.tid, self.id, LockKind::Mutex);
             }
             let guard = match self.inner.try_lock() {
                 Ok(g) => Some(g),
@@ -655,10 +975,13 @@ pub mod sync {
     }
 
     impl<T> RwLock<T> {
-        /// Creates a lock protecting `value`.
+        /// Creates a lock protecting `value`. On a controlled thread the
+        /// lock is registered in the run's acquisition graph.
         pub fn new(value: T) -> Self {
+            let id = fresh_lock_id();
+            register_lock(id, LockKind::RwLock);
             RwLock {
-                id: fresh_lock_id(),
+                id,
                 inner: std::sync::RwLock::new(value),
             }
         }
@@ -1063,6 +1386,157 @@ mod tests {
                 "fetch_add must never lose updates"
             );
         });
+    }
+
+    #[test]
+    fn ordered_foreign_acquisitions_build_a_deterministic_acyclic_graph() {
+        fn run() -> Report {
+            explore(&quick("ordered-graph", 21), || {
+                let a = Arc::new(Mutex::new(()));
+                let b = Arc::new(RwLock::new(0u8));
+                let (a2, b2) = (Arc::clone(&a), Arc::clone(&b));
+                let t1 = thread::spawn(move || {
+                    let _ga = a2.lock();
+                    let _gb = b2.write();
+                });
+                let (a3, b3) = (Arc::clone(&a), Arc::clone(&b));
+                let t2 = thread::spawn(move || {
+                    let _ga = a3.lock();
+                    let _gb = b3.read();
+                });
+                t1.join();
+                t2.join();
+            })
+        }
+        let r1 = run();
+        let r2 = run();
+        assert_eq!(
+            r1, r2,
+            "the union graph must be a pure function of the seed"
+        );
+        assert!(r1.lock_graph.cycle().is_none());
+        if r1.controlled {
+            let edges: Vec<_> = r1.lock_graph.edges().collect();
+            assert_eq!(
+                edges,
+                vec![(
+                    LockNode {
+                        kind: LockKind::Mutex,
+                        index: 0
+                    },
+                    LockNode {
+                        kind: LockKind::RwLock,
+                        index: 1
+                    },
+                    0
+                )],
+                "both workers acquire the rwlock while holding the mutex"
+            );
+        }
+    }
+
+    #[test]
+    fn creator_private_locks_record_no_edges() {
+        // A thread that creates a lock and is the only one to ever take it
+        // (the single-flight latch pattern) must not contribute edges, even
+        // while holding other locks.
+        let report = explore(&quick("private-locks", 13), || {
+            let outer = Arc::new(Mutex::new(()));
+            let o2 = Arc::clone(&outer);
+            thread::spawn(move || {
+                let _g = o2.lock();
+                let latch = Mutex::new(());
+                let _l = latch.lock();
+            })
+            .join();
+        });
+        assert!(
+            report.lock_graph.is_empty(),
+            "creator-private acquisitions leaked edges: {:?}",
+            report.lock_graph
+        );
+    }
+
+    #[test]
+    fn sequential_inversion_is_caught_by_the_union_graph() {
+        // The two inverted acquisitions run strictly one after the other
+        // (joined in between), so no single schedule can deadlock — only
+        // the cross-schedule union exposes the cycle.
+        let dir = std::env::temp_dir().join("asb-schedule-lockcycle-test");
+        let _ = std::fs::remove_dir_all(&dir);
+        let cfg = ExploreConfig {
+            name: "seq-inversion",
+            seed: 5,
+            target_distinct: 20,
+            max_schedules: 60,
+            artifact_dir: Some(dir.clone()),
+        };
+        let outcome = catch_unwind(AssertUnwindSafe(|| {
+            explore(&cfg, || {
+                let a = Arc::new(Mutex::new(()));
+                let b = Arc::new(Mutex::new(()));
+                let (a2, b2) = (Arc::clone(&a), Arc::clone(&b));
+                thread::spawn(move || {
+                    let _ga = a2.lock();
+                    let _gb = b2.lock();
+                })
+                .join();
+                let (a3, b3) = (Arc::clone(&a), Arc::clone(&b));
+                thread::spawn(move || {
+                    let _gb = b3.lock();
+                    let _ga = a3.lock();
+                })
+                .join();
+            })
+        }));
+        let payload = outcome.expect_err("the union cycle must fail the exploration");
+        let msg = payload
+            .downcast_ref::<String>()
+            .cloned()
+            .unwrap_or_default();
+        assert!(
+            msg.contains("lock-order cycle"),
+            "expected a lock-order cycle panic, got: {msg}"
+        );
+        let artifact = dir.join("seq-inversion-seed5-lockcycle.txt");
+        let body = std::fs::read_to_string(&artifact)
+            .expect("cycle artifact must be written next to schedule artifacts");
+        assert!(body.contains("seed: 5"), "artifact must carry the seed");
+        assert!(
+            body.contains("lock-order cycle:") && body.contains("iteration"),
+            "artifact must list the cycle and per-edge first iterations:\n{body}"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn global_lock_graph_unions_completed_explorations() {
+        let report = explore(&quick("global-union", 17), || {
+            let a = Arc::new(Mutex::new(()));
+            let b = Arc::new(Mutex::new(()));
+            let (a2, b2) = (Arc::clone(&a), Arc::clone(&b));
+            thread::spawn(move || {
+                let _ga = a2.lock();
+                let _gb = b2.lock();
+            })
+            .join();
+            let (a3, b3) = (Arc::clone(&a), Arc::clone(&b));
+            thread::spawn(move || {
+                let _ga = a3.lock();
+                let _gb = b3.lock();
+            })
+            .join();
+        });
+        if report.controlled {
+            assert!(!report.lock_graph.is_empty());
+        }
+        let global = lock_graph();
+        for (a, b, _) in report.lock_graph.edges() {
+            assert!(
+                global.edges().any(|(ga, gb, _)| (ga, gb) == (a, b)),
+                "every per-exploration edge must appear in the global union"
+            );
+        }
     }
 
     #[test]

@@ -82,6 +82,14 @@ where
             report.distinct_schedules
         );
     }
+    // `explore` already panics on a cyclic union graph; assert here too so
+    // the invariant is visible at the scenario level and survives refactors
+    // of the explorer's internal check.
+    assert!(
+        report.lock_graph.cycle().is_none(),
+        "scenario {name}: lock-acquisition union graph has a cycle: {:?}",
+        report.lock_graph
+    );
     report
 }
 
@@ -935,6 +943,7 @@ fn breaker_scenario() {
         let err_slots = err_slots.clone();
         move || {
             for round in 0..5u64 {
+                // relaxed-ok: lone simulated-clock counter, no other memory depends on it
                 let now = clock.fetch_add(7, ssync::Ordering::Relaxed);
                 for part in 0..2usize {
                     let pages: Vec<PageId> = ids[part * 4..part * 4 + 4].to_vec();
@@ -952,6 +961,7 @@ fn breaker_scenario() {
                                 Err(e) => {
                                     assert_eq!(e.id, id, "failure typed to the wrong page");
                                     assert!(e.is_give_up(), "dead page must be a give-up");
+                                    // relaxed-ok: lone failure tally read after join
                                     err_slots.fetch_add(1, ssync::Ordering::Relaxed);
                                     failed = true;
                                 }
@@ -1008,6 +1018,7 @@ fn breaker_scenario() {
     );
     assert_eq!(
         stats.give_ups,
+        // relaxed-ok: lone failure tally read after join
         err_slots.load(ssync::Ordering::Relaxed),
         "give-up accounting must match the failures callers observed"
     );
@@ -1018,4 +1029,52 @@ fn breaker_scenario() {
 #[test]
 fn breaker_state_machine_is_lawful_under_concurrency() {
     explore_scenario("breaker-serve", 0x4252_4541_4b45_525f, breaker_scenario);
+}
+
+// ---------------------------------------------------------------------------
+// Scenario 8: the union lock graph catches inversions no schedule can
+// deadlock on.
+// ---------------------------------------------------------------------------
+
+/// Two workers take a shard-stand-in mutex and a store-stand-in rwlock in
+/// opposite orders — but strictly one after the other (joined in between),
+/// so no single schedule can ever deadlock. Only the union of the
+/// lock-acquisition graphs across schedules exposes the inversion; the
+/// explorer must panic with a lock-order cycle and write a seed-bearing
+/// artifact.
+fn sequential_inversion_scenario() {
+    let shard = std::sync::Arc::new(ssync::Mutex::new(0u32));
+    let store = std::sync::Arc::new(ssync::RwLock::new(0u32));
+
+    let (s1, t1) = (std::sync::Arc::clone(&shard), std::sync::Arc::clone(&store));
+    thread::spawn(move || {
+        let _shard = s1.lock();
+        let _store = t1.write();
+    })
+    .join();
+
+    let (s2, t2) = (std::sync::Arc::clone(&shard), std::sync::Arc::clone(&store));
+    thread::spawn(move || {
+        let _store = t2.write();
+        let _shard = s2.lock();
+    })
+    .join();
+}
+
+#[test]
+#[should_panic(expected = "lock-order cycle")]
+fn union_lock_graph_flags_sequential_inversion() {
+    // Not `explore_scenario`: the explorer panics before returning a
+    // report, and the plain-build sweep budget is all this fixture needs.
+    explore(
+        &ExploreConfig {
+            target_distinct: 40,
+            max_schedules: 48,
+            artifact_dir: Some(std::path::PathBuf::from(
+                "target/schedule-artifacts/interleave-fixture",
+            )),
+            ..ExploreConfig::new("sequential-inversion", 0x1217)
+        },
+        sequential_inversion_scenario,
+    );
 }
